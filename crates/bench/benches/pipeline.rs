@@ -1,0 +1,177 @@
+//! Criterion micro-benchmarks for every computational stage of the
+//! reproduction: numerics (eigendecomposition, SVD), the subspace model,
+//! detection statistics, the measurement pipeline (sampling, aggregation,
+//! NetFlow codec, OD binning), and trace generation.
+//!
+//! These make the harness double as a performance regression suite: the
+//! paper's method must comfortably run online (one 5-minute bin of work
+//! per 5 minutes of traffic).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use odflow::flow::{
+    netflow, FlowAggregator, FlowKey, OdBinner, PacketObs, PacketSampler, Protocol,
+};
+use odflow::gen::{Scenario, ScenarioConfig};
+use odflow::linalg::{eigen_symmetric, thin_svd, Matrix};
+use odflow::net::IpAddr;
+use odflow::stats::{q_threshold, t2_threshold};
+use odflow::subspace::{SubspaceConfig, SubspaceDetector, SubspaceModel};
+
+/// Synthetic OD matrix shaped like the paper's data: n bins x 121 pairs.
+fn traffic_matrix(n: usize, p: usize) -> Matrix {
+    Matrix::from_fn(n, p, |i, j| {
+        let t = i as f64 / 288.0 * std::f64::consts::TAU;
+        let phase = 0.8 * (j % 4) as f64;
+        (20.0 + j as f64) * (2.0 + (t + phase).sin() + 0.8 * (2.0 * t + 1.1 * (j % 3) as f64).sin())
+            + ((i * 31 + j * 17) % 101) as f64 / 101.0
+    })
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linalg");
+    for &p in &[32usize, 64, 121] {
+        let x = traffic_matrix(4 * p, p);
+        let cov = odflow::linalg::covariance(&x).unwrap();
+        g.bench_with_input(BenchmarkId::new("eigen_symmetric", p), &cov, |b, cov| {
+            b.iter(|| eigen_symmetric(black_box(cov)).unwrap())
+        });
+    }
+    let x = traffic_matrix(2016, 121);
+    g.bench_function("thin_svd_2016x121", |b| {
+        b.iter(|| thin_svd(black_box(&x), 0.0).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_subspace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("subspace");
+    let x = traffic_matrix(2016, 121);
+    g.bench_function("model_fit_week", |b| {
+        b.iter(|| SubspaceModel::fit_default(black_box(&x)).unwrap())
+    });
+    let model = SubspaceModel::fit_default(&x).unwrap();
+    let row = x.row(1000).unwrap();
+    g.bench_function("score_one_bin", |b| {
+        b.iter(|| {
+            let spe = model.spe(black_box(row)).unwrap();
+            let t2 = model.t2(black_box(row)).unwrap();
+            black_box((spe, t2))
+        })
+    });
+    g.bench_function("detector_analyze_week", |b| {
+        b.iter(|| SubspaceDetector::new(SubspaceConfig::default()).analyze(black_box(&x)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_thresholds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thresholds");
+    let eigenvalues: Vec<f64> = (0..121).map(|i| 1e4 / (1.0 + i as f64).powi(2)).collect();
+    g.bench_function("q_threshold", |b| {
+        b.iter(|| q_threshold(black_box(&eigenvalues), 4, 0.001).unwrap())
+    });
+    g.bench_function("t2_threshold", |b| {
+        b.iter(|| t2_threshold(black_box(4), black_box(2016), black_box(0.001)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_measurement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("measurement");
+
+    g.bench_function("sampler_1M_packets", |b| {
+        b.iter(|| {
+            let mut s = PacketSampler::new(0.01, 7).unwrap();
+            let mut kept = 0u64;
+            for _ in 0..1_000_000 {
+                if s.sample() {
+                    kept += 1;
+                }
+            }
+            black_box(kept)
+        })
+    });
+
+    let key = FlowKey::new(
+        IpAddr::from_octets(10, 0, 0, 1),
+        IpAddr::from_octets(10, 16, 0, 1),
+        40_000,
+        80,
+        Protocol::Tcp,
+    );
+    g.bench_function("aggregator_100k_packets", |b| {
+        b.iter(|| {
+            let mut agg = FlowAggregator::new(60, 0).unwrap();
+            for i in 0..100_000u64 {
+                let mut k = key;
+                k.src_port = (i % 512) as u16;
+                agg.push(&PacketObs::new(i / 500, 0, 0, k, 100));
+            }
+            black_box(agg.flush().len())
+        })
+    });
+
+    // NetFlow codec round-trip, 30-record datagrams.
+    let records: Vec<odflow::flow::FlowRecord> = (0..300)
+        .map(|i| odflow::flow::FlowRecord {
+            key: FlowKey::new(
+                IpAddr(0x0A000000 + i),
+                IpAddr(0x0A100000 + i),
+                (1024 + i) as u16,
+                80,
+                Protocol::Tcp,
+            ),
+            router: 3,
+            interface: 0,
+            window_start: 60 * (i as u64 % 5),
+            packets: 1 + i as u64 % 9,
+            bytes: 40 * (1 + i as u64 % 9),
+        })
+        .collect();
+    g.bench_function("netflow_roundtrip_300_records", |b| {
+        b.iter(|| {
+            let dgrams = netflow::encode_datagrams(black_box(&records), 0, 3, 100, 0);
+            let mut n = 0;
+            for d in &dgrams {
+                n += netflow::decode_datagram(d).unwrap().1.len();
+            }
+            black_box(n)
+        })
+    });
+
+    g.bench_function("od_binner_100k_records", |b| {
+        b.iter(|| {
+            let mut binner = OdBinner::new(0, 300, 12, 121).unwrap();
+            for i in 0..100_000u64 {
+                let mut r = records[(i % 300) as usize];
+                r.window_start = (i % (12 * 300)) / 300 * 300;
+                r.key.src_port = (i % 2048) as u16;
+                binner.push((i % 121) as usize, &r).unwrap();
+            }
+            black_box(binner.records_accepted())
+        })
+    });
+    g.finish();
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generator");
+    g.sample_size(20);
+    let config = ScenarioConfig { num_bins: 288, ..Default::default() };
+    let scenario = Scenario::new(config, vec![]).unwrap();
+    let generator = scenario.generator();
+    g.bench_function("records_for_one_bin", |b| {
+        b.iter(|| black_box(generator.records_for_bin(black_box(144))).len())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_linalg,
+    bench_subspace,
+    bench_thresholds,
+    bench_measurement,
+    bench_generator
+);
+criterion_main!(benches);

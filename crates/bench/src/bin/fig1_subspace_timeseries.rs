@@ -1,0 +1,102 @@
+//! **Figure 1** — "An illustration of the subspace method on the three
+//! types of OD flow traffic."
+//!
+//! Reproduces the paper's 3x3 panel: for each traffic view (# bytes,
+//! # packets, # IP-flows) over a common 3.5-day window, the timeseries of
+//! the state vector squared magnitude ‖x‖², the residual vector squared
+//! magnitude ‖x̃‖² with its Q-statistic threshold, and the t² vector with
+//! its T² threshold — thresholds at the paper's 99.9% confidence level.
+//! Detected anomalies appear as `*` spikes above the `-` threshold lines,
+//! reproducing the figure's central visual: diurnal structure dominates
+//! ‖x‖² but is absent from the detection statistics, where anomalies stand
+//! out as isolated spikes.
+//!
+//! Run: `cargo run --release -p odflow-bench --bin fig1_subspace_timeseries`
+
+use odflow::experiment::ExperimentConfig;
+use odflow::flow::TrafficType;
+use odflow_bench::plot::{ascii_panel, csv};
+use odflow_bench::{run_week, HARNESS_SEED};
+
+fn main() {
+    let config = ExperimentConfig::default();
+    let (scenario, run) = run_week(HARNESS_SEED, 0, &config);
+
+    // The paper's Figure 1 covers 3.5 days (4/8 - 4/11); use the same
+    // span: 3.5 days of 5-minute bins.
+    let window = (3.5 * 24.0 * 12.0) as usize;
+
+    println!("Figure 1 — subspace method on the three OD traffic views");
+    println!(
+        "window: first {window} bins (3.5 days) of a paper week; k = {}, alpha = {}",
+        config.subspace.k, config.subspace.alpha
+    );
+    println!();
+
+    let mut csv_columns: Vec<(String, Vec<f64>)> = Vec::new();
+    for t in [TrafficType::Bytes, TrafficType::Packets, TrafficType::Flows] {
+        let analysis = run.diagnosis.analysis(t).expect("analysis for type");
+        let state: Vec<f64> = analysis.state_norm_sq[..window].to_vec();
+        let residual: Vec<f64> = analysis.spe[..window].to_vec();
+        let t2: Vec<f64> = analysis.t2[..window].to_vec();
+
+        println!("---- {t} ----");
+        println!("state vector ||x||^2:");
+        print!("{}", ascii_panel(&state, 7, 100, None));
+        println!("residual vector ||x~||^2 (threshold = Q-statistic, 99.9%):");
+        print!("{}", ascii_panel(&residual, 7, 100, Some(analysis.model.spe_threshold())));
+        println!("t^2 vector (threshold = T^2, 99.9%):");
+        print!("{}", ascii_panel(&t2, 7, 100, Some(analysis.model.t2_threshold())));
+        println!();
+
+        csv_columns.push((format!("{t}_state"), state));
+        csv_columns.push((format!("{t}_residual"), residual));
+        csv_columns.push((format!("{t}_t2"), t2));
+    }
+
+    // Annotate the detected anomalies in the window, as the paper marks
+    // events (1)-(5) on the figure.
+    println!("events detected inside the window:");
+    let mut shown = 0;
+    for (i, c) in run.classified.iter().enumerate() {
+        if c.event.start_bin < window {
+            println!(
+                "  ({}) bins {:>4}-{:<4} types {:<3} class {:<16} flows {:?}",
+                i + 1,
+                c.event.start_bin,
+                c.event.end_bin(),
+                c.event.types.code(),
+                c.class.label(),
+                c.event.od_flows.iter().take(4).collect::<Vec<_>>()
+            );
+            shown += 1;
+        }
+    }
+    println!("  ({shown} events; paper's figure marks 5 selected ones)");
+
+    // Emit the CSV for external plotting.
+    let refs: Vec<(&str, &[f64])> =
+        csv_columns.iter().map(|(n, s)| (n.as_str(), s.as_slice())).collect();
+    let path = "fig1_series.csv";
+    std::fs::write(path, csv(&refs)).expect("write csv");
+    println!("\nfull series written to {path}");
+
+    // Shape assertions (the claims the figure makes). Medians, not means:
+    // anomaly spikes legitimately dominate the residual mean.
+    for t in [TrafficType::Bytes, TrafficType::Packets, TrafficType::Flows] {
+        let analysis = run.diagnosis.analysis(t).expect("analysis");
+        let median = |v: &[f64]| {
+            let mut s = v.to_vec();
+            s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            s[s.len() / 2]
+        };
+        let state_med = median(&analysis.state_norm_sq);
+        let spe_med = median(&analysis.spe);
+        assert!(
+            spe_med < state_med * 0.15,
+            "{t}: typical residual energy must be a small fraction of total traffic"
+        );
+    }
+    let _ = scenario;
+    println!("shape check passed: typical residual is a small fraction of traffic energy");
+}

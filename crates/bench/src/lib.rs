@@ -1,0 +1,69 @@
+//! # odflow-bench — the experiment harness
+//!
+//! Regenerates every table and figure of Lakhina, Crovella & Diot
+//! (IMC 2004) from the synthetic Abilene substrate. One binary per
+//! artifact (see `src/bin/`), plus Criterion micro-benchmarks for the
+//! computational pipeline stages (see `benches/`).
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig1_subspace_timeseries` | Figure 1 — state/residual/t² panels |
+//! | `table1_anomaly_counts` | Table 1 — counts per B/F/P combination |
+//! | `fig2_scope_histograms` | Figure 2 — duration & OD-count histograms |
+//! | `table2_taxonomy` | Table 2 — signature verification per class |
+//! | `table3_classification` | Table 3 — class × traffic-type counts |
+//! | `resolution_rate` | §2.1 — ≥93% flow / ≥90% byte OD resolution |
+//! | `ablation_k_sweep` | sensitivity to the normal-subspace dimension |
+//! | `ablation_sampling` | sensitivity to the packet sampling rate |
+//! | `ablation_stats` | SPE-only vs T²-only vs combined detection |
+//! | `ablation_dominance` | classification vs the dominance threshold `p` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plot;
+
+use odflow::experiment::{run_scenario, ExperimentConfig, ScenarioRun};
+use odflow::gen::Scenario;
+
+/// Runs the standard four-week study (the paper's data design) and returns
+/// the per-week results. The seed fixes everything: reruns are identical.
+///
+/// # Panics
+///
+/// Panics on scenario or pipeline failures — harness binaries are
+/// fail-fast by design.
+pub fn run_four_weeks(seed: u64, config: &ExperimentConfig) -> Vec<ScenarioRun> {
+    Scenario::paper_four_weeks(seed)
+        .expect("paper scenario construction")
+        .iter()
+        .map(|s| run_scenario(s, config).expect("scenario run"))
+        .collect()
+}
+
+/// Runs a single paper week.
+///
+/// # Panics
+///
+/// As for [`run_four_weeks`].
+pub fn run_week(seed: u64, week: u64, config: &ExperimentConfig) -> (Scenario, ScenarioRun) {
+    let scenario = Scenario::paper_week(seed, week).expect("paper scenario construction");
+    let run = run_scenario(&scenario, config).expect("scenario run");
+    (scenario, run)
+}
+
+/// The fixed seed every table/figure binary uses, so EXPERIMENTS.md numbers
+/// are reproducible with `cargo run -p odflow-bench --bin <name>`.
+pub const HARNESS_SEED: u64 = 20040519; // the tech report's date
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn paper_week_generator_is_deterministic() {
+        let s1 = odflow::gen::Scenario::paper_week(7, 0).unwrap();
+        let s2 = odflow::gen::Scenario::paper_week(7, 0).unwrap();
+        let g1 = s1.generator();
+        let g2 = s2.generator();
+        assert_eq!(g1.records_for_bin(100), g2.records_for_bin(100));
+    }
+}

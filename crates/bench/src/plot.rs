@@ -1,0 +1,154 @@
+//! ASCII timeseries plotting for terminal-rendered figures.
+//!
+//! The paper's figures are line plots; the harness renders them as compact
+//! ASCII panels (plus CSV emission for external plotting), which keeps the
+//! reproduction self-contained.
+
+/// Renders a timeseries as an ASCII panel of the given height, with an
+/// optional horizontal threshold line drawn as `-` (data points above it
+/// show as `*`, below as `.`).
+pub fn ascii_panel(series: &[f64], height: usize, width: usize, threshold: Option<f64>) -> String {
+    if series.is_empty() || height == 0 || width == 0 {
+        return String::new();
+    }
+    // Downsample to `width` columns by max-pooling (peaks must survive).
+    let cols: Vec<f64> = (0..width)
+        .map(|c| {
+            let lo = c * series.len() / width;
+            let hi = (((c + 1) * series.len()) / width).max(lo + 1).min(series.len());
+            series[lo..hi].iter().cloned().fold(f64::MIN, f64::max)
+        })
+        .collect();
+    let max = cols.iter().cloned().fold(f64::MIN, f64::max).max(threshold.unwrap_or(f64::MIN));
+    let min = cols.iter().cloned().fold(f64::MAX, f64::min).min(0.0);
+    let span = (max - min).max(1e-300);
+
+    let row_of = |v: f64| (((v - min) / span) * (height - 1) as f64).round() as usize;
+    let thr_row = threshold.map(row_of);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (c, &v) in cols.iter().enumerate() {
+        let r = row_of(v);
+        let above = threshold.map(|t| v > t).unwrap_or(false);
+        grid[r][c] = if above { '*' } else { '.' };
+    }
+    if let Some(tr) = thr_row {
+        for c in 0..width {
+            if grid[tr][c] == ' ' {
+                grid[tr][c] = '-';
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for r in (0..height).rev() {
+        let line: String = grid[r].iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out.push_str(&format!("min {min:.3e}  max {max:.3e}"));
+    if let Some(t) = threshold {
+        out.push_str(&format!("  threshold {t:.3e}"));
+    }
+    out.push('\n');
+    out
+}
+
+/// Emits a CSV of aligned series (first column is the index).
+pub fn csv(series: &[(&str, &[f64])]) -> String {
+    let mut out = String::from("bin");
+    for (name, _) in series {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    let n = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    for i in 0..n {
+        out.push_str(&i.to_string());
+        for (_, s) in series {
+            out.push(',');
+            if let Some(v) = s.get(i) {
+                out.push_str(&format!("{v:.6e}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a table of labeled counts as a fixed-width text table.
+pub fn count_table(title: &str, header: &[&str], rows: &[(String, Vec<String>)]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for (label, cells) in rows {
+        widths[0] = widths[0].max(label.len());
+        for (i, c) in cells.iter().enumerate() {
+            if i + 1 < widths.len() {
+                widths[i + 1] = widths[i + 1].max(c.len());
+            }
+        }
+    }
+    let mut out = format!("== {title}\n");
+    let fmt_row = |cells: Vec<String>| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(header.iter().map(|s| s.to_string()).collect()));
+    out.push('\n');
+    for (label, cells) in rows {
+        let mut all = vec![label.clone()];
+        all.extend(cells.iter().cloned());
+        out.push_str(&fmt_row(all));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_renders_threshold_and_peaks() {
+        let mut series = vec![1.0; 100];
+        series[50] = 10.0;
+        let p = ascii_panel(&series, 8, 50, Some(5.0));
+        assert!(p.contains('*'), "peak above threshold must render as *");
+        assert!(p.contains('-'), "threshold line must render");
+        assert!(p.contains("threshold 5.000e0"));
+    }
+
+    #[test]
+    fn panel_handles_empty_and_flat() {
+        assert_eq!(ascii_panel(&[], 5, 10, None), "");
+        let flat = ascii_panel(&[2.0; 30], 4, 10, None);
+        assert!(flat.contains("max 2.000e0"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        let text = csv(&[("a", &a), ("b", &b)]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "bin,a,b");
+        assert!(lines[1].starts_with("0,1.0"));
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn table_aligns() {
+        let rows = vec![
+            ("ALPHA".to_string(), vec!["10".to_string(), "2".to_string()]),
+            ("X".to_string(), vec!["1".to_string(), "22".to_string()]),
+        ];
+        let t = count_table("Counts", &["class", "B", "P"], &rows);
+        assert!(t.contains("== Counts"));
+        assert!(t.contains("ALPHA"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+}

@@ -1,0 +1,46 @@
+//! Error types for anomaly classification.
+
+use std::fmt;
+
+/// Errors produced by `odflow-classify` operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClassifyError {
+    /// A rule parameter was out of range.
+    InvalidParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The digest for an anomaly carried no traffic at all.
+    EmptyDigest,
+}
+
+impl fmt::Display for ClassifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassifyError::InvalidParameter { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
+            ClassifyError::EmptyDigest => write!(f, "anomaly digest contains no flows"),
+        }
+    }
+}
+
+impl std::error::Error for ClassifyError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ClassifyError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ClassifyError::InvalidParameter { what: "p", value: 2.0 }
+            .to_string()
+            .contains("invalid p"));
+        assert!(ClassifyError::EmptyDigest.to_string().contains("no flows"));
+    }
+}

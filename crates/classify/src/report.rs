@@ -1,0 +1,254 @@
+//! Scoring classified detections against ground truth.
+//!
+//! The paper validated classifications by hand against operator knowledge
+//! (Abilene NOC weekly reports). The synthetic substrate can do better:
+//! the generator's injected anomalies are ground truth, so detection
+//! quality becomes measurable as precision/recall and a per-class
+//! confusion summary — the quantitative backing for the paper's "very low
+//! false alarm rate" claim.
+
+use std::collections::BTreeMap;
+
+/// One ground-truth anomaly interval (a generator injection, mapped into
+/// plain data so this crate stays decoupled from the generator).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruthLabel {
+    /// Class label (the generator's Table 2 name, e.g. `"DOS"`).
+    pub label: String,
+    /// First affected timebin.
+    pub start_bin: usize,
+    /// Last affected timebin (inclusive).
+    pub end_bin: usize,
+    /// OD flow indices involved.
+    pub od_flows: Vec<usize>,
+}
+
+impl TruthLabel {
+    /// `true` if the truth interval overlaps `[start, end]` (inclusive),
+    /// with `slack` bins of tolerance on each side.
+    pub fn overlaps(&self, start: usize, end: usize, slack: usize) -> bool {
+        let s = self.start_bin.saturating_sub(slack);
+        let e = self.end_bin + slack;
+        start <= e && s <= end
+    }
+}
+
+/// One detected-and-classified event to score.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoredEvent {
+    /// Class label assigned by the rule engine.
+    pub label: String,
+    /// First bin of the detected event.
+    pub start_bin: usize,
+    /// Last bin (inclusive).
+    pub end_bin: usize,
+    /// OD flows the identification stage implicated.
+    pub od_flows: Vec<usize>,
+}
+
+/// Match outcome summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchReport {
+    /// Truth anomalies matched by at least one event.
+    pub true_positives: usize,
+    /// Truth anomalies never matched (missed).
+    pub false_negatives: usize,
+    /// Events matching no truth anomaly.
+    pub unmatched_events: usize,
+    /// Of the matched events, how many carried the correct class label.
+    pub correctly_classified: usize,
+    /// Matched events total (for classification accuracy denominators).
+    pub matched_events: usize,
+    /// Confusion counts: `(truth label, assigned label) -> count`.
+    pub confusion: BTreeMap<(String, String), usize>,
+}
+
+impl MatchReport {
+    /// Detection recall: matched truth / all truth.
+    pub fn recall(&self) -> f64 {
+        let total = self.true_positives + self.false_negatives;
+        if total == 0 {
+            return 1.0;
+        }
+        self.true_positives as f64 / total as f64
+    }
+
+    /// Detection precision: events matching truth / all events.
+    pub fn precision(&self) -> f64 {
+        let total = self.matched_events + self.unmatched_events;
+        if total == 0 {
+            return 1.0;
+        }
+        self.matched_events as f64 / total as f64
+    }
+
+    /// Classification accuracy over matched events.
+    pub fn classification_accuracy(&self) -> f64 {
+        if self.matched_events == 0 {
+            return 1.0;
+        }
+        self.correctly_classified as f64 / self.matched_events as f64
+    }
+}
+
+/// Matches events to truth by time overlap (with `slack` bins tolerance)
+/// and, when both sides carry OD flows, a non-empty OD intersection.
+pub fn score_events(
+    truth: &[TruthLabel],
+    events: &[ScoredEvent],
+    slack: usize,
+) -> MatchReport {
+    let mut truth_matched = vec![false; truth.len()];
+    let mut confusion: BTreeMap<(String, String), usize> = BTreeMap::new();
+    let mut unmatched_events = 0usize;
+    let mut matched_events = 0usize;
+    let mut correctly_classified = 0usize;
+
+    for ev in events {
+        let mut best: Option<usize> = None;
+        for (ti, t) in truth.iter().enumerate() {
+            if !t.overlaps(ev.start_bin, ev.end_bin, slack) {
+                continue;
+            }
+            let od_ok = t.od_flows.is_empty()
+                || ev.od_flows.is_empty()
+                || ev.od_flows.iter().any(|f| t.od_flows.contains(f));
+            if !od_ok {
+                continue;
+            }
+            // Prefer the truth interval with the closest start.
+            match best {
+                Some(prev)
+                    if truth[prev].start_bin.abs_diff(ev.start_bin)
+                        <= t.start_bin.abs_diff(ev.start_bin) => {}
+                _ => best = Some(ti),
+            }
+        }
+        match best {
+            Some(ti) => {
+                truth_matched[ti] = true;
+                matched_events += 1;
+                let t_label = truth[ti].label.clone();
+                if labels_equivalent(&t_label, &ev.label) {
+                    correctly_classified += 1;
+                }
+                *confusion.entry((t_label, ev.label.clone())).or_insert(0) += 1;
+            }
+            None => unmatched_events += 1,
+        }
+    }
+
+    let true_positives = truth_matched.iter().filter(|&&m| m).count();
+    MatchReport {
+        true_positives,
+        false_negatives: truth.len() - true_positives,
+        unmatched_events,
+        matched_events,
+        correctly_classified,
+        confusion,
+    }
+}
+
+/// DOS and DDOS are interchangeable for scoring (the paper's Table 3
+/// groups them).
+fn labels_equivalent(truth: &str, assigned: &str) -> bool {
+    let norm = |s: &str| if s == "DDOS" { "DOS".to_string() } else { s.to_string() };
+    norm(truth) == norm(assigned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth(label: &str, start: usize, end: usize, od: &[usize]) -> TruthLabel {
+        TruthLabel { label: label.into(), start_bin: start, end_bin: end, od_flows: od.to_vec() }
+    }
+
+    fn event(label: &str, start: usize, end: usize, od: &[usize]) -> ScoredEvent {
+        ScoredEvent { label: label.into(), start_bin: start, end_bin: end, od_flows: od.to_vec() }
+    }
+
+    #[test]
+    fn exact_match_scores_perfectly() {
+        let t = vec![truth("DOS", 10, 12, &[5])];
+        let e = vec![event("DOS", 10, 12, &[5])];
+        let r = score_events(&t, &e, 0);
+        assert_eq!(r.true_positives, 1);
+        assert_eq!(r.false_negatives, 0);
+        assert_eq!(r.unmatched_events, 0);
+        assert_eq!(r.recall(), 1.0);
+        assert_eq!(r.precision(), 1.0);
+        assert_eq!(r.classification_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn missed_truth_counts_as_false_negative() {
+        let t = vec![truth("SCAN", 10, 11, &[1]), truth("DOS", 50, 52, &[2])];
+        let e = vec![event("SCAN", 10, 11, &[1])];
+        let r = score_events(&t, &e, 0);
+        assert_eq!(r.true_positives, 1);
+        assert_eq!(r.false_negatives, 1);
+        assert!((r.recall() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spurious_event_counts_against_precision() {
+        let t = vec![truth("SCAN", 10, 11, &[1])];
+        let e = vec![event("SCAN", 10, 11, &[1]), event("UNKNOWN", 99, 99, &[7])];
+        let r = score_events(&t, &e, 0);
+        assert_eq!(r.unmatched_events, 1);
+        assert!((r.precision() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn od_mismatch_blocks_match() {
+        let t = vec![truth("DOS", 10, 12, &[5])];
+        let e = vec![event("DOS", 10, 12, &[9])];
+        let r = score_events(&t, &e, 0);
+        assert_eq!(r.true_positives, 0);
+        assert_eq!(r.unmatched_events, 1);
+    }
+
+    #[test]
+    fn empty_od_on_either_side_matches_by_time() {
+        let t = vec![truth("OUTAGE", 10, 30, &[])];
+        let e = vec![event("OUTAGE", 12, 28, &[3, 4])];
+        let r = score_events(&t, &e, 0);
+        assert_eq!(r.true_positives, 1);
+    }
+
+    #[test]
+    fn slack_tolerates_boundary_misses() {
+        let t = vec![truth("ALPHA", 10, 10, &[2])];
+        let e = vec![event("ALPHA", 11, 11, &[2])];
+        assert_eq!(score_events(&t, &e, 0).true_positives, 0);
+        assert_eq!(score_events(&t, &e, 1).true_positives, 1);
+    }
+
+    #[test]
+    fn misclassification_recorded_in_confusion() {
+        let t = vec![truth("FLASH-CROWD", 10, 12, &[5])];
+        let e = vec![event("DOS", 10, 12, &[5])];
+        let r = score_events(&t, &e, 0);
+        assert_eq!(r.true_positives, 1);
+        assert_eq!(r.correctly_classified, 0);
+        assert_eq!(r.confusion[&("FLASH-CROWD".to_string(), "DOS".to_string())], 1);
+        assert_eq!(r.classification_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn ddos_equivalent_to_dos() {
+        let t = vec![truth("DDOS", 10, 12, &[5])];
+        let e = vec![event("DOS", 10, 12, &[5])];
+        let r = score_events(&t, &e, 0);
+        assert_eq!(r.correctly_classified, 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let r = score_events(&[], &[], 0);
+        assert_eq!(r.recall(), 1.0);
+        assert_eq!(r.precision(), 1.0);
+        assert_eq!(r.classification_accuracy(), 1.0);
+    }
+}

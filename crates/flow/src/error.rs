@@ -1,0 +1,88 @@
+//! Error types for the flow measurement pipeline.
+
+use std::fmt;
+
+/// Errors produced by `odflow-flow` operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// A sampling rate was outside `(0, 1]`.
+    InvalidSamplingRate {
+        /// The rejected rate.
+        rate: f64,
+    },
+    /// A bin width or aggregation window was zero.
+    InvalidBinWidth {
+        /// The rejected width in seconds.
+        width_secs: u64,
+    },
+    /// A record timestamp fell outside the configured observation window.
+    TimestampOutOfRange {
+        /// The offending timestamp (seconds).
+        ts: u64,
+        /// Window start (seconds).
+        start: u64,
+        /// Window end (seconds, exclusive).
+        end: u64,
+    },
+    /// A NetFlow datagram failed to parse.
+    Codec {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An OD index was out of range for the topology.
+    BadOdIndex {
+        /// The offending index.
+        index: usize,
+        /// Number of OD pairs.
+        count: usize,
+    },
+    /// The pipeline was finalized twice or used after finalization.
+    AlreadyFinalized,
+    /// No data was collected before finalization.
+    NoData,
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::InvalidSamplingRate { rate } => {
+                write!(f, "sampling rate must be in (0, 1], got {rate}")
+            }
+            FlowError::InvalidBinWidth { width_secs } => {
+                write!(f, "bin width must be positive, got {width_secs}s")
+            }
+            FlowError::TimestampOutOfRange { ts, start, end } => {
+                write!(f, "timestamp {ts} outside observation window [{start}, {end})")
+            }
+            FlowError::Codec { reason } => write!(f, "netflow codec error: {reason}"),
+            FlowError::BadOdIndex { index, count } => {
+                write!(f, "OD index {index} out of range (p = {count})")
+            }
+            FlowError::AlreadyFinalized => write!(f, "measurement pipeline already finalized"),
+            FlowError::NoData => write!(f, "no flow data collected"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, FlowError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(FlowError::InvalidSamplingRate { rate: 0.0 }.to_string().contains("(0, 1]"));
+        assert!(FlowError::InvalidBinWidth { width_secs: 0 }.to_string().contains("positive"));
+        assert!(FlowError::TimestampOutOfRange { ts: 5, start: 10, end: 20 }
+            .to_string()
+            .contains("outside"));
+        assert!(FlowError::Codec { reason: "short".into() }.to_string().contains("short"));
+        assert!(FlowError::BadOdIndex { index: 121, count: 121 }.to_string().contains("121"));
+        assert!(FlowError::AlreadyFinalized.to_string().contains("finalized"));
+        assert!(FlowError::NoData.to_string().contains("no flow data"));
+    }
+}

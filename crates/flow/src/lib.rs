@@ -1,0 +1,47 @@
+//! # odflow-flow — the flow measurement substrate
+//!
+//! Reproduces the data-collection path of Lakhina, Crovella & Diot
+//! (IMC 2004, §2.1) from per-packet router observations to the `n x p`
+//! OD-flow traffic matrices the subspace method consumes:
+//!
+//! 1. [`PacketSampler`] — 1% Bernoulli packet sampling at every router.
+//! 2. [`FlowAggregator`] — per-minute 5-tuple aggregation (Juniper Traffic
+//!    Sampling semantics).
+//! 3. [`netflow`] — a NetFlow-v5-shaped export codec (`bytes`-based wire
+//!    format) for end-to-end exercising of the export path.
+//! 4. [`OdResolver`] — ingress attribution from router configs and egress
+//!    resolution by longest-prefix match over BGP+config tables, after
+//!    Abilene's 11-bit destination anonymization.
+//! 5. [`OdBinner`] — 5-minute binning into the three traffic views:
+//!    **#bytes, #packets, #IP-flows** ([`TrafficMatrixSet`]).
+//!
+//! [`MeasurementPipeline`] wires the stages together; [`AttributeDigest`]
+//! summarizes the raw flows behind a detection for the classification stage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+mod binning;
+mod digest;
+mod error;
+mod key;
+mod matrix;
+pub mod netflow;
+mod od;
+mod packet;
+mod pipeline;
+mod record;
+mod sampler;
+
+pub use aggregate::{FlowAggregator, MINUTE_SECS};
+pub use binning::OdBinner;
+pub use digest::{AttributeDigest, Counts};
+pub use error::{FlowError, Result};
+pub use key::{FlowKey, Protocol};
+pub use matrix::{TrafficMatrix, TrafficMatrixSet, TrafficType, BIN_SECS};
+pub use od::{OdResolution, OdResolver, ResolutionStats};
+pub use packet::PacketObs;
+pub use pipeline::{MeasurementPipeline, PipelineConfig};
+pub use record::FlowRecord;
+pub use sampler::{sample_packet_count, PacketSampler, ABILENE_SAMPLING_RATE};

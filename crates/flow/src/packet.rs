@@ -1,0 +1,56 @@
+//! Per-packet observations at backbone routers.
+//!
+//! [`PacketObs`] is what a router's forwarding plane sees before sampling:
+//! one packet, on one interface, at one instant. The measurement pipeline
+//! consumes these through the sampler (`1%` Bernoulli, as deployed on every
+//! Abilene router) and the per-minute aggregator.
+
+use crate::key::FlowKey;
+use odflow_net::PopId;
+
+/// A single packet observation at a router.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketObs {
+    /// Observation time, seconds since the trace epoch.
+    pub ts: u64,
+    /// The PoP whose router observed the packet.
+    pub router: PopId,
+    /// Interface index the packet arrived on (see
+    /// `odflow_net::IngressResolver` for role resolution).
+    pub interface: u32,
+    /// The packet's 5-tuple.
+    pub key: FlowKey,
+    /// Packet size in bytes (IP total length).
+    pub bytes: u32,
+}
+
+impl PacketObs {
+    /// Convenience constructor.
+    pub fn new(ts: u64, router: PopId, interface: u32, key: FlowKey, bytes: u32) -> PacketObs {
+        PacketObs { ts, router, interface, key, bytes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Protocol;
+    use odflow_net::IpAddr;
+
+    #[test]
+    fn construction() {
+        let key = FlowKey::new(
+            IpAddr::from_octets(10, 0, 0, 1),
+            IpAddr::from_octets(10, 16, 0, 1),
+            40000,
+            80,
+            Protocol::Tcp,
+        );
+        let p = PacketObs::new(17, 3, 0, key, 1500);
+        assert_eq!(p.ts, 17);
+        assert_eq!(p.router, 3);
+        assert_eq!(p.interface, 0);
+        assert_eq!(p.bytes, 1500);
+        assert_eq!(p.key, key);
+    }
+}

@@ -1,0 +1,226 @@
+//! Packet sampling.
+//!
+//! "Sampling is random, capturing 1% of all packets entering every router"
+//! (§2.1). [`PacketSampler`] implements that Bernoulli process with a
+//! deterministic, seedable PRNG so that experiments are exactly
+//! reproducible. [`sample_packet_count`] is the distributionally equivalent
+//! shortcut used by the scenario generator for multi-week traces: for a flow
+//! of `n` packets the number of sampled packets is `Binomial(n, rate)`,
+//! which is precisely the law the per-packet sampler induces — drawing it
+//! directly avoids materializing billions of per-packet observations.
+
+use crate::error::{FlowError, Result};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Abilene's deployed sampling rate.
+pub const ABILENE_SAMPLING_RATE: f64 = 0.01;
+
+/// A Bernoulli packet sampler with deterministic seeding.
+#[derive(Debug, Clone)]
+pub struct PacketSampler {
+    rate: f64,
+    rng: ChaCha8Rng,
+    observed: u64,
+    sampled: u64,
+}
+
+impl PacketSampler {
+    /// Creates a sampler.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::InvalidSamplingRate`] unless `0 < rate <= 1`.
+    pub fn new(rate: f64, seed: u64) -> Result<Self> {
+        if !(rate > 0.0 && rate <= 1.0) {
+            return Err(FlowError::InvalidSamplingRate { rate });
+        }
+        Ok(PacketSampler { rate, rng: ChaCha8Rng::seed_from_u64(seed), observed: 0, sampled: 0 })
+    }
+
+    /// The configured sampling rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Decides whether one packet is sampled.
+    pub fn sample(&mut self) -> bool {
+        self.observed += 1;
+        let keep = self.rng.gen::<f64>() < self.rate;
+        if keep {
+            self.sampled += 1;
+        }
+        keep
+    }
+
+    /// `(observed, sampled)` packet counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.observed, self.sampled)
+    }
+}
+
+/// Draws how many of `n` packets a Bernoulli(`rate`) sampler would keep —
+/// `Binomial(n, rate)` — using inversion for small `n` and a normal
+/// approximation beyond (error negligible at the np sizes involved).
+///
+/// This is the scenario generator's shortcut for multi-week traces; the
+/// equivalence with [`PacketSampler`] is pinned by a statistical test in
+/// this module.
+pub fn sample_packet_count(n: u64, rate: f64, rng: &mut impl Rng) -> u64 {
+    if n == 0 || rate <= 0.0 {
+        return 0;
+    }
+    if rate >= 1.0 {
+        return n;
+    }
+    // Exact inversion for modest n: count successes directly when n is
+    // small, otherwise walk the binomial CDF.
+    if n <= 64 {
+        let mut k = 0u64;
+        for _ in 0..n {
+            if rng.gen::<f64>() < rate {
+                k += 1;
+            }
+        }
+        return k;
+    }
+    let np = n as f64 * rate;
+    if np < 30.0 {
+        // Poisson-like regime: CDF inversion on the binomial pmf.
+        let q = 1.0 - rate;
+        let mut pmf = q.powf(n as f64); // P(X = 0)
+        let mut cdf = pmf;
+        let u: f64 = rng.gen();
+        let mut k = 0u64;
+        while u > cdf && k < n {
+            // pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/q
+            pmf *= (n - k) as f64 / (k + 1) as f64 * (rate / q);
+            cdf += pmf;
+            k += 1;
+        }
+        k
+    } else {
+        // Normal approximation with continuity correction.
+        let sd = (np * (1.0 - rate)).sqrt();
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let draw = (np + sd * z + 0.5).floor();
+        draw.clamp(0.0, n as f64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_rates() {
+        assert!(PacketSampler::new(0.0, 1).is_err());
+        assert!(PacketSampler::new(-0.1, 1).is_err());
+        assert!(PacketSampler::new(1.1, 1).is_err());
+        assert!(PacketSampler::new(1.0, 1).is_ok());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = PacketSampler::new(0.3, 99).unwrap();
+        let mut b = PacketSampler::new(0.3, 99).unwrap();
+        let da: Vec<bool> = (0..1000).map(|_| a.sample()).collect();
+        let db: Vec<bool> = (0..1000).map(|_| b.sample()).collect();
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = PacketSampler::new(0.5, 1).unwrap();
+        let mut b = PacketSampler::new(0.5, 2).unwrap();
+        let da: Vec<bool> = (0..200).map(|_| a.sample()).collect();
+        let db: Vec<bool> = (0..200).map(|_| b.sample()).collect();
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    fn rate_respected_empirically() {
+        let mut s = PacketSampler::new(ABILENE_SAMPLING_RATE, 7).unwrap();
+        let n = 1_000_000;
+        let mut kept = 0u64;
+        for _ in 0..n {
+            if s.sample() {
+                kept += 1;
+            }
+        }
+        let rate = kept as f64 / n as f64;
+        // sd of estimate ≈ sqrt(p(1-p)/n) ≈ 1e-4; allow 5 sigma.
+        assert!((rate - 0.01).abs() < 5e-4, "empirical rate {rate}");
+        let (obs, samp) = s.counters();
+        assert_eq!(obs, n);
+        assert_eq!(samp, kept);
+    }
+
+    #[test]
+    fn binomial_shortcut_edge_cases() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(sample_packet_count(0, 0.5, &mut rng), 0);
+        assert_eq!(sample_packet_count(100, 0.0, &mut rng), 0);
+        assert_eq!(sample_packet_count(100, 1.0, &mut rng), 100);
+        assert!(sample_packet_count(10, 0.5, &mut rng) <= 10);
+    }
+
+    #[test]
+    fn binomial_shortcut_mean_and_variance() {
+        // Check all three regimes: direct (n<=64), CDF inversion (np<30),
+        // normal approx (np>=30).
+        let cases = [(50u64, 0.3), (2000u64, 0.01), (100_000u64, 0.01)];
+        for &(n, p) in &cases {
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            let trials = 20_000;
+            let draws: Vec<f64> =
+                (0..trials).map(|_| sample_packet_count(n, p, &mut rng) as f64).collect();
+            let mean: f64 = draws.iter().sum::<f64>() / trials as f64;
+            let var: f64 =
+                draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / trials as f64;
+            let expect_mean = n as f64 * p;
+            let expect_var = n as f64 * p * (1.0 - p);
+            assert!(
+                (mean - expect_mean).abs() < 5.0 * (expect_var / trials as f64).sqrt().max(0.05),
+                "n={n} p={p}: mean {mean} vs {expect_mean}"
+            );
+            assert!(
+                (var / expect_var - 1.0).abs() < 0.15,
+                "n={n} p={p}: var {var} vs {expect_var}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_shortcut_matches_bernoulli_sampler() {
+        // The shortcut and the per-packet sampler must agree in
+        // distribution: compare empirical means over many flows.
+        let n_packets = 500u64;
+        let rate = 0.01;
+        let flows = 5_000;
+
+        let mut direct_total = 0u64;
+        let mut s = PacketSampler::new(rate, 11).unwrap();
+        for _ in 0..flows {
+            for _ in 0..n_packets {
+                if s.sample() {
+                    direct_total += 1;
+                }
+            }
+        }
+
+        let mut shortcut_total = 0u64;
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        for _ in 0..flows {
+            shortcut_total += sample_packet_count(n_packets, rate, &mut rng);
+        }
+
+        let d = direct_total as f64 / flows as f64;
+        let c = shortcut_total as f64 / flows as f64;
+        // Each has sd ~ sqrt(np(1-p)/flows) ≈ 0.03; allow generous band.
+        assert!((d - c).abs() < 0.2, "bernoulli {d} vs binomial {c}");
+    }
+}

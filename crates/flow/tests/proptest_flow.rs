@@ -1,0 +1,133 @@
+//! Property-based tests for the measurement substrate.
+
+use odflow_flow::{
+    netflow, FlowAggregator, FlowKey, FlowRecord, OdBinner, PacketObs, Protocol,
+};
+use odflow_net::IpAddr;
+use proptest::prelude::*;
+
+fn arb_key() -> impl Strategy<Value = FlowKey> {
+    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), any::<u8>()).prop_map(
+        |(s, d, sp, dp, pr)| FlowKey::new(IpAddr(s), IpAddr(d), sp, dp, Protocol::from_number(pr)),
+    )
+}
+
+fn arb_record() -> impl Strategy<Value = FlowRecord> {
+    (arb_key(), 0usize..11, 0u32..4, 0u64..100, 1u64..1000, 40u64..2_000_000).prop_map(
+        |(key, router, interface, minute, packets, bytes)| FlowRecord {
+            key,
+            router,
+            interface,
+            window_start: minute * 60,
+            packets,
+            bytes,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn netflow_roundtrip_lossless(records in proptest::collection::vec(arb_record(), 0..100)) {
+        // Engine id must fit u8 and ifIndex u16 on the v5 wire; constrain.
+        let records: Vec<FlowRecord> = records
+            .into_iter()
+            .map(|mut r| { r.router %= 256; r.interface %= 65_536; r })
+            .collect();
+        // All records in one datagram batch share the engine id; pin it.
+        let router = records.first().map(|r| r.router).unwrap_or(0);
+        let records: Vec<FlowRecord> =
+            records.into_iter().map(|mut r| { r.router = router; r }).collect();
+        let dgrams = netflow::encode_datagrams(&records, 1234, router as u8, 100, 0);
+        let mut decoded = Vec::new();
+        for d in &dgrams {
+            let (hdr, recs) = netflow::decode_datagram(d).unwrap();
+            prop_assert_eq!(hdr.version, 5);
+            prop_assert_eq!(hdr.unix_secs, 1234);
+            decoded.extend(recs);
+        }
+        prop_assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn datagrams_fit_mtu(records in proptest::collection::vec(arb_record(), 1..200)) {
+        let dgrams = netflow::encode_datagrams(&records, 0, 0, 100, 0);
+        for d in &dgrams {
+            prop_assert!(d.len() <= 1500, "datagram {} bytes exceeds MTU", d.len());
+        }
+        let total: usize = dgrams
+            .iter()
+            .map(|d| netflow::decode_datagram(d).unwrap().1.len())
+            .sum();
+        prop_assert_eq!(total, records.len());
+    }
+
+    #[test]
+    fn aggregator_conserves_packets_and_bytes(
+        pkts in proptest::collection::vec((0u64..600, 0u16..8, 40u32..1500), 1..300),
+    ) {
+        let mut agg = FlowAggregator::new(60, 0).unwrap();
+        let mut out = Vec::new();
+        let mut sorted = pkts.clone();
+        sorted.sort_by_key(|(ts, _, _)| *ts);
+        let mut total_bytes = 0u64;
+        for (ts, port, bytes) in &sorted {
+            let key = FlowKey::new(
+                IpAddr(1),
+                IpAddr(2),
+                1000 + port,
+                80,
+                Protocol::Tcp,
+            );
+            out.extend(agg.push(&PacketObs::new(*ts, 0, 0, key, *bytes)));
+            total_bytes += *bytes as u64;
+        }
+        out.extend(agg.flush());
+        let agg_packets: u64 = out.iter().map(|r| r.packets).sum();
+        let agg_bytes: u64 = out.iter().map(|r| r.bytes).sum();
+        prop_assert_eq!(agg_packets, sorted.len() as u64);
+        prop_assert_eq!(agg_bytes, total_bytes);
+    }
+
+    #[test]
+    fn binner_conserves_totals(
+        records in proptest::collection::vec(arb_record(), 1..300),
+        num_od in 1usize..121,
+    ) {
+        let mut binner = OdBinner::new(0, 300, 20, num_od).unwrap();
+        let mut expect_bytes = 0.0;
+        let mut expect_packets = 0.0;
+        for (i, r) in records.iter().enumerate() {
+            if r.window_start >= 20 * 300 {
+                continue;
+            }
+            binner.push(i % num_od, r).unwrap();
+            expect_bytes += r.bytes as f64;
+            expect_packets += r.packets as f64;
+        }
+        if binner.records_accepted() == 0 {
+            return Ok(());
+        }
+        let accepted = binner.records_accepted();
+        let set = binner.finalize().unwrap();
+        let got_bytes: f64 = set.bytes.totals().iter().sum();
+        let got_packets: f64 = set.packets.totals().iter().sum();
+        prop_assert!((got_bytes - expect_bytes).abs() < 1e-6 * (1.0 + expect_bytes));
+        prop_assert!((got_packets - expect_packets).abs() < 1e-6 * (1.0 + expect_packets));
+        // Flow counts never exceed record counts (dedup only reduces).
+        let got_flows: f64 = set.flows.totals().iter().sum();
+        prop_assert!(got_flows <= accepted as f64 + 1e-9);
+        prop_assert!(got_flows >= 1.0);
+    }
+
+    #[test]
+    fn anonymization_idempotent_and_blockwise(addr in any::<u32>()) {
+        let k = FlowKey::new(IpAddr(1), IpAddr(addr), 1, 2, Protocol::Udp);
+        let once = k.with_anonymized_dst();
+        let twice = once.with_anonymized_dst();
+        prop_assert_eq!(once, twice);
+        prop_assert_eq!(once.dst_ip.0 & 0x7FF, 0);
+        prop_assert_eq!(once.dst_ip.0 >> 11, addr >> 11);
+    }
+}

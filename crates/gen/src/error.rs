@@ -1,0 +1,54 @@
+//! Error types for the traffic generator.
+
+use std::fmt;
+
+/// Errors produced by `odflow-gen` operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenError {
+    /// A model parameter was out of range.
+    InvalidParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An anomaly schedule entry was inconsistent with the scenario
+    /// (out-of-range bins, unknown OD pairs, empty target set, ...).
+    InvalidSchedule {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The scenario window is empty.
+    EmptyScenario,
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::InvalidParameter { what, value } => write!(f, "invalid {what}: {value}"),
+            GenError::InvalidSchedule { reason } => write!(f, "invalid anomaly schedule: {reason}"),
+            GenError::EmptyScenario => write!(f, "scenario has no timebins"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, GenError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(GenError::InvalidParameter { what: "sigma", value: -1.0 }
+            .to_string()
+            .contains("sigma"));
+        assert!(GenError::InvalidSchedule { reason: "bin 9999".into() }
+            .to_string()
+            .contains("bin 9999"));
+        assert!(GenError::EmptyScenario.to_string().contains("no timebins"));
+    }
+}

@@ -1,0 +1,715 @@
+//! Scenario assembly: baseline + anomaly schedule + ground truth.
+//!
+//! A [`Scenario`] is a complete synthetic Abilene trace specification: the
+//! topology/address plan, the baseline traffic model, and a schedule of
+//! injected anomalies with ground-truth labels. [`TraceGenerator`] renders
+//! it bin by bin — deterministically, so any bin's raw flows can be
+//! regenerated on demand (the classification stage relies on this instead
+//! of archiving multi-week flow logs).
+//!
+//! [`Scenario::paper_week`] builds one week calibrated to the anomaly mix
+//! of the paper's Table 3 (ALPHA-heavy, plenty of scans and flash crowds,
+//! rare operational events), and [`Scenario::paper_four_weeks`] reproduces
+//! the full four-week study design.
+
+use crate::anomaly::{AnomalyKind, InjectedAnomaly, ScanMode};
+use crate::diurnal::{DiurnalModel, ABILENE_TZ_OFFSET_HOURS};
+use crate::error::{GenError, Result};
+use crate::flows::{synthesize_cell, BaselineParams};
+use crate::gravity::GravityModel;
+use crate::rng::{cell_rng, Stream};
+use odflow_flow::FlowRecord;
+use odflow_net::{AddressPlan, PopId, Topology};
+use rand::Rng;
+
+/// Number of 5-minute bins in one week.
+pub const BINS_PER_WEEK: usize = 7 * 24 * 12;
+
+/// Full scenario configuration.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Master seed: two scenarios with equal configs and seeds are
+    /// bit-identical.
+    pub seed: u64,
+    /// Number of 5-minute bins.
+    pub num_bins: usize,
+    /// Bin width in seconds (the paper: 300).
+    pub bin_secs: u64,
+    /// Trace-epoch start time in seconds (bin 0 starts here; epoch is
+    /// midnight Monday for the diurnal model).
+    pub start_secs: u64,
+    /// Network-wide mean observed flows per bin, split by the gravity
+    /// model.
+    pub total_demand: f64,
+    /// Baseline population parameters.
+    pub baseline: BaselineParams,
+    /// Seasonal model.
+    pub diurnal: DiurnalModel,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 0xAB11EE,
+            num_bins: BINS_PER_WEEK,
+            bin_secs: 300,
+            start_secs: 0,
+            // ~41 observed flows per (bin, OD) cell on average: large
+            // enough that the per-cell counts aggregate toward the
+            // normality the detection thresholds assume, small enough
+            // that a full 4-week study renders in seconds.
+            total_demand: 5000.0,
+            baseline: BaselineParams::default(),
+            diurnal: DiurnalModel::default(),
+        }
+    }
+}
+
+/// A fully specified synthetic trace.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Configuration used to build the trace.
+    pub config: ScenarioConfig,
+    /// The backbone topology (defines the OD space).
+    pub topology: Topology,
+    /// The address plan (defines endpoint addresses and resolvability).
+    pub plan: AddressPlan,
+    /// The anomaly schedule with ground-truth labels.
+    pub schedule: Vec<InjectedAnomaly>,
+}
+
+impl Scenario {
+    /// Builds a scenario over the Abilene topology with an explicit
+    /// schedule.
+    ///
+    /// # Errors
+    ///
+    /// * [`GenError::EmptyScenario`] for a zero-bin window.
+    /// * [`GenError::InvalidSchedule`] if any anomaly references bins or
+    ///   PoPs outside the scenario, or has no OD pairs.
+    /// * Parameter validation errors from the baseline/diurnal models.
+    pub fn new(config: ScenarioConfig, schedule: Vec<InjectedAnomaly>) -> Result<Scenario> {
+        if config.num_bins == 0 {
+            return Err(GenError::EmptyScenario);
+        }
+        config.baseline.validate()?;
+        config.diurnal.validate()?;
+        let topology = Topology::abilene();
+        let plan = AddressPlan::synthetic(&topology);
+        let n = topology.num_pops();
+        for a in &schedule {
+            if a.od_pairs.is_empty() {
+                return Err(GenError::InvalidSchedule {
+                    reason: format!("anomaly {} has no OD pairs", a.id),
+                });
+            }
+            if a.duration_bins == 0 {
+                return Err(GenError::InvalidSchedule {
+                    reason: format!("anomaly {} has zero duration", a.id),
+                });
+            }
+            if a.end_bin() >= config.num_bins {
+                return Err(GenError::InvalidSchedule {
+                    reason: format!(
+                        "anomaly {} ends at bin {} beyond scenario ({} bins)",
+                        a.id,
+                        a.end_bin(),
+                        config.num_bins
+                    ),
+                });
+            }
+            for &(o, d) in &a.od_pairs {
+                if o >= n || d >= n {
+                    return Err(GenError::InvalidSchedule {
+                        reason: format!("anomaly {} references PoP out of range", a.id),
+                    });
+                }
+            }
+        }
+        Ok(Scenario { config, topology, plan, schedule })
+    }
+
+    /// One week calibrated to the paper's Table 3 anomaly mix. `week`
+    /// offsets both the RNG stream and the anomaly ids, so consecutive
+    /// weeks differ.
+    pub fn paper_week(seed: u64, week: u64) -> Result<Scenario> {
+        let config = ScenarioConfig { seed: seed ^ (week.wrapping_mul(0x9E37_79B9)), ..Default::default() };
+        let schedule = paper_schedule(config.seed, config.num_bins, week);
+        Scenario::new(config, schedule)
+    }
+
+    /// The paper's full four-week study: four independent weekly scenarios.
+    pub fn paper_four_weeks(seed: u64) -> Result<Vec<Scenario>> {
+        (0..4).map(|w| Scenario::paper_week(seed, w)).collect()
+    }
+
+    /// Builds the generator for this scenario.
+    pub fn generator(&self) -> TraceGenerator<'_> {
+        TraceGenerator {
+            scenario: self,
+            gravity: GravityModel::new(
+                GravityModel::abilene_weights(),
+                self.config.total_demand,
+            )
+            .expect("abilene gravity weights are valid"),
+        }
+    }
+}
+
+/// Renders a [`Scenario`] bin by bin.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator<'a> {
+    scenario: &'a Scenario,
+    gravity: GravityModel,
+}
+
+impl<'a> TraceGenerator<'a> {
+    /// The scenario being rendered.
+    pub fn scenario(&self) -> &Scenario {
+        self.scenario
+    }
+
+    /// Number of bins in the trace.
+    pub fn num_bins(&self) -> usize {
+        self.scenario.config.num_bins
+    }
+
+    /// Trace-epoch start of bin `bin`.
+    pub fn bin_start(&self, bin: usize) -> u64 {
+        self.scenario.config.start_secs + bin as u64 * self.scenario.config.bin_secs
+    }
+
+    /// The *unperturbed* baseline mean of a cell (gravity x diurnal), before
+    /// anomaly modifiers — exposed for ground-truth calibration and tests.
+    pub fn base_mean(&self, bin: usize, origin: PopId, destination: PopId) -> f64 {
+        let ts = self.bin_start(bin);
+        let tz = ABILENE_TZ_OFFSET_HOURS[origin % ABILENE_TZ_OFFSET_HOURS.len()];
+        self.gravity.od_mean(origin, destination)
+            * self.scenario.config.diurnal.multiplier(ts, tz)
+    }
+
+    /// The effective mean after OUTAGE / INGRESS-SHIFT modifiers.
+    pub fn effective_mean(&self, bin: usize, origin: PopId, destination: PopId) -> f64 {
+        let mut mean = self.base_mean(bin, origin, destination);
+        for a in &self.scenario.schedule {
+            mean *= a.baseline_factor(bin, origin, destination);
+            mean += a.shifted_in_mean(bin, origin, destination, |o, d| self.base_mean(bin, o, d));
+        }
+        mean
+    }
+
+    /// Renders all sampled flow records of one bin: baseline for every OD
+    /// cell plus every active anomaly's injected records. Deterministic in
+    /// `(scenario seed, bin)`.
+    pub fn records_for_bin(&self, bin: usize) -> Vec<FlowRecord> {
+        let cfg = &self.scenario.config;
+        let n = self.scenario.topology.num_pops();
+        let bin_start = self.bin_start(bin);
+        let mut out = Vec::new();
+        for origin in 0..n {
+            for destination in 0..n {
+                let od = origin * n + destination;
+                let mean = self.effective_mean(bin, origin, destination);
+                let mut rng = cell_rng(cfg.seed, bin as u64, od as u64, Stream::Baseline);
+                out.extend(synthesize_cell(
+                    &cfg.baseline,
+                    &self.scenario.plan,
+                    origin,
+                    destination,
+                    mean,
+                    bin_start,
+                    cfg.bin_secs,
+                    &mut rng,
+                ));
+            }
+        }
+        for a in &self.scenario.schedule {
+            out.extend(a.synthesize(cfg.seed, bin, bin_start, cfg.bin_secs, &self.scenario.plan));
+        }
+        out
+    }
+
+    /// Renders only the records an anomaly contributes to a bin (for
+    /// focused inspection in the classification stage).
+    pub fn anomaly_records_for_bin(&self, anomaly: &InjectedAnomaly, bin: usize) -> Vec<FlowRecord> {
+        anomaly.synthesize(
+            self.scenario.config.seed,
+            bin,
+            self.bin_start(bin),
+            self.scenario.config.bin_secs,
+            &self.scenario.plan,
+        )
+    }
+}
+
+/// Builds one week's anomaly schedule with the paper's Table 3 mix.
+///
+/// Per week (approximating 4-week totals of ALPHA 137, FLASH 64, SCAN 56,
+/// DOS 44, INGRESS-SHIFT 4, OUTAGE 3, PTMP 3, WORM 2): 34 ALPHA, 16 flash
+/// crowds, 14 scans, 9 DOS + 2 DDOS, 1 ingress shift, and on rotating weeks
+/// an outage / point-multipoint / worm event.
+fn paper_schedule(seed: u64, num_bins: usize, week: u64) -> Vec<InjectedAnomaly> {
+    let mut rng = cell_rng(seed, week, 0, Stream::Anomaly(0x5C_4E_D0));
+    let mut schedule = Vec::new();
+    let mut id = week * 1000;
+    let n_pops = 11usize;
+
+    // Keep anomalies clear of the first bins so detection has warm-up data,
+    // and clear of the end so durations fit.
+    let margin = 24usize;
+    let place = |rng: &mut rand_chacha::ChaCha8Rng, duration: usize| -> usize {
+        rng.gen_range(margin..num_bins.saturating_sub(duration + margin))
+    };
+    let rand_pair = |rng: &mut rand_chacha::ChaCha8Rng| -> (usize, usize) {
+        let o = rng.gen_range(0..n_pops);
+        let mut d = rng.gen_range(0..n_pops);
+        if d == o {
+            d = (d + 1) % n_pops;
+        }
+        (o, d)
+    };
+
+    // ALPHA flows: dominant class, bandwidth experiments on 5000-5050 /
+    // 56117 / 1412 (paper §4). Short (1-2 bins), single OD pair. The
+    // log-spread intensity makes small transfers surface in one view only
+    // (B or P) while big ones appear as BP — reproducing Table 3's ALPHA
+    // row (B 59, P 54, BP 19).
+    for i in 0..34 {
+        let duration = 1 + rng.gen_range(0..2);
+        let start = place(&mut rng, duration);
+        let port = *[5001u16, 5010, 5050, 56117 % 60000, 1412]
+            .get(rng.gen_range(0..5))
+            .expect("static list");
+        // Three transfer profiles sized against the per-view noise floors
+        // (B fires at ~6.8e5 bytes, P at ~560 packets). Abilene carried
+        // 9000-byte jumbo frames, and the bandwidth experiments behind
+        // most ALPHA events used them: a jumbo transfer is byte-visible
+        // from ~80 packets, far under the packet floor (→ B-only).
+        // Small-packet streams in the 600-950 pkt band stay under the
+        // byte floor (→ P-only); large MTU transfers hit both (→ BP).
+        // Proportions follow Table 3's ALPHA row (B 59, P 54, BP 19).
+        let (intensity, packet_bytes) = match i % 7 {
+            0 | 1 | 2 => (120.0 + rng.gen::<f64>() * 350.0, 9000), // B-only band
+            3 | 4 | 5 => (620.0 + rng.gen::<f64>() * 330.0, 560),  // P-only band
+            _ => (2000.0 + rng.gen::<f64>() * 4000.0, 1500),       // BP
+        };
+        schedule.push(InjectedAnomaly {
+            id: { id += 1; id },
+            kind: AnomalyKind::Alpha,
+            start_bin: start,
+            duration_bins: duration,
+            od_pairs: vec![rand_pair(&mut rng)],
+            intensity,
+            port,
+            scan_mode: ScanMode::Network,
+            shift_to: None,
+            packets_per_flow: 0.0,
+            packet_bytes,
+        });
+    }
+
+    // Flash crowds: port 80/53, 1-3 bins, single OD pair. Low per-client
+    // packet counts keep most flash crowds in the F view only (the
+    // 130-200 flow band sits above the F floor of ~120 but under the
+    // packet floor), with a quarter big enough to cross into FP
+    // (Table 3: F 50, FP 10).
+    for i in 0..16 {
+        let duration = 1 + rng.gen_range(0..3);
+        let start = place(&mut rng, duration);
+        let intensity = if i % 4 == 0 {
+            260.0 + rng.gen::<f64>() * 200.0 // FP band
+        } else {
+            130.0 + rng.gen::<f64>() * 70.0 // F-only band
+        };
+        schedule.push(InjectedAnomaly {
+            id: { id += 1; id },
+            kind: AnomalyKind::FlashCrowd,
+            start_bin: start,
+            duration_bins: duration,
+            od_pairs: vec![rand_pair(&mut rng)],
+            intensity,
+            port: if rng.gen::<f64>() < 0.8 { 80 } else { 53 },
+            scan_mode: ScanMode::Network,
+            shift_to: None,
+            packets_per_flow: 1.0,
+            packet_bytes: 0,
+        });
+    }
+
+    // Scans: NetBIOS sweeps and port scans, 1-2 bins. Intensity sits well
+    // above the flow-view noise floor but only marginally above the
+    // packet-view floor, so scans surface mostly as F anomalies with an
+    // occasional FP — the mixture Table 3 reports.
+    for i in 0..14 {
+        let duration = 1 + rng.gen_range(0..2);
+        let start = place(&mut rng, duration);
+        schedule.push(InjectedAnomaly {
+            id: { id += 1; id },
+            kind: AnomalyKind::Scan,
+            start_bin: start,
+            duration_bins: duration,
+            od_pairs: vec![rand_pair(&mut rng)],
+            intensity: 250.0 + rng.gen::<f64>() * 200.0,
+            port: 139,
+            scan_mode: if i % 3 == 0 { ScanMode::Port } else { ScanMode::Network },
+            shift_to: None,
+            packets_per_flow: 0.0,
+            packet_bytes: 0,
+        });
+    }
+
+    // DOS: port 0 / 110 / 113 floods, 1-4 bins. Two flavors, as in the
+    // paper's Table 3 (DOS detected in F 19 and P 18 nearly evenly):
+    // flow-dense floods (many spoofed 5-tuples, 1-3 packets each) spike F;
+    // packet-dense floods (fewer 5-tuples, tens of packets each) spike P.
+    for i in 0..9 {
+        let duration = 1 + rng.gen_range(0..4);
+        let start = place(&mut rng, duration);
+        let port = *[0u16, 110, 113].get(rng.gen_range(0..3)).expect("static list");
+        let (intensity, ppf) = match i % 5 {
+            0 | 1 => (150.0 + rng.gen::<f64>() * 180.0, 1.0), // F-only flood
+            2 | 3 => (70.0 + rng.gen::<f64>() * 40.0, 18.0),  // P-only flood
+            _ => (500.0 + rng.gen::<f64>() * 400.0, 2.0),     // FP flood
+        };
+        schedule.push(InjectedAnomaly {
+            id: { id += 1; id },
+            kind: AnomalyKind::Dos,
+            start_bin: start,
+            duration_bins: duration,
+            od_pairs: vec![rand_pair(&mut rng)],
+            intensity,
+            port,
+            scan_mode: ScanMode::Network,
+            shift_to: None,
+            packets_per_flow: ppf,
+            packet_bytes: 0,
+        });
+    }
+
+    // DDOS: several origins, one victim.
+    for _ in 0..2 {
+        let duration = 2 + rng.gen_range(0..3);
+        let start = place(&mut rng, duration);
+        let victim = rng.gen_range(0..n_pops);
+        let mut origins: Vec<usize> = (0..n_pops).filter(|&p| p != victim).collect();
+        // Deterministic subset of 3-4 origins.
+        for i in (1..origins.len()).rev() {
+            origins.swap(i, rng.gen_range(0..=i));
+        }
+        origins.truncate(3 + rng.gen_range(0..2));
+        schedule.push(InjectedAnomaly {
+            id: { id += 1; id },
+            kind: AnomalyKind::Ddos,
+            start_bin: start,
+            duration_bins: duration,
+            od_pairs: origins.into_iter().map(|o| (o, victim)).collect(),
+            intensity: 1100.0 + rng.gen::<f64>() * 700.0,
+            port: 0,
+            scan_mode: ScanMode::Network,
+            shift_to: None,
+            packets_per_flow: 0.0,
+            packet_bytes: 0,
+        });
+    }
+
+    // One ingress shift per week (multihomed customer, LOSA -> SNVA style).
+    {
+        let from = rng.gen_range(0..n_pops);
+        let to = (from + 1 + rng.gen_range(0..(n_pops - 1))) % n_pops;
+        let duration = 6 + rng.gen_range(0..18);
+        let start = place(&mut rng, duration);
+        let dests: Vec<usize> = (0..n_pops).filter(|&d| d != from && d != to).take(4).collect();
+        schedule.push(InjectedAnomaly {
+            id: { id += 1; id },
+            kind: AnomalyKind::IngressShift,
+            start_bin: start,
+            duration_bins: duration,
+            od_pairs: dests.into_iter().map(|d| (from, d)).collect(),
+            intensity: 0.0,
+            port: 0,
+            scan_mode: ScanMode::Network,
+            shift_to: Some(to),
+            packets_per_flow: 0.0,
+            packet_bytes: 0,
+        });
+    }
+
+    // Rotating rare events across weeks: outage, point-multipoint, worm.
+    match week % 4 {
+        0 | 3 => {
+            // Scheduled maintenance outage at one PoP (affects its pairs).
+            let pop = rng.gen_range(0..n_pops);
+            let duration = 12 + rng.gen_range(0..24); // 1-3 hours
+            let start = place(&mut rng, duration);
+            let mut pairs = Vec::new();
+            for other in 0..n_pops {
+                if other != pop {
+                    pairs.push((pop, other));
+                    pairs.push((other, pop));
+                }
+            }
+            // A PoP outage silences every pair touching the PoP; keeping
+            // the full footprint makes the dip strong enough in all three
+            // views that the event's typeset stays stable for its whole
+            // (hours-long) duration — the paper's Figure 2 duration tail.
+            pairs.truncate(16);
+            schedule.push(InjectedAnomaly {
+                id: { id += 1; id },
+                kind: AnomalyKind::Outage,
+                start_bin: start,
+                duration_bins: duration,
+                od_pairs: pairs,
+                intensity: 0.0,
+                port: 0,
+                scan_mode: ScanMode::Network,
+                shift_to: None,
+                packets_per_flow: 0.0,
+                packet_bytes: 0,
+            });
+        }
+        1 => {
+            // News server broadcast (nntp 119).
+            let duration = 2 + rng.gen_range(0..3);
+            let start = place(&mut rng, duration);
+            schedule.push(InjectedAnomaly {
+                id: { id += 1; id },
+                kind: AnomalyKind::PointMultipoint,
+                start_bin: start,
+                duration_bins: duration,
+                od_pairs: vec![rand_pair(&mut rng)],
+                intensity: 7000.0,
+                port: 119,
+                scan_mode: ScanMode::Network,
+                shift_to: None,
+                packets_per_flow: 0.0,
+                packet_bytes: 0,
+            });
+        }
+        _ => {
+            // Worm remnants on 1433 (SQL-Snake) across several pairs.
+            let duration = 2 + rng.gen_range(0..4);
+            let start = place(&mut rng, duration);
+            let pairs: Vec<(usize, usize)> =
+                (0..3).map(|_| rand_pair(&mut rng)).collect();
+            schedule.push(InjectedAnomaly {
+                id: { id += 1; id },
+                kind: AnomalyKind::Worm,
+                start_bin: start,
+                duration_bins: duration,
+                od_pairs: pairs,
+                intensity: 800.0,
+                port: 1433,
+                scan_mode: ScanMode::Network,
+                shift_to: None,
+                packets_per_flow: 0.0,
+                packet_bytes: 0,
+            });
+        }
+    }
+
+    schedule.sort_by_key(|a| a.start_bin);
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_scenario(schedule: Vec<InjectedAnomaly>) -> Scenario {
+        let config = ScenarioConfig {
+            num_bins: 288, // one day
+            total_demand: 800.0,
+            ..Default::default()
+        };
+        Scenario::new(config, schedule).unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid_schedules() {
+        let mk = |start: usize, dur: usize, od: Vec<(usize, usize)>| InjectedAnomaly {
+            id: 1,
+            kind: AnomalyKind::Dos,
+            start_bin: start,
+            duration_bins: dur,
+            od_pairs: od,
+            intensity: 100.0,
+            port: 0,
+            scan_mode: ScanMode::Network,
+            shift_to: None,
+            packets_per_flow: 0.0,
+            packet_bytes: 0,
+        };
+        let cfg = ScenarioConfig { num_bins: 100, ..Default::default() };
+        assert!(Scenario::new(cfg.clone(), vec![mk(99, 5, vec![(0, 1)])]).is_err());
+        assert!(Scenario::new(cfg.clone(), vec![mk(1, 0, vec![(0, 1)])]).is_err());
+        assert!(Scenario::new(cfg.clone(), vec![mk(1, 2, vec![])]).is_err());
+        assert!(Scenario::new(cfg.clone(), vec![mk(1, 2, vec![(11, 0)])]).is_err());
+        assert!(Scenario::new(cfg, vec![mk(1, 2, vec![(0, 1)])]).is_ok());
+        let empty = ScenarioConfig { num_bins: 0, ..Default::default() };
+        assert!(matches!(Scenario::new(empty, vec![]), Err(GenError::EmptyScenario)));
+    }
+
+    #[test]
+    fn generator_deterministic() {
+        let s = small_scenario(vec![]);
+        let g = s.generator();
+        let a = g.records_for_bin(17);
+        let b = g.records_for_bin(17);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn different_bins_differ() {
+        let s = small_scenario(vec![]);
+        let g = s.generator();
+        assert_ne!(g.records_for_bin(10), g.records_for_bin(11));
+    }
+
+    #[test]
+    fn diurnal_cycle_visible_in_totals() {
+        let s = small_scenario(vec![]);
+        let g = s.generator();
+        // Bin at 15:00 (peak) vs bin at 03:00 (trough), Eastern.
+        let peak_bin = 15 * 12;
+        let trough_bin = 3 * 12;
+        let peak: u64 = g.records_for_bin(peak_bin).iter().map(|r| r.packets).sum();
+        let trough: u64 = g.records_for_bin(trough_bin).iter().map(|r| r.packets).sum();
+        assert!(
+            peak as f64 > trough as f64 * 1.5,
+            "diurnal peak {peak} should dominate trough {trough}"
+        );
+    }
+
+    #[test]
+    fn outage_empties_affected_cells() {
+        let outage = InjectedAnomaly {
+            id: 5,
+            kind: AnomalyKind::Outage,
+            start_bin: 100,
+            duration_bins: 20,
+            od_pairs: vec![(6, 0)],
+            intensity: 0.0,
+            port: 0,
+            scan_mode: ScanMode::Network,
+            shift_to: None,
+            packets_per_flow: 0.0,
+            packet_bytes: 0,
+        };
+        let s = small_scenario(vec![outage]);
+        let g = s.generator();
+        let before = g.effective_mean(99, 6, 0);
+        let during = g.effective_mean(105, 6, 0);
+        assert!(during < before * 0.05, "outage mean {during} vs before {before}");
+        // Unaffected pair keeps its mean.
+        assert!((g.effective_mean(105, 0, 1) - g.base_mean(105, 0, 1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ingress_shift_conserves_total_demand_roughly() {
+        let shift = InjectedAnomaly {
+            id: 6,
+            kind: AnomalyKind::IngressShift,
+            start_bin: 100,
+            duration_bins: 20,
+            od_pairs: vec![(6, 0), (6, 1)],
+            intensity: 0.0,
+            port: 0,
+            scan_mode: ScanMode::Network,
+            shift_to: Some(8),
+            packets_per_flow: 0.0,
+            packet_bytes: 0,
+        };
+        let s = small_scenario(vec![shift]);
+        let g = s.generator();
+        // Drained pair loses, receiving pair gains.
+        assert!(g.effective_mean(105, 6, 0) < g.base_mean(105, 6, 0) * 0.2);
+        assert!(g.effective_mean(105, 8, 0) > g.base_mean(105, 8, 0));
+        // The gain equals 85% of the drained base mean.
+        let gain = g.effective_mean(105, 8, 0) - g.base_mean(105, 8, 0);
+        assert!((gain - 0.85 * g.base_mean(105, 6, 0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dos_bin_has_flow_spike() {
+        let dos = InjectedAnomaly {
+            id: 7,
+            kind: AnomalyKind::Dos,
+            start_bin: 150,
+            duration_bins: 2,
+            od_pairs: vec![(2, 9)],
+            intensity: 800.0,
+            port: 0,
+            scan_mode: ScanMode::Network,
+            shift_to: None,
+            packets_per_flow: 0.0,
+            packet_bytes: 0,
+        };
+        let s = small_scenario(vec![dos]);
+        let g = s.generator();
+        let quiet = g.records_for_bin(149).len();
+        let loud = g.records_for_bin(150).len();
+        assert!(
+            loud as f64 > quiet as f64 + 500.0,
+            "DOS bin should add ~800 flows: quiet={quiet} loud={loud}"
+        );
+    }
+
+    #[test]
+    fn paper_week_schedule_mix() {
+        let s = Scenario::paper_week(42, 0).unwrap();
+        let count = |k: AnomalyKind| s.schedule.iter().filter(|a| a.kind == k).count();
+        assert_eq!(count(AnomalyKind::Alpha), 34);
+        assert_eq!(count(AnomalyKind::FlashCrowd), 16);
+        assert_eq!(count(AnomalyKind::Scan), 14);
+        assert_eq!(count(AnomalyKind::Dos), 9);
+        assert_eq!(count(AnomalyKind::Ddos), 2);
+        assert_eq!(count(AnomalyKind::IngressShift), 1);
+        assert_eq!(count(AnomalyKind::Outage), 1, "week 0 carries the outage");
+        // ALPHA dominates, as in Table 3.
+        assert!(count(AnomalyKind::Alpha) > count(AnomalyKind::FlashCrowd));
+    }
+
+    #[test]
+    fn four_weeks_have_distinct_schedules_and_rare_events() {
+        let weeks = Scenario::paper_four_weeks(7).unwrap();
+        assert_eq!(weeks.len(), 4);
+        let kinds: Vec<Vec<AnomalyKind>> = weeks
+            .iter()
+            .map(|w| w.schedule.iter().map(|a| a.kind).collect())
+            .collect();
+        // Week 1 has the PTMP event, week 2 the worm.
+        assert!(kinds[1].contains(&AnomalyKind::PointMultipoint));
+        assert!(kinds[2].contains(&AnomalyKind::Worm));
+        // Schedules differ across weeks.
+        let starts0: Vec<usize> = weeks[0].schedule.iter().map(|a| a.start_bin).collect();
+        let starts1: Vec<usize> = weeks[1].schedule.iter().map(|a| a.start_bin).collect();
+        assert_ne!(starts0, starts1);
+    }
+
+    #[test]
+    fn paper_week_schedule_fits_window() {
+        for week in 0..4 {
+            let s = Scenario::paper_week(123, week).unwrap();
+            for a in &s.schedule {
+                assert!(a.end_bin() < s.config.num_bins);
+                assert!(!a.od_pairs.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn anomaly_records_helper_matches_direct_synthesis() {
+        let s = Scenario::paper_week(11, 0).unwrap();
+        let g = s.generator();
+        let a = &s.schedule[0];
+        let direct = a.synthesize(
+            s.config.seed,
+            a.start_bin,
+            g.bin_start(a.start_bin),
+            s.config.bin_secs,
+            &s.plan,
+        );
+        assert_eq!(g.anomaly_records_for_bin(a, a.start_bin), direct);
+    }
+}

@@ -1,0 +1,196 @@
+//! Column centering and standardization of data matrices.
+//!
+//! The subspace method requires the OD-flow matrix `X` to have zero-mean
+//! columns before PCA ("the multivariate mean, which for eigenflows is equal
+//! to zero by construction" — §2.2 of the paper). [`Centering`] records the
+//! per-column offsets/scales so new observations (streaming detection) can be
+//! transformed consistently with the training data.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::vecops;
+
+/// How each column of a data matrix was transformed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Centering {
+    /// Per-column means subtracted from the data.
+    pub means: Vec<f64>,
+    /// Per-column scale divisors (all `1.0` for plain centering).
+    pub scales: Vec<f64>,
+}
+
+impl Centering {
+    /// Number of columns this transform applies to.
+    pub fn ncols(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Transform a single observation (row) in place: `x[j] = (x[j] - mean[j]) / scale[j]`.
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when the row length differs
+    /// from the training column count.
+    pub fn apply_row(&self, row: &mut [f64]) -> Result<()> {
+        if row.len() != self.means.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "Centering::apply_row",
+                lhs: (1, self.means.len()),
+                rhs: (1, row.len()),
+            });
+        }
+        for ((x, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.scales) {
+            *x = (*x - m) / s;
+        }
+        Ok(())
+    }
+
+    /// Invert the transform for a single observation (row), in place.
+    pub fn invert_row(&self, row: &mut [f64]) -> Result<()> {
+        if row.len() != self.means.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "Centering::invert_row",
+                lhs: (1, self.means.len()),
+                rhs: (1, row.len()),
+            });
+        }
+        for ((x, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.scales) {
+            *x = *x * s + m;
+        }
+        Ok(())
+    }
+}
+
+/// Subtracts the column mean from every column of `x`.
+///
+/// Returns the centered matrix and the [`Centering`] (with unit scales).
+///
+/// # Errors
+///
+/// [`LinalgError::Empty`] if `x` has no rows.
+pub fn center_columns(x: &Matrix) -> Result<(Matrix, Centering)> {
+    if x.nrows() == 0 {
+        return Err(LinalgError::Empty { op: "center_columns" });
+    }
+    let means = column_means(x);
+    let mut out = x.clone();
+    for i in 0..out.nrows() {
+        let row = out.row_mut(i)?;
+        for (v, &m) in row.iter_mut().zip(&means) {
+            *v -= m;
+        }
+    }
+    let scales = vec![1.0; x.ncols()];
+    Ok((out, Centering { means, scales }))
+}
+
+/// Centers each column and divides by its sample standard deviation
+/// (z-scoring). Columns with standard deviation below `1e-12` are left at
+/// unit scale to avoid amplifying numerical noise — a constant OD flow
+/// carries no variance signal either way.
+pub fn standardize_columns(x: &Matrix) -> Result<(Matrix, Centering)> {
+    if x.nrows() == 0 {
+        return Err(LinalgError::Empty { op: "standardize_columns" });
+    }
+    let means = column_means(x);
+    let mut scales = Vec::with_capacity(x.ncols());
+    for j in 0..x.ncols() {
+        let col = x.col(j)?;
+        let sd = vecops::std_dev(&col);
+        scales.push(if sd > 1e-12 { sd } else { 1.0 });
+    }
+    let mut out = x.clone();
+    for i in 0..out.nrows() {
+        let row = out.row_mut(i)?;
+        for ((v, &m), &s) in row.iter_mut().zip(&means).zip(&scales) {
+            *v = (*v - m) / s;
+        }
+    }
+    Ok((out, Centering { means, scales }))
+}
+
+/// Per-column arithmetic means of a matrix.
+pub fn column_means(x: &Matrix) -> Vec<f64> {
+    let (n, p) = x.shape();
+    let mut means = vec![0.0; p];
+    if n == 0 {
+        return means;
+    }
+    for row in x.rows_iter() {
+        for (m, &v) in means.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n as f64;
+    }
+    means
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]]).unwrap()
+    }
+
+    #[test]
+    fn column_means_known() {
+        assert_eq!(column_means(&sample()), vec![3.0, 30.0]);
+        assert_eq!(column_means(&Matrix::zeros(0, 2)), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn centering_zeroes_means() {
+        let (c, t) = center_columns(&sample()).unwrap();
+        let m = column_means(&c);
+        assert!(m.iter().all(|&x| x.abs() < 1e-12));
+        assert_eq!(t.means, vec![3.0, 30.0]);
+        assert_eq!(t.scales, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn standardize_unit_variance() {
+        let (z, t) = standardize_columns(&sample()).unwrap();
+        for j in 0..2 {
+            let col = z.col(j).unwrap();
+            assert!(vecops::mean(&col).abs() < 1e-12);
+            assert!((vecops::variance(&col) - 1.0).abs() < 1e-12);
+        }
+        assert!(t.scales[0] > 0.0);
+    }
+
+    #[test]
+    fn standardize_constant_column_stays_finite() {
+        let x = Matrix::from_rows(&[vec![2.0, 1.0], vec![2.0, 3.0]]).unwrap();
+        let (z, t) = standardize_columns(&x).unwrap();
+        assert!(z.all_finite());
+        assert_eq!(t.scales[0], 1.0); // constant column: scale left at 1
+        assert_eq!(z[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn apply_invert_roundtrip() {
+        let (_, t) = standardize_columns(&sample()).unwrap();
+        let mut row = vec![4.0, 20.0];
+        let orig = row.clone();
+        t.apply_row(&mut row).unwrap();
+        t.invert_row(&mut row).unwrap();
+        assert!((row[0] - orig[0]).abs() < 1e-12);
+        assert!((row[1] - orig[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_row_shape_check() {
+        let (_, t) = center_columns(&sample()).unwrap();
+        let mut short = vec![1.0];
+        assert!(t.apply_row(&mut short).is_err());
+        assert!(t.invert_row(&mut short).is_err());
+        assert_eq!(t.ncols(), 2);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(center_columns(&Matrix::zeros(0, 3)).is_err());
+        assert!(standardize_columns(&Matrix::zeros(0, 3)).is_err());
+    }
+}

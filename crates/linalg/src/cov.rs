@@ -1,0 +1,155 @@
+//! Covariance and scatter matrices of data matrices.
+//!
+//! PCA in the subspace method diagonalizes `X^T X` (the scatter matrix of the
+//! centered OD-flow timeseries). We expose both the raw scatter matrix and
+//! the unbiased sample covariance, plus the correlation matrix used when
+//! traffic types with wildly different magnitudes (bytes vs flows) must be
+//! compared on common footing.
+
+use crate::center::center_columns;
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Scatter matrix `X^T X` (no centering, no normalization).
+///
+/// For an already-centered `X` this is `(n-1)` times the sample covariance.
+pub fn scatter(x: &Matrix) -> Result<Matrix> {
+    if x.nrows() == 0 {
+        return Err(LinalgError::Empty { op: "scatter" });
+    }
+    gram_txx(x)
+}
+
+/// Unbiased sample covariance matrix of the columns of `x`
+/// (centers internally; divides by `n - 1`).
+///
+/// # Errors
+///
+/// [`LinalgError::Empty`] when `x` has fewer than 2 rows — a single
+/// observation has no covariance.
+pub fn covariance(x: &Matrix) -> Result<Matrix> {
+    if x.nrows() < 2 {
+        return Err(LinalgError::Empty { op: "covariance" });
+    }
+    let (c, _) = center_columns(x)?;
+    let mut s = gram_txx(&c)?;
+    s.scale_mut(1.0 / (x.nrows() as f64 - 1.0));
+    Ok(s)
+}
+
+/// Correlation matrix of the columns of `x`.
+///
+/// Columns with zero variance yield zero correlation against everything
+/// (and 1.0 on their own diagonal) rather than NaN, so downstream eigen
+/// analysis stays finite when an OD pair is silent all week.
+pub fn correlation(x: &Matrix) -> Result<Matrix> {
+    let cov = covariance(x)?;
+    let p = cov.ncols();
+    let sd: Vec<f64> = (0..p).map(|j| cov[(j, j)].max(0.0).sqrt()).collect();
+    let mut out = Matrix::zeros(p, p);
+    for i in 0..p {
+        for j in 0..p {
+            if i == j {
+                out[(i, j)] = 1.0;
+            } else if sd[i] > 1e-150 && sd[j] > 1e-150 {
+                out[(i, j)] = cov[(i, j)] / (sd[i] * sd[j]);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Computes `X^T X` exploiting symmetry (only the upper triangle is formed).
+fn gram_txx(x: &Matrix) -> Result<Matrix> {
+    let (n, p) = x.shape();
+    let mut s = Matrix::zeros(p, p);
+    // Row-major friendly accumulation: for each observation row r,
+    // S += r^T r, touching only the upper triangle.
+    for i in 0..n {
+        let row = x.row(i)?;
+        for a in 0..p {
+            let ra = row[a];
+            if ra == 0.0 {
+                continue;
+            }
+            for b in a..p {
+                s[(a, b)] += ra * row[b];
+            }
+        }
+    }
+    for a in 0..p {
+        for b in (a + 1)..p {
+            s[(b, a)] = s[(a, b)];
+        }
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_matches_naive() {
+        let x = Matrix::from_fn(5, 3, |i, j| (i as f64 + 1.0) * (j as f64 - 1.0) + 0.5);
+        let s = scatter(&x).unwrap();
+        let naive = x.transpose().matmul(&x).unwrap();
+        assert!(s.approx_eq(&naive, 1e-10));
+    }
+
+    #[test]
+    fn covariance_known_2d() {
+        // Two perfectly correlated columns.
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        let c = covariance(&x).unwrap();
+        assert!((c[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((c[(1, 1)] - 4.0).abs() < 1e-12);
+        assert!((c[(0, 1)] - 2.0).abs() < 1e-12);
+        assert!((c[(0, 1)] - c[(1, 0)]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn covariance_is_symmetric_psd_diag() {
+        let x = Matrix::from_fn(20, 4, |i, j| ((i * 13 + j * 7) % 17) as f64);
+        let c = covariance(&x).unwrap();
+        assert!(c.is_symmetric(1e-12));
+        for j in 0..4 {
+            assert!(c[(j, j)] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn correlation_diagonal_ones_and_bounds() {
+        let x = Matrix::from_fn(30, 3, |i, j| ((i * 7 + j * j * 5 + 3) % 23) as f64);
+        let r = correlation(&x).unwrap();
+        for i in 0..3 {
+            assert!((r[(i, i)] - 1.0).abs() < 1e-12);
+            for j in 0..3 {
+                assert!(r[(i, j)] <= 1.0 + 1e-9 && r[(i, j)] >= -1.0 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_perfect() {
+        let x = Matrix::from_rows(&[vec![1.0, -1.0], vec![2.0, -2.0], vec![3.0, -3.0]]).unwrap();
+        let r = correlation(&x).unwrap();
+        assert!((r[(0, 1)] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_constant_column_finite() {
+        let x = Matrix::from_rows(&[vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]]).unwrap();
+        let r = correlation(&x).unwrap();
+        assert!(r.all_finite());
+        assert_eq!(r[(0, 1)], 0.0);
+        assert_eq!(r[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn too_few_rows_rejected() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(covariance(&x).is_err());
+        assert!(scatter(&Matrix::zeros(0, 2)).is_err());
+    }
+}

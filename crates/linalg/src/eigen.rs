@@ -1,0 +1,373 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! PCA on the OD-flow timeseries reduces to diagonalizing the `p x p`
+//! covariance (or scatter) matrix `X^T X`, with `p = 121` OD pairs for the
+//! Abilene-like topology. At that size the cyclic Jacobi method is an ideal
+//! fit: it is unconditionally convergent for symmetric input, delivers
+//! eigenvectors orthogonal to working precision, and has no failure modes
+//! requiring shift heuristics. Each sweep is `O(p^3)`; convergence takes a
+//! handful of sweeps.
+//!
+//! References: Golub & Van Loan, *Matrix Computations*, §8.5 (Jacobi methods);
+//! Jackson, *A User's Guide to Principal Components* (the paper's PCA
+//! reference \[11\]).
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition.
+///
+/// Eigenpairs are sorted by **descending** eigenvalue, matching the paper's
+/// convention that eigenflow `u_1` captures the most variance.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, descending. For a covariance matrix these are the
+    /// variances captured by each principal axis.
+    pub eigenvalues: Vec<f64>,
+    /// Matrix whose **columns** are the corresponding unit eigenvectors.
+    pub eigenvectors: Matrix,
+    /// Number of Jacobi sweeps performed.
+    pub sweeps: usize,
+}
+
+impl EigenDecomposition {
+    /// The `k`-th eigenvector (column of [`Self::eigenvectors`]) as a `Vec`.
+    pub fn eigenvector(&self, k: usize) -> Result<Vec<f64>> {
+        self.eigenvectors.col(k)
+    }
+
+    /// Fraction of total variance captured by the top `k` eigenvalues.
+    ///
+    /// Negative eigenvalues (numerical noise around zero for rank-deficient
+    /// inputs) are clamped to zero for this summary.
+    pub fn variance_captured(&self, k: usize) -> f64 {
+        let clamped: Vec<f64> = self.eigenvalues.iter().map(|&l| l.max(0.0)).collect();
+        let total: f64 = clamped.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        clamped.iter().take(k).sum::<f64>() / total
+    }
+
+    /// Effective rank: number of eigenvalues above `tol * max_eigenvalue`.
+    pub fn effective_rank(&self, tol: f64) -> usize {
+        let max = self.eigenvalues.first().copied().unwrap_or(0.0).max(0.0);
+        if max == 0.0 {
+            return 0;
+        }
+        self.eigenvalues.iter().filter(|&&l| l > tol * max).count()
+    }
+}
+
+/// Options controlling the Jacobi iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct JacobiOptions {
+    /// Convergence threshold on the off-diagonal Frobenius norm, relative to
+    /// the Frobenius norm of the input. Default `1e-14`.
+    pub rel_tolerance: f64,
+    /// Maximum number of sweeps before declaring non-convergence.
+    /// Default 64 (classic Jacobi converges in < 15 sweeps for any
+    /// reasonable matrix; 64 is a generous safety margin).
+    pub max_sweeps: usize,
+    /// Maximum tolerated asymmetry `max |a_ij - a_ji|` in the input, relative
+    /// to its max absolute entry. Default `1e-9`. Inputs within tolerance are
+    /// symmetrized as `(A + A^T) / 2` before iterating.
+    pub symmetry_tolerance: f64,
+}
+
+impl Default for JacobiOptions {
+    fn default() -> Self {
+        JacobiOptions { rel_tolerance: 1e-14, max_sweeps: 64, symmetry_tolerance: 1e-9 }
+    }
+}
+
+/// Computes the eigendecomposition of a symmetric matrix with default
+/// [`JacobiOptions`].
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] for rectangular input.
+/// * [`LinalgError::NotSymmetric`] when asymmetry exceeds tolerance.
+/// * [`LinalgError::NonFinite`] when the input contains NaN or infinity.
+/// * [`LinalgError::NoConvergence`] if the sweep budget is exhausted
+///   (practically unreachable for finite symmetric input).
+///
+/// # Examples
+///
+/// ```
+/// use odflow_linalg::{Matrix, eigen_symmetric};
+///
+/// let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+/// let e = eigen_symmetric(&a).unwrap();
+/// assert!((e.eigenvalues[0] - 3.0).abs() < 1e-12);
+/// assert!((e.eigenvalues[1] - 1.0).abs() < 1e-12);
+/// ```
+pub fn eigen_symmetric(a: &Matrix) -> Result<EigenDecomposition> {
+    eigen_symmetric_with(a, JacobiOptions::default())
+}
+
+/// Computes the eigendecomposition of a symmetric matrix with explicit
+/// options. See [`eigen_symmetric`].
+pub fn eigen_symmetric_with(a: &Matrix, opts: JacobiOptions) -> Result<EigenDecomposition> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { op: "eigen_symmetric", shape: a.shape() });
+    }
+    if !a.all_finite() {
+        return Err(LinalgError::NonFinite { op: "eigen_symmetric" });
+    }
+    let n = a.nrows();
+    if n == 0 {
+        return Ok(EigenDecomposition {
+            eigenvalues: vec![],
+            eigenvectors: Matrix::zeros(0, 0),
+            sweeps: 0,
+        });
+    }
+
+    let scale = a.max_abs();
+    let asym = a.max_asymmetry();
+    if scale > 0.0 && asym > opts.symmetry_tolerance * scale {
+        return Err(LinalgError::NotSymmetric { max_asymmetry: asym });
+    }
+
+    // Work on a symmetrized copy; tiny asymmetries from floating-point
+    // accumulation in X^T X are averaged away.
+    let mut w = Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+    let mut v = Matrix::identity(n);
+
+    let fro = w.frobenius_norm();
+    let tol = if fro > 0.0 { opts.rel_tolerance * fro } else { 0.0 };
+
+    let mut sweeps = 0;
+    while off_diagonal_norm(&w) > tol {
+        if sweeps >= opts.max_sweeps {
+            return Err(LinalgError::NoConvergence {
+                op: "eigen_symmetric",
+                iterations: sweeps,
+            });
+        }
+        for p in 0..n - 1 {
+            for q in p + 1..n {
+                let apq = w[(p, q)];
+                if apq == 0.0 {
+                    continue;
+                }
+                let app = w[(p, p)];
+                let aqq = w[(q, q)];
+                // Stable computation of the rotation (Golub & Van Loan 8.5.2):
+                // t = sign(theta) / (|theta| + sqrt(theta^2 + 1)),
+                // theta = (aqq - app) / (2 apq).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                apply_rotation(&mut w, p, q, c, s);
+                rotate_eigenvectors(&mut v, p, q, c, s);
+            }
+        }
+        sweeps += 1;
+    }
+
+    // Extract eigenvalues from the (now nearly diagonal) working matrix and
+    // sort eigenpairs by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| w[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("finite eigenvalues"));
+
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let eigenvectors = v.select_cols(&order)?;
+
+    Ok(EigenDecomposition { eigenvalues, eigenvectors, sweeps })
+}
+
+/// Frobenius norm of the strictly off-diagonal part.
+fn off_diagonal_norm(a: &Matrix) -> f64 {
+    let n = a.nrows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                s += a[(i, j)] * a[(i, j)];
+            }
+        }
+    }
+    s.sqrt()
+}
+
+/// Applies the two-sided Jacobi rotation `J^T W J` in the `(p, q)` plane.
+fn apply_rotation(w: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = w.nrows();
+    let app = w[(p, p)];
+    let aqq = w[(q, q)];
+    let apq = w[(p, q)];
+
+    w[(p, p)] = c * c * app - 2.0 * s * c * apq + s * s * aqq;
+    w[(q, q)] = s * s * app + 2.0 * s * c * apq + c * c * aqq;
+    w[(p, q)] = 0.0;
+    w[(q, p)] = 0.0;
+
+    for i in 0..n {
+        if i != p && i != q {
+            let aip = w[(i, p)];
+            let aiq = w[(i, q)];
+            w[(i, p)] = c * aip - s * aiq;
+            w[(p, i)] = w[(i, p)];
+            w[(i, q)] = s * aip + c * aiq;
+            w[(q, i)] = w[(i, q)];
+        }
+    }
+}
+
+/// Accumulates the rotation into the eigenvector matrix: `V <- V J`.
+fn rotate_eigenvectors(v: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = v.nrows();
+    for i in 0..n {
+        let vip = v[(i, p)];
+        let viq = v[(i, q)];
+        v[(i, p)] = c * vip - s * viq;
+        v[(i, q)] = s * vip + c * viq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &EigenDecomposition) -> Matrix {
+        // A = V diag(lambda) V^T
+        let v = &e.eigenvectors;
+        let d = Matrix::from_diag(&e.eigenvalues);
+        v.matmul(&d).unwrap().matmul(&v.transpose()).unwrap()
+    }
+
+    #[test]
+    fn two_by_two_known() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let e = eigen_symmetric(&a).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-12);
+        // Eigenvector for lambda=3 is (1,1)/sqrt(2) up to sign.
+        let v0 = e.eigenvector(0).unwrap();
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((v0[0] - v0[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let a = Matrix::from_diag(&[5.0, 3.0, 1.0]);
+        let e = eigen_symmetric(&a).unwrap();
+        assert_eq!(e.eigenvalues, vec![5.0, 3.0, 1.0]);
+        assert_eq!(e.sweeps, 0);
+    }
+
+    #[test]
+    fn sorts_descending_even_with_negatives() {
+        let a = Matrix::from_diag(&[-2.0, 7.0, 0.5]);
+        let e = eigen_symmetric(&a).unwrap();
+        assert_eq!(e.eigenvalues, vec![7.0, 0.5, -2.0]);
+    }
+
+    #[test]
+    fn reconstruction_3x3() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.25],
+            vec![0.5, 0.25, 2.0],
+        ])
+        .unwrap();
+        let e = eigen_symmetric(&a).unwrap();
+        assert!(reconstruct(&e).approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = Matrix::from_fn(8, 8, |i, j| 1.0 / (1.0 + (i as f64 - j as f64).abs()));
+        let e = eigen_symmetric(&a).unwrap();
+        let vtv = e.eigenvectors.transpose().matmul(&e.eigenvectors).unwrap();
+        assert!(vtv.approx_eq(&Matrix::identity(8), 1e-10));
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_fn(6, 6, |i, j| ((i * j) as f64).sin() + if i == j { 3.0 } else { 0.0 });
+        let sym = Matrix::from_fn(6, 6, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+        let e = eigen_symmetric(&sym).unwrap();
+        let tr = sym.trace().unwrap();
+        let sum: f64 = e.eigenvalues.iter().sum();
+        assert!((tr - sum).abs() < 1e-9, "trace {tr} vs eigensum {sum}");
+    }
+
+    #[test]
+    fn rank_deficient_low_rank() {
+        // Rank-1: outer product vv^T, eigenvalues (||v||^2, 0, 0).
+        let v = [1.0, 2.0, 3.0];
+        let a = Matrix::from_fn(3, 3, |i, j| v[i] * v[j]);
+        let e = eigen_symmetric(&a).unwrap();
+        assert!((e.eigenvalues[0] - 14.0).abs() < 1e-10);
+        assert!(e.eigenvalues[1].abs() < 1e-10);
+        assert!(e.eigenvalues[2].abs() < 1e-10);
+        assert_eq!(e.effective_rank(1e-9), 1);
+    }
+
+    #[test]
+    fn variance_captured_monotone() {
+        let a = Matrix::from_diag(&[4.0, 3.0, 2.0, 1.0]);
+        let e = eigen_symmetric(&a).unwrap();
+        assert!((e.variance_captured(1) - 0.4).abs() < 1e-12);
+        assert!((e.variance_captured(4) - 1.0).abs() < 1e-12);
+        assert!(e.variance_captured(2) > e.variance_captured(1));
+        assert_eq!(e.variance_captured(0), 0.0);
+    }
+
+    #[test]
+    fn rejects_rectangular_and_asymmetric() {
+        assert!(matches!(
+            eigen_symmetric(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        let a = Matrix::from_rows(&[vec![1.0, 5.0], vec![0.0, 1.0]]).unwrap();
+        assert!(matches!(eigen_symmetric(&a), Err(LinalgError::NotSymmetric { .. })));
+    }
+
+    #[test]
+    fn rejects_nonfinite() {
+        let mut a = Matrix::identity(2);
+        a[(0, 0)] = f64::NAN;
+        assert!(matches!(eigen_symmetric(&a), Err(LinalgError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn empty_matrix_ok() {
+        let e = eigen_symmetric(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e.eigenvalues.is_empty());
+    }
+
+    #[test]
+    fn tolerates_tiny_asymmetry() {
+        // Asymmetry at 1e-12 relative is well within the default tolerance.
+        let mut a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        a[(0, 1)] += 1e-13;
+        let e = eigen_symmetric(&a).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moderately_sized_psd_matrix() {
+        // Covariance-like matrix: A = B^T B is PSD; all eigenvalues >= 0.
+        let b = Matrix::from_fn(40, 20, |i, j| ((i * 31 + j * 17) % 101) as f64 / 101.0 - 0.5);
+        let a = b.transpose().matmul(&b).unwrap();
+        let e = eigen_symmetric(&a).unwrap();
+        for &l in &e.eigenvalues {
+            assert!(l > -1e-9, "PSD eigenvalue went negative: {l}");
+        }
+        // Eigenvalues descending.
+        for w in e.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!(reconstruct(&e).approx_eq(&a, 1e-8));
+    }
+}

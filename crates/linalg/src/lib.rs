@@ -1,0 +1,46 @@
+//! # odflow-linalg — dense numerics substrate for the subspace method
+//!
+//! Self-contained dense linear algebra used by the `odflow` workspace:
+//! a row-major [`Matrix`], symmetric eigendecomposition by the cyclic Jacobi
+//! method ([`eigen_symmetric`]), thin SVD via the Gram eigenproblem
+//! ([`thin_svd`]), column centering/standardization, and covariance /
+//! correlation matrices.
+//!
+//! The paper this workspace reproduces (Lakhina, Crovella & Diot,
+//! *Characterization of Network-Wide Anomalies in Traffic Flows*, IMC 2004)
+//! performs PCA over an `n x p` multivariate timeseries of origin-destination
+//! flow traffic with `p = 121`. Everything here is sized and tested for that
+//! regime — tall-skinny data, small dense symmetric eigenproblems — and is
+//! implemented from scratch so the workspace carries no external numerics
+//! dependency (Rust PCA tooling being thin is exactly why).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use odflow_linalg::{Matrix, thin_svd};
+//!
+//! // 8 observations of 3 correlated variables.
+//! let x = Matrix::from_fn(8, 3, |i, j| ((i + 1) * (j + 1)) as f64);
+//! let svd = thin_svd(&x, 1e-12).unwrap();
+//! assert_eq!(svd.rank(), 1); // perfectly correlated -> rank 1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod center;
+mod cov;
+mod eigen;
+mod error;
+mod matrix;
+mod solve;
+mod svd;
+pub mod vecops;
+
+pub use center::{center_columns, column_means, standardize_columns, Centering};
+pub use cov::{correlation, covariance, scatter};
+pub use eigen::{eigen_symmetric, eigen_symmetric_with, EigenDecomposition, JacobiOptions};
+pub use error::{LinalgError, Result};
+pub use matrix::Matrix;
+pub use solve::solve;
+pub use svd::{thin_svd, Svd};

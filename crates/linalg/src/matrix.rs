@@ -1,0 +1,690 @@
+//! Dense row-major matrix of `f64`.
+//!
+//! [`Matrix`] is the workhorse container of the workspace: the OD-flow
+//! traffic timeseries `X` (n timebins x p OD pairs) from the paper is stored
+//! as one `Matrix` per traffic type. The type deliberately stays simple —
+//! contiguous `Vec<f64>` storage, explicit shape checks, no views or
+//! expression templates — favouring robustness over micro-optimization, in
+//! the spirit of the substrate crates this workspace is modeled on.
+
+use crate::error::{LinalgError, Result};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// # Examples
+///
+/// ```
+/// use odflow_linalg::Matrix;
+///
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+/// assert_eq!(m.shape(), (2, 2));
+/// assert_eq!(m[(1, 0)], 3.0);
+/// let t = m.transpose();
+/// assert_eq!(t[(0, 1)], 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "from_vec",
+                lhs: (rows, cols),
+                rhs: (data.len(), 1),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of equal-length rows.
+    ///
+    /// Returns [`LinalgError::Empty`] for an empty slice and
+    /// [`LinalgError::ShapeMismatch`] if row lengths are ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(LinalgError::Empty { op: "from_rows" });
+        }
+        let cols = rows[0].len();
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(LinalgError::ShapeMismatch {
+                    op: "from_rows",
+                    lhs: (i, cols),
+                    rhs: (i, r.len()),
+                });
+            }
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix { rows: rows.len(), cols, data })
+    }
+
+    /// Creates a column vector (shape `n x 1`) from a slice.
+    pub fn col_vector(v: &[f64]) -> Self {
+        Matrix { rows: v.len(), cols: 1, data: v.to_vec() }
+    }
+
+    /// Creates a diagonal matrix from a slice of diagonal entries.
+    pub fn from_diag(d: &[f64]) -> Self {
+        let mut m = Matrix::zeros(d.len(), d.len());
+        for (i, &v) in d.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` if the matrix has zero rows or zero columns.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// `true` if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow the underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the matrix and return its row-major data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Bounds-checked element access.
+    pub fn get(&self, i: usize, j: usize) -> Option<f64> {
+        if i < self.rows && j < self.cols {
+            Some(self.data[i * self.cols + j])
+        } else {
+            None
+        }
+    }
+
+    /// Borrow row `i` as a slice.
+    ///
+    /// Returns [`LinalgError::OutOfBounds`] if `i >= nrows()`.
+    pub fn row(&self, i: usize) -> Result<&[f64]> {
+        if i >= self.rows {
+            return Err(LinalgError::OutOfBounds { op: "row", index: i, bound: self.rows });
+        }
+        Ok(&self.data[i * self.cols..(i + 1) * self.cols])
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    pub fn row_mut(&mut self, i: usize) -> Result<&mut [f64]> {
+        if i >= self.rows {
+            return Err(LinalgError::OutOfBounds { op: "row_mut", index: i, bound: self.rows });
+        }
+        Ok(&mut self.data[i * self.cols..(i + 1) * self.cols])
+    }
+
+    /// Copy column `j` into a new `Vec`.
+    ///
+    /// Returns [`LinalgError::OutOfBounds`] if `j >= ncols()`.
+    pub fn col(&self, j: usize) -> Result<Vec<f64>> {
+        if j >= self.cols {
+            return Err(LinalgError::OutOfBounds { op: "col", index: j, bound: self.cols });
+        }
+        Ok((0..self.rows).map(|i| self.data[i * self.cols + j]).collect())
+    }
+
+    /// Set column `j` from a slice of length `nrows()`.
+    pub fn set_col(&mut self, j: usize, v: &[f64]) -> Result<()> {
+        if j >= self.cols {
+            return Err(LinalgError::OutOfBounds { op: "set_col", index: j, bound: self.cols });
+        }
+        if v.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "set_col",
+                lhs: (self.rows, 1),
+                rhs: (v.len(), 1),
+            });
+        }
+        for (i, &x) in v.iter().enumerate() {
+            self.data[i * self.cols + j] = x;
+        }
+        Ok(())
+    }
+
+    /// Iterate over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Returns the transpose of this matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// Uses a cache-friendly i-k-j loop order. Returns
+    /// [`LinalgError::ShapeMismatch`] when `self.ncols() != rhs.nrows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ik * b_kj;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        Ok(self
+            .rows_iter()
+            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Vector-matrix product `v^T * self`, returned as a plain vector.
+    pub fn vecmat(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.rows != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "vecmat",
+                lhs: (1, v.len()),
+                rhs: self.shape(),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (o, &r) in out.iter_mut().zip(row) {
+                *o += vi * r;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise sum `self + rhs`.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference `self - rhs`.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise product (Hadamard product).
+    pub fn hadamard(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "hadamard", |a, b| a * b)
+    }
+
+    fn zip_with(&self, rhs: &Matrix, op: &'static str, f: impl Fn(f64, f64) -> f64) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch { op, lhs: self.shape(), rhs: rhs.shape() });
+        }
+        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect();
+        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// Multiply every element by a scalar, in place.
+    pub fn scale_mut(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Returns a copy of this matrix multiplied by scalar `s`.
+    pub fn scaled(&self, s: f64) -> Matrix {
+        let mut m = self.clone();
+        m.scale_mut(s);
+        m
+    }
+
+    /// Apply `f` to every element, in place.
+    pub fn map_mut(&mut self, f: impl Fn(f64) -> f64) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Frobenius norm: `sqrt(sum of squared entries)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry. Returns 0.0 for an empty matrix.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Trace (sum of diagonal entries).
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular matrices.
+    pub fn trace(&self) -> Result<f64> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { op: "trace", shape: self.shape() });
+        }
+        Ok((0..self.rows).map(|i| self.data[i * self.cols + i]).sum())
+    }
+
+    /// Extract a sub-matrix of the given column indices, preserving order.
+    pub fn select_cols(&self, indices: &[usize]) -> Result<Matrix> {
+        for &j in indices {
+            if j >= self.cols {
+                return Err(LinalgError::OutOfBounds {
+                    op: "select_cols",
+                    index: j,
+                    bound: self.cols,
+                });
+            }
+        }
+        let mut out = Matrix::zeros(self.rows, indices.len());
+        for i in 0..self.rows {
+            for (jj, &j) in indices.iter().enumerate() {
+                out.data[i * indices.len() + jj] = self.data[i * self.cols + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Extract a sub-matrix of the given row indices, preserving order.
+    pub fn select_rows(&self, indices: &[usize]) -> Result<Matrix> {
+        for &i in indices {
+            if i >= self.rows {
+                return Err(LinalgError::OutOfBounds {
+                    op: "select_rows",
+                    index: i,
+                    bound: self.rows,
+                });
+            }
+        }
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (ii, &i) in indices.iter().enumerate() {
+            out.data[ii * self.cols..(ii + 1) * self.cols]
+                .copy_from_slice(&self.data[i * self.cols..(i + 1) * self.cols]);
+        }
+        Ok(out)
+    }
+
+    /// `true` if the matrix is symmetric to within `tol` (absolute).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self.data[i * self.cols + j] - self.data[j * self.cols + i]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Maximum absolute asymmetry `max |a_ij - a_ji|`; 0.0 for non-square.
+    pub fn max_asymmetry(&self) -> f64 {
+        if !self.is_square() {
+            return 0.0;
+        }
+        let mut m = 0.0_f64;
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                m = m.max((self.data[i * self.cols + j] - self.data[j * self.cols + i]).abs());
+            }
+        }
+        m
+    }
+
+    /// `true` if all entries are finite (no NaN / infinity).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Approximate equality: every element within `tol` (absolute).
+    pub fn approx_eq(&self, rhs: &Matrix, tol: f64) -> bool {
+        self.shape() == rhs.shape()
+            && self.data.iter().zip(&rhs.data).all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "matrix index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "matrix index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl std::fmt::Display for Matrix {
+    /// Compact display used in error messages and examples; large matrices
+    /// are elided to their corners.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        const MAX: usize = 6;
+        for i in 0..self.rows.min(MAX) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(MAX) {
+                write!(f, "{:>12.5e} ", self.data[i * self.cols + j])?;
+            }
+            if self.cols > MAX {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > MAX {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m22() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap()
+    }
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 4);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        assert!(!m.is_empty());
+        assert!(Matrix::zeros(0, 4).is_empty());
+    }
+
+    #[test]
+    fn identity_diagonal() {
+        let i3 = Matrix::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(i3[(r, c)], if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let e = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+        assert!(matches!(e, Err(LinalgError::ShapeMismatch { .. })));
+        assert!(matches!(Matrix::from_rows(&[]), Err(LinalgError::Empty { .. })));
+    }
+
+    #[test]
+    fn row_col_access() {
+        let m = m22();
+        assert_eq!(m.row(0).unwrap(), &[1.0, 2.0]);
+        assert_eq!(m.col(1).unwrap(), vec![2.0, 4.0]);
+        assert!(m.row(2).is_err());
+        assert!(m.col(2).is_err());
+        assert_eq!(m.get(1, 1), Some(4.0));
+        assert_eq!(m.get(2, 0), None);
+    }
+
+    #[test]
+    fn set_col_roundtrip() {
+        let mut m = Matrix::zeros(3, 2);
+        m.set_col(1, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(m.col(1).unwrap(), vec![1.0, 2.0, 3.0]);
+        assert!(m.set_col(5, &[0.0; 3]).is_err());
+        assert!(m.set_col(0, &[0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i * 7 + j * 3) as f64);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (5, 3));
+        assert_eq!(t.transpose(), m);
+        assert_eq!(m[(2, 4)], t[(4, 2)]);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = m22();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap());
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(4, 4, |i, j| (i + j) as f64 + 0.25);
+        let i4 = Matrix::identity(4);
+        assert!(a.matmul(&i4).unwrap().approx_eq(&a, 1e-15));
+        assert!(i4.matmul(&a).unwrap().approx_eq(&a, 1e-15));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(a.matmul(&b), Err(LinalgError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn matvec_vecmat() {
+        let a = m22();
+        assert_eq!(a.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert_eq!(a.vecmat(&[1.0, 1.0]).unwrap(), vec![4.0, 6.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+        assert!(a.vecmat(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = m22();
+        let b = Matrix::filled(2, 2, 1.0);
+        assert_eq!(a.add(&b).unwrap()[(0, 0)], 2.0);
+        assert_eq!(a.sub(&b).unwrap()[(1, 1)], 3.0);
+        assert_eq!(a.hadamard(&a).unwrap()[(1, 0)], 9.0);
+        assert!(a.add(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn scale_and_map() {
+        let mut a = m22();
+        a.scale_mut(2.0);
+        assert_eq!(a[(1, 1)], 8.0);
+        a.map_mut(|x| x / 2.0);
+        assert_eq!(a, m22());
+        assert_eq!(m22().scaled(0.0).frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        // ||[[3,4],[0,0]]||_F = 5
+        let m = Matrix::from_rows(&[vec![3.0, 4.0], vec![0.0, 0.0]]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_square_only() {
+        assert_eq!(m22().trace().unwrap(), 5.0);
+        assert!(Matrix::zeros(2, 3).trace().is_err());
+    }
+
+    #[test]
+    fn select_cols_rows() {
+        let m = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64);
+        let c = m.select_cols(&[3, 0]).unwrap();
+        assert_eq!(c.shape(), (3, 2));
+        assert_eq!(c[(1, 0)], 7.0);
+        assert_eq!(c[(1, 1)], 4.0);
+        let r = m.select_rows(&[2]).unwrap();
+        assert_eq!(r.row(0).unwrap(), &[8.0, 9.0, 10.0, 11.0]);
+        assert!(m.select_cols(&[4]).is_err());
+        assert!(m.select_rows(&[9]).is_err());
+    }
+
+    #[test]
+    fn symmetry_checks() {
+        let s = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        assert!(s.is_symmetric(0.0));
+        assert_eq!(s.max_asymmetry(), 0.0);
+        let a = m22();
+        assert!(!a.is_symmetric(0.5));
+        assert_eq!(a.max_asymmetry(), 1.0);
+        assert!(!Matrix::zeros(2, 3).is_symmetric(1.0));
+    }
+
+    #[test]
+    fn finiteness() {
+        let mut m = m22();
+        assert!(m.all_finite());
+        m[(0, 0)] = f64::NAN;
+        assert!(!m.all_finite());
+    }
+
+    #[test]
+    fn display_does_not_panic() {
+        let big = Matrix::zeros(10, 10);
+        let s = format!("{big}");
+        assert!(s.contains("Matrix 10x10"));
+        assert!(s.contains("..."));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_panics_out_of_bounds() {
+        let m = m22();
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn col_vector_and_diag() {
+        let v = Matrix::col_vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(v.shape(), (3, 1));
+        let d = Matrix::from_diag(&[1.0, 2.0]);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn max_abs_value() {
+        let m = Matrix::from_rows(&[vec![-7.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.max_abs(), 7.0);
+        assert_eq!(Matrix::zeros(0, 0).max_abs(), 0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Thin singular value decomposition via the Gram-matrix eigenproblem.
+//!
+//! The OD-flow matrix `X` is tall and skinny (`n ≈ 2016` five-minute bins in
+//! a week, `p = 121` OD pairs), so the thin SVD `X = U Σ V^T` is cheapest via
+//! the `p x p` eigenproblem of `X^T X`: the right singular vectors are its
+//! eigenvectors and `σ_i = sqrt(λ_i)`. This matches exactly how the paper
+//! computes **eigenflows**: the normalized columns of `X V` (the left
+//! singular vectors `u_i`) are the common temporal patterns, ordered by
+//! captured variance.
+
+use crate::eigen::{eigen_symmetric_with, JacobiOptions};
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::vecops;
+
+/// Thin SVD `X = U Σ V^T` of an `n x p` matrix with `n >= p` typically.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// `n x r` matrix of left singular vectors (columns), `r = rank kept`.
+    /// For traffic matrices these are the paper's *eigenflows*.
+    pub u: Matrix,
+    /// Singular values, descending, length `r`.
+    pub sigma: Vec<f64>,
+    /// `p x r` matrix of right singular vectors (columns). Row `j` describes
+    /// how OD pair `j` loads onto each eigenflow.
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Number of singular triplets retained.
+    pub fn rank(&self) -> usize {
+        self.sigma.len()
+    }
+
+    /// Reconstructs the original matrix from the retained triplets:
+    /// `U Σ V^T`. Exact (to rounding) when no truncation occurred.
+    pub fn reconstruct(&self) -> Result<Matrix> {
+        let us = scale_cols(&self.u, &self.sigma);
+        us.matmul(&self.v.transpose())
+    }
+
+    /// Reconstructs using only the top `k` triplets (rank-`k` approximation).
+    pub fn reconstruct_rank(&self, k: usize) -> Result<Matrix> {
+        let k = k.min(self.rank());
+        let idx: Vec<usize> = (0..k).collect();
+        let uk = self.u.select_cols(&idx)?;
+        let vk = self.v.select_cols(&idx)?;
+        let us = scale_cols(&uk, &self.sigma[..k]);
+        us.matmul(&vk.transpose())
+    }
+
+    /// Fraction of total squared Frobenius mass captured by the top `k`
+    /// singular values.
+    pub fn energy_captured(&self, k: usize) -> f64 {
+        let total: f64 = self.sigma.iter().map(|s| s * s).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.sigma.iter().take(k).map(|s| s * s).sum::<f64>() / total
+    }
+}
+
+/// Multiplies column `j` of `m` by `s[j]`.
+fn scale_cols(m: &Matrix, s: &[f64]) -> Matrix {
+    let mut out = m.clone();
+    for i in 0..out.nrows() {
+        let row = out.row_mut(i).expect("row within bounds");
+        for (v, &sj) in row.iter_mut().zip(s) {
+            *v *= sj;
+        }
+    }
+    out
+}
+
+/// Computes the thin SVD of `x`, dropping singular values below
+/// `rel_cutoff * σ_max` (pass `0.0` to keep all `min(n, p)` triplets).
+///
+/// # Errors
+///
+/// * [`LinalgError::Empty`] for matrices with zero rows or columns.
+/// * [`LinalgError::NonFinite`] when `x` contains NaN/infinities.
+/// * Propagates eigensolver errors (practically unreachable for finite data).
+pub fn thin_svd(x: &Matrix, rel_cutoff: f64) -> Result<Svd> {
+    if x.nrows() == 0 || x.ncols() == 0 {
+        return Err(LinalgError::Empty { op: "thin_svd" });
+    }
+    if !x.all_finite() {
+        return Err(LinalgError::NonFinite { op: "thin_svd" });
+    }
+
+    let gram = crate::cov::scatter(x)?; // X^T X, p x p
+    let eig = eigen_symmetric_with(&gram, JacobiOptions::default())?;
+
+    let sigma_max = eig.eigenvalues.first().copied().unwrap_or(0.0).max(0.0).sqrt();
+    let cutoff = rel_cutoff * sigma_max;
+
+    let mut sigma = Vec::new();
+    let mut keep = Vec::new();
+    for (i, &l) in eig.eigenvalues.iter().enumerate() {
+        let s = l.max(0.0).sqrt();
+        // Always keep at least one triplet so rank >= 1 for nonzero input.
+        if s > cutoff || (i == 0 && s > 0.0) {
+            sigma.push(s);
+            keep.push(i);
+        }
+    }
+    if keep.is_empty() {
+        // All-zero input: degenerate SVD with a single zero triplet.
+        return Ok(Svd {
+            u: Matrix::zeros(x.nrows(), 1),
+            sigma: vec![0.0],
+            v: Matrix::zeros(x.ncols(), 1),
+        });
+    }
+
+    let v = eig.eigenvectors.select_cols(&keep)?;
+
+    // U = X V Σ^{-1}, column by column, re-normalized for numerical hygiene.
+    let xv = x.matmul(&v)?;
+    let mut u = Matrix::zeros(x.nrows(), keep.len());
+    for (jj, &s) in sigma.iter().enumerate() {
+        let mut col = xv.col(jj)?;
+        if s > 1e-300 {
+            vecops::scale(&mut col, 1.0 / s);
+        }
+        // Guard against drift for tiny singular values.
+        vecops::normalize(&mut col);
+        u.set_col(jj, &col)?;
+    }
+
+    Ok(Svd { u, sigma, v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_matrix(n: usize, p: usize) -> Matrix {
+        Matrix::from_fn(n, p, |i, j| {
+            let t = i as f64 / n as f64 * std::f64::consts::TAU;
+            (t * (j as f64 + 1.0)).sin() + 0.1 * ((i * 7 + j * 13) % 23) as f64
+        })
+    }
+
+    #[test]
+    fn reconstruction_exact_full_rank() {
+        let x = data_matrix(12, 5);
+        let svd = thin_svd(&x, 0.0).unwrap();
+        let xr = svd.reconstruct().unwrap();
+        assert!(xr.approx_eq(&x, 1e-8), "max err {}", xr.sub(&x).unwrap().max_abs());
+    }
+
+    #[test]
+    fn singular_values_descending_nonnegative() {
+        let x = data_matrix(30, 8);
+        let svd = thin_svd(&x, 0.0).unwrap();
+        for w in svd.sigma.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!(svd.sigma.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn u_and_v_orthonormal() {
+        let x = data_matrix(25, 6);
+        let svd = thin_svd(&x, 1e-10).unwrap();
+        let utu = svd.u.transpose().matmul(&svd.u).unwrap();
+        let vtv = svd.v.transpose().matmul(&svd.v).unwrap();
+        let r = svd.rank();
+        assert!(utu.approx_eq(&Matrix::identity(r), 1e-8));
+        assert!(vtv.approx_eq(&Matrix::identity(r), 1e-8));
+    }
+
+    #[test]
+    fn rank1_matrix_detected() {
+        // x = a b^T exactly.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, -1.0, 0.5];
+        let x = Matrix::from_fn(4, 3, |i, j| a[i] * b[j]);
+        let svd = thin_svd(&x, 1e-9).unwrap();
+        assert_eq!(svd.rank(), 1);
+        let expected_sigma = vecops::norm(&a) * vecops::norm(&b);
+        assert!((svd.sigma[0] - expected_sigma).abs() < 1e-9);
+        assert!(svd.reconstruct().unwrap().approx_eq(&x, 1e-9));
+    }
+
+    #[test]
+    fn low_rank_approx_monotone_error() {
+        let x = data_matrix(40, 10);
+        let svd = thin_svd(&x, 0.0).unwrap();
+        let mut prev_err = f64::INFINITY;
+        for k in 1..=svd.rank() {
+            let err = svd.reconstruct_rank(k).unwrap().sub(&x).unwrap().frobenius_norm();
+            assert!(err <= prev_err + 1e-9, "rank-{k} error {err} > previous {prev_err}");
+            prev_err = err;
+        }
+        assert!(prev_err < 1e-7);
+    }
+
+    #[test]
+    fn eckart_young_error_matches_tail_sigma() {
+        // Frobenius error of rank-k truncation equals sqrt(sum of tail sigma^2).
+        let x = data_matrix(20, 6);
+        let svd = thin_svd(&x, 0.0).unwrap();
+        let k = 3;
+        let err = svd.reconstruct_rank(k).unwrap().sub(&x).unwrap().frobenius_norm();
+        let tail: f64 = svd.sigma[k..].iter().map(|s| s * s).sum::<f64>().sqrt();
+        assert!((err - tail).abs() < 1e-8, "err {err} vs tail {tail}");
+    }
+
+    #[test]
+    fn energy_captured_bounds() {
+        let x = data_matrix(20, 5);
+        let svd = thin_svd(&x, 0.0).unwrap();
+        assert!(svd.energy_captured(0) == 0.0);
+        assert!((svd.energy_captured(svd.rank()) - 1.0).abs() < 1e-12);
+        assert!(svd.energy_captured(2) <= 1.0);
+    }
+
+    #[test]
+    fn zero_matrix_degenerate() {
+        let x = Matrix::zeros(5, 3);
+        let svd = thin_svd(&x, 0.0).unwrap();
+        assert_eq!(svd.rank(), 1);
+        assert_eq!(svd.sigma[0], 0.0);
+    }
+
+    #[test]
+    fn rejects_empty_and_nonfinite() {
+        assert!(thin_svd(&Matrix::zeros(0, 3), 0.0).is_err());
+        let mut x = Matrix::identity(2);
+        x[(1, 1)] = f64::INFINITY;
+        assert!(thin_svd(&x, 0.0).is_err());
+    }
+}

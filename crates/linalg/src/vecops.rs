@@ -1,0 +1,225 @@
+//! Free functions on `&[f64]` vectors.
+//!
+//! The subspace method spends most of its time on vector-level operations —
+//! projecting the per-timebin traffic state vector `x` onto the normal and
+//! anomalous subspaces and computing squared norms. These helpers keep that
+//! code allocation-free and obvious.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length (programming error, not data error).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean norm `||v||^2`.
+///
+/// This is the paper's detection statistic applied to the residual vector:
+/// the squared prediction error is `||x~||^2`.
+#[inline]
+pub fn norm_sq(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum()
+}
+
+/// Euclidean norm `||v||`.
+#[inline]
+pub fn norm(v: &[f64]) -> f64 {
+    norm_sq(v).sqrt()
+}
+
+/// `y += alpha * x`, element-wise.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Multiply every element by `s`, in place.
+#[inline]
+pub fn scale(v: &mut [f64], s: f64) {
+    for x in v {
+        *x *= s;
+    }
+}
+
+/// Element-wise difference `a - b` as a new vector.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise sum `a + b` as a new vector.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Unbiased sample variance (divides by `n - 1`); 0.0 for slices of length < 2.
+pub fn variance(v: &[f64]) -> f64 {
+    if v.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(v);
+    v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (v.len() - 1) as f64
+}
+
+/// Sample standard deviation (square root of [`variance`]).
+pub fn std_dev(v: &[f64]) -> f64 {
+    variance(v).sqrt()
+}
+
+/// Normalize `v` to unit Euclidean norm in place.
+///
+/// Vectors whose norm is below `1e-300` are left untouched (a zero vector has
+/// no direction); returns `false` in that case, `true` otherwise.
+pub fn normalize(v: &mut [f64]) -> bool {
+    let n = norm(v);
+    if n < 1e-300 {
+        return false;
+    }
+    scale(v, 1.0 / n);
+    true
+}
+
+/// Index and value of the maximum element; `None` for an empty slice.
+/// NaN entries are skipped.
+pub fn argmax(v: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in v.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, b)) if x <= b => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best
+}
+
+/// Index and value of the minimum element; `None` for an empty slice.
+/// NaN entries are skipped.
+pub fn argmin(v: &[f64]) -> Option<(usize, f64)> {
+    argmax(&v.iter().map(|x| -x).collect::<Vec<_>>()).map(|(i, x)| (i, -x))
+}
+
+/// Linear interpolation between `a` and `b` at parameter `t in [0,1]`.
+#[inline]
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_known() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm_sq(&[3.0, 4.0]), 25.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = vec![1.0, 2.0];
+        let b = vec![0.5, -0.5];
+        assert_eq!(sub(&add(&a, &b), &b), a);
+    }
+
+    #[test]
+    fn mean_variance_known() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        // Sample variance with n-1 denominator: sum sq dev = 32, / 7
+        assert!((variance(&v) - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_is_sqrt_variance() {
+        let v = [1.0, 3.0];
+        assert!((std_dev(&v) - variance(&v).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        assert!(normalize(&mut v));
+        assert!((norm(&v) - 1.0).abs() < 1e-12);
+        let mut z = vec![0.0, 0.0];
+        assert!(!normalize(&mut z));
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn argmax_argmin() {
+        let v = [1.0, 5.0, -2.0, 5.0];
+        assert_eq!(argmax(&v), Some((1, 5.0))); // first max wins
+        assert_eq!(argmin(&v), Some((2, -2.0)));
+        assert_eq!(argmax(&[]), None);
+        let with_nan = [f64::NAN, 2.0];
+        assert_eq!(argmax(&with_nan), Some((1, 2.0)));
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut v = vec![1.0, -2.0];
+        scale(&mut v, -3.0);
+        assert_eq!(v, vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        assert_eq!(lerp(2.0, 10.0, 0.0), 2.0);
+        assert_eq!(lerp(2.0, 10.0, 1.0), 10.0);
+        assert_eq!(lerp(2.0, 10.0, 0.5), 6.0);
+    }
+}

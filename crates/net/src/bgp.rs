@@ -1,0 +1,318 @@
+//! BGP-style egress resolution and the network address plan.
+//!
+//! The paper resolves each IP flow's **egress PoP** by looking up its
+//! destination address in BGP and ISIS routing tables, augmented with
+//! configuration files for customer addresses missing from BGP (§2.1). Using
+//! this procedure the authors resolve "more than 93% of all IP flows
+//! (accounting for more than 90% of the total byte traffic)".
+//!
+//! [`RouteTable`] reproduces this: a longest-prefix-match table mapping
+//! destination prefixes to egress PoPs, deliberately *incomplete* so that a
+//! realistic fraction of traffic fails resolution. [`AddressPlan`] is the
+//! synthetic address layout that stands in for Abilene's real customer and
+//! peer address space.
+
+use crate::error::Result;
+use crate::prefix::{IpAddr, Prefix, PrefixTrie};
+use crate::topology::{PopId, Topology};
+
+/// Where a route was learned from — mirrors the paper's two-source
+/// resolution (BGP tables augmented with router configuration files).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteSource {
+    /// Learned from BGP (peers and large customers).
+    Bgp,
+    /// Added from router configuration files (customer interfaces whose
+    /// addresses do not appear in BGP).
+    Config,
+}
+
+/// A single routing-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteEntry {
+    /// Egress PoP for traffic matching the prefix.
+    pub egress: PopId,
+    /// Provenance of the entry.
+    pub source: RouteSource,
+}
+
+/// Longest-prefix-match routing table mapping destination IPs to egress
+/// PoPs.
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    trie: PrefixTrie<RouteEntry>,
+}
+
+impl Default for RouteTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RouteTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        RouteTable { trie: PrefixTrie::new() }
+    }
+
+    /// Installs a route. Later insertions for the same prefix replace
+    /// earlier ones (as a fresh daily table computation would).
+    pub fn install(&mut self, prefix: Prefix, egress: PopId, source: RouteSource) {
+        self.trie.insert(prefix, RouteEntry { egress, source });
+    }
+
+    /// Resolves the egress PoP for a destination address, or `None` when no
+    /// prefix matches (the paper's unresolvable ~7%).
+    pub fn egress(&self, dst: IpAddr) -> Option<PopId> {
+        self.trie.lookup(dst).map(|e| e.egress)
+    }
+
+    /// Full entry lookup including provenance.
+    pub fn lookup(&self, dst: IpAddr) -> Option<&RouteEntry> {
+        self.trie.lookup(dst)
+    }
+
+    /// Number of installed prefixes.
+    pub fn len(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// `true` when no routes are installed.
+    pub fn is_empty(&self) -> bool {
+        self.trie.is_empty()
+    }
+}
+
+/// The synthetic address plan for the measured network.
+///
+/// Each PoP is assigned a block of customer /16 prefixes; a set of peer
+/// prefixes (research networks reached through coastal PoPs) plus a pool of
+/// *unannounced* prefixes models the address space that fails egress
+/// resolution, reproducing the paper's ≈93% flow resolution rate.
+#[derive(Debug, Clone)]
+pub struct AddressPlan {
+    /// Customer prefixes per PoP: `customer[p]` lists PoP p's /16 blocks.
+    customer: Vec<Vec<Prefix>>,
+    /// Peer prefixes with their egress PoP (e.g. European research nets via
+    /// the East-coast PoPs).
+    peers: Vec<(Prefix, PopId)>,
+    /// Address space carried by the network but absent from every table —
+    /// traffic to these destinations cannot be resolved to an egress.
+    unannounced: Vec<Prefix>,
+}
+
+impl AddressPlan {
+    /// Number of customer /16 blocks assigned to each PoP by
+    /// [`AddressPlan::synthetic`].
+    pub const BLOCKS_PER_POP: usize = 4;
+
+    /// Builds the default synthetic plan for `topology`:
+    ///
+    /// * PoP `p` owns customer blocks `10.(16 p + j).0.0/16` for
+    ///   `j = 0..4` — comfortably shorter than the 21-bit boundary, so the
+    ///   paper's 11-bit destination anonymization cannot break resolution.
+    /// * Two peer blocks per coastal PoP in `192.<pop>.0.0/16` space.
+    /// * One unannounced `172.(16+p).0.0/16` block per PoP, representing
+    ///   customer space missing from both BGP and the config files.
+    pub fn synthetic(topology: &Topology) -> AddressPlan {
+        let n = topology.num_pops();
+        assert!(n <= 15, "synthetic plan supports at most 15 PoPs (10.x/16 blocks)");
+        let mut customer = Vec::with_capacity(n);
+        for p in 0..n {
+            let mut blocks = Vec::with_capacity(Self::BLOCKS_PER_POP);
+            for j in 0..Self::BLOCKS_PER_POP {
+                let octet2 = (16 * p + j) as u8;
+                blocks.push(
+                    Prefix::new(IpAddr::from_octets(10, octet2, 0, 0), 16)
+                        .expect("static prefix is valid"),
+                );
+            }
+            customer.push(blocks);
+        }
+
+        // Peer networks: reachable via specific PoPs, mirroring Abilene's
+        // peerings with research networks in Europe (via East coast) and
+        // Asia (via West coast).
+        let mut peers = Vec::new();
+        for (code, second_octet) in [("NYCM", 1u8), ("WASH", 2), ("LOSA", 3), ("STTL", 4)] {
+            if let Some(pop) = topology.pop_by_code(code) {
+                peers.push((
+                    Prefix::new(IpAddr::from_octets(192, second_octet, 0, 0), 16)
+                        .expect("static prefix is valid"),
+                    pop,
+                ));
+            }
+        }
+
+        let unannounced = (0..n)
+            .map(|p| {
+                Prefix::new(IpAddr::from_octets(172, 16 + p as u8, 0, 0), 16)
+                    .expect("static prefix is valid")
+            })
+            .collect();
+
+        AddressPlan { customer, peers, unannounced }
+    }
+
+    /// Customer prefixes of a PoP.
+    pub fn customer_prefixes(&self, pop: PopId) -> &[Prefix] {
+        &self.customer[pop]
+    }
+
+    /// All peer prefixes with their egress PoPs.
+    pub fn peer_prefixes(&self) -> &[(Prefix, PopId)] {
+        &self.peers
+    }
+
+    /// Prefixes absent from every routing table.
+    pub fn unannounced_prefixes(&self) -> &[Prefix] {
+        &self.unannounced
+    }
+
+    /// Number of PoPs covered by the plan.
+    pub fn num_pops(&self) -> usize {
+        self.customer.len()
+    }
+
+    /// A representative address inside PoP `pop`'s `block`-th customer
+    /// prefix with the given host suffix (wraps within the block).
+    pub fn customer_addr(&self, pop: PopId, block: usize, host: u32) -> IpAddr {
+        let p = self.customer[pop][block % self.customer[pop].len()];
+        IpAddr(p.network().0 | (host & 0x0000_FFFF))
+    }
+
+    /// A representative address inside the `i`-th unannounced block.
+    pub fn unannounced_addr(&self, i: usize, host: u32) -> IpAddr {
+        let p = self.unannounced[i % self.unannounced.len()];
+        IpAddr(p.network().0 | (host & 0x0000_FFFF))
+    }
+
+    /// Builds the routing table the measurement pipeline uses for egress
+    /// resolution. `config_coverage` in `[0, 1]` controls what fraction of
+    /// each PoP's customer blocks appear (first from BGP, then from config
+    /// files); the remainder — plus all unannounced space — stays
+    /// unresolvable. The paper's setup corresponds to full coverage of
+    /// announced space (`1.0`) with ~7% of traffic addressed to unannounced
+    /// space.
+    pub fn build_route_table(&self, config_coverage: f64) -> Result<RouteTable> {
+        let mut table = RouteTable::new();
+        for (pop, blocks) in self.customer.iter().enumerate() {
+            let covered = ((blocks.len() as f64) * config_coverage.clamp(0.0, 1.0)).round()
+                as usize;
+            for (j, &prefix) in blocks.iter().enumerate().take(covered) {
+                // First block arrives via BGP, the rest via config files —
+                // mirroring the paper's augmentation step.
+                let source = if j == 0 { RouteSource::Bgp } else { RouteSource::Config };
+                table.install(prefix, pop, source);
+            }
+        }
+        for &(prefix, pop) in &self.peers {
+            table.install(prefix, pop, RouteSource::Bgp);
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn plan() -> (Topology, AddressPlan) {
+        let t = Topology::abilene();
+        let p = AddressPlan::synthetic(&t);
+        (t, p)
+    }
+
+    #[test]
+    fn plan_shape() {
+        let (t, p) = plan();
+        assert_eq!(p.num_pops(), t.num_pops());
+        for pop in 0..t.num_pops() {
+            assert_eq!(p.customer_prefixes(pop).len(), AddressPlan::BLOCKS_PER_POP);
+        }
+        assert_eq!(p.peer_prefixes().len(), 4);
+        assert_eq!(p.unannounced_prefixes().len(), t.num_pops());
+    }
+
+    #[test]
+    fn customer_blocks_disjoint_across_pops() {
+        let (_, p) = plan();
+        let mut seen = std::collections::HashSet::new();
+        for pop in 0..p.num_pops() {
+            for pre in p.customer_prefixes(pop) {
+                assert!(seen.insert(pre.network().0), "duplicate block {pre}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_coverage_resolves_all_customers() {
+        let (t, p) = plan();
+        let table = p.build_route_table(1.0).unwrap();
+        for pop in 0..t.num_pops() {
+            for block in 0..AddressPlan::BLOCKS_PER_POP {
+                let addr = p.customer_addr(pop, block, 0x1234);
+                assert_eq!(table.egress(addr), Some(pop), "addr {addr} should egress at {pop}");
+            }
+        }
+    }
+
+    #[test]
+    fn unannounced_space_unresolvable() {
+        let (t, p) = plan();
+        let table = p.build_route_table(1.0).unwrap();
+        for i in 0..t.num_pops() {
+            let addr = p.unannounced_addr(i, 42);
+            assert_eq!(table.egress(addr), None, "unannounced {addr} must not resolve");
+        }
+    }
+
+    #[test]
+    fn partial_coverage_drops_blocks() {
+        let (_, p) = plan();
+        let table_half = p.build_route_table(0.5).unwrap();
+        let table_full = p.build_route_table(1.0).unwrap();
+        assert!(table_half.len() < table_full.len());
+        // First block (BGP-learned) is always covered at 0.5.
+        assert!(table_half.egress(p.customer_addr(0, 0, 1)).is_some());
+        // Last block is not.
+        assert!(table_half.egress(p.customer_addr(0, 3, 1)).is_none());
+    }
+
+    #[test]
+    fn provenance_recorded() {
+        let (_, p) = plan();
+        let table = p.build_route_table(1.0).unwrap();
+        let bgp = table.lookup(p.customer_addr(2, 0, 9)).unwrap();
+        assert_eq!(bgp.source, RouteSource::Bgp);
+        let cfg = table.lookup(p.customer_addr(2, 1, 9)).unwrap();
+        assert_eq!(cfg.source, RouteSource::Config);
+    }
+
+    #[test]
+    fn peers_resolve_to_coastal_pops() {
+        let (t, p) = plan();
+        let table = p.build_route_table(1.0).unwrap();
+        let nycm = t.pop_by_code("NYCM").unwrap();
+        let addr: IpAddr = "192.1.7.7".parse().unwrap();
+        assert_eq!(table.egress(addr), Some(nycm));
+    }
+
+    #[test]
+    fn empty_table_resolves_nothing() {
+        let t = RouteTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.egress("10.0.0.1".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn route_replacement() {
+        let mut t = RouteTable::new();
+        let pre: Prefix = "10.0.0.0/16".parse().unwrap();
+        t.install(pre, 3, RouteSource::Bgp);
+        t.install(pre, 5, RouteSource::Config);
+        assert_eq!(t.egress("10.0.1.1".parse().unwrap()), Some(5));
+        assert_eq!(t.len(), 1);
+    }
+}

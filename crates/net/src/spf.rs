@@ -1,0 +1,271 @@
+//! Shortest-path-first routing (ISIS-style) over the backbone topology.
+//!
+//! Abilene ran ISIS internally; intra-network forwarding follows shortest
+//! IGP paths. The flow pipeline uses [`SpfTable`] to answer "which PoPs and
+//! links does traffic from origin O to destination D traverse?" — needed to
+//! synthesize per-router packet observations and to model OUTAGE /
+//! INGRESS-SHIFT anomalies where routing state changes mid-trace.
+
+use crate::error::{NetError, Result};
+use crate::topology::{PopId, Topology};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// All-pairs shortest paths computed by running Dijkstra from every PoP.
+#[derive(Debug, Clone)]
+pub struct SpfTable {
+    n: usize,
+    /// `dist[s * n + d]` = IGP distance from s to d (`f64::INFINITY` if
+    /// unreachable).
+    dist: Vec<f64>,
+    /// `next_hop[s * n + d]` = first hop on the path from s to d
+    /// (`usize::MAX` when unreachable or s == d).
+    next_hop: Vec<usize>,
+}
+
+/// Min-heap entry for Dijkstra.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    pop: PopId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap; distances are finite by construction.
+        other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl SpfTable {
+    /// Runs SPF from every PoP, honoring an optional set of failed links
+    /// (by index into `topology.links()`): failed links are skipped, which
+    /// is how the OUTAGE scenario perturbs routing.
+    pub fn compute(topology: &Topology, failed_links: &[usize]) -> SpfTable {
+        let n = topology.num_pops();
+        let failed: std::collections::HashSet<usize> = failed_links.iter().copied().collect();
+        let mut dist = vec![f64::INFINITY; n * n];
+        let mut next_hop = vec![usize::MAX; n * n];
+
+        for src in 0..n {
+            let mut d = vec![f64::INFINITY; n];
+            let mut first = vec![usize::MAX; n];
+            let mut done = vec![false; n];
+            d[src] = 0.0;
+            let mut heap = BinaryHeap::new();
+            heap.push(HeapEntry { dist: 0.0, pop: src });
+            while let Some(HeapEntry { dist: du, pop: u }) = heap.pop() {
+                if done[u] {
+                    continue;
+                }
+                done[u] = true;
+                for &(v, link_idx) in topology.neighbors(u).expect("pop in range") {
+                    if failed.contains(&link_idx) {
+                        continue;
+                    }
+                    let w = topology.links()[link_idx].igp_metric;
+                    let alt = du + w;
+                    if alt < d[v] {
+                        d[v] = alt;
+                        first[v] = if u == src { v } else { first[u] };
+                        heap.push(HeapEntry { dist: alt, pop: v });
+                    }
+                }
+            }
+            for dst in 0..n {
+                dist[src * n + dst] = d[dst];
+                next_hop[src * n + dst] = first[dst];
+            }
+        }
+        SpfTable { n, dist, next_hop }
+    }
+
+    /// IGP distance between two PoPs.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownPop`] for out-of-range ids;
+    /// [`NetError::NoRoute`] when the destination is unreachable.
+    pub fn distance(&self, from: PopId, to: PopId) -> Result<f64> {
+        self.check(from)?;
+        self.check(to)?;
+        let d = self.dist[from * self.n + to];
+        if d.is_infinite() {
+            return Err(NetError::NoRoute { from, to });
+        }
+        Ok(d)
+    }
+
+    /// The full PoP-level path from `from` to `to`, inclusive of both ends.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownPop`] / [`NetError::NoRoute`] as for
+    /// [`Self::distance`].
+    pub fn path(&self, from: PopId, to: PopId) -> Result<Vec<PopId>> {
+        self.check(from)?;
+        self.check(to)?;
+        if from == to {
+            return Ok(vec![from]);
+        }
+        if self.dist[from * self.n + to].is_infinite() {
+            return Err(NetError::NoRoute { from, to });
+        }
+        let mut path = vec![from];
+        let mut cur = from;
+        // Path length is bounded by n; guard against corrupt tables anyway.
+        for _ in 0..self.n {
+            let nh = self.next_hop[cur * self.n + to];
+            if nh == usize::MAX {
+                return Err(NetError::NoRoute { from, to });
+            }
+            path.push(nh);
+            if nh == to {
+                return Ok(path);
+            }
+            cur = nh;
+        }
+        Err(NetError::NoRoute { from, to })
+    }
+
+    /// `true` if `to` is reachable from `from`.
+    pub fn reachable(&self, from: PopId, to: PopId) -> bool {
+        from < self.n && to < self.n && self.dist[from * self.n + to].is_finite()
+    }
+
+    fn check(&self, pop: PopId) -> Result<()> {
+        if pop >= self.n {
+            return Err(NetError::UnknownPop { pop, count: self.n });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+
+    fn line_topology() -> Topology {
+        // A - B - C - D, unit metrics.
+        TopologyBuilder::new()
+            .pop("A", "a")
+            .pop("B", "b")
+            .pop("C", "c")
+            .pop("D", "d")
+            .link(0, 1, 1.0, 1e9)
+            .link(1, 2, 1.0, 1e9)
+            .link(2, 3, 1.0, 1e9)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn line_distances() {
+        let t = line_topology();
+        let spf = SpfTable::compute(&t, &[]);
+        assert_eq!(spf.distance(0, 3).unwrap(), 3.0);
+        assert_eq!(spf.distance(3, 0).unwrap(), 3.0);
+        assert_eq!(spf.distance(1, 1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn line_paths() {
+        let t = line_topology();
+        let spf = SpfTable::compute(&t, &[]);
+        assert_eq!(spf.path(0, 3).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(spf.path(3, 1).unwrap(), vec![3, 2, 1]);
+        assert_eq!(spf.path(2, 2).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn weighted_shortcut_preferred() {
+        // Triangle: A-B metric 10, A-C 1, C-B 1 -> A to B goes via C.
+        let t = TopologyBuilder::new()
+            .pop("A", "a")
+            .pop("B", "b")
+            .pop("C", "c")
+            .link(0, 1, 10.0, 1e9)
+            .link(0, 2, 1.0, 1e9)
+            .link(2, 1, 1.0, 1e9)
+            .build()
+            .unwrap();
+        let spf = SpfTable::compute(&t, &[]);
+        assert_eq!(spf.distance(0, 1).unwrap(), 2.0);
+        assert_eq!(spf.path(0, 1).unwrap(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn failed_link_reroutes() {
+        let t = TopologyBuilder::new()
+            .pop("A", "a")
+            .pop("B", "b")
+            .pop("C", "c")
+            .link(0, 1, 1.0, 1e9) // link 0: direct
+            .link(0, 2, 1.0, 1e9) // link 1
+            .link(2, 1, 1.0, 1e9) // link 2
+            .build()
+            .unwrap();
+        let spf = SpfTable::compute(&t, &[0]);
+        assert_eq!(spf.distance(0, 1).unwrap(), 2.0);
+        assert_eq!(spf.path(0, 1).unwrap(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn failed_link_can_partition() {
+        let t = line_topology();
+        // Failing B-C (link index 1) splits {A,B} from {C,D}.
+        let spf = SpfTable::compute(&t, &[1]);
+        assert!(!spf.reachable(0, 3));
+        assert!(matches!(spf.distance(0, 3), Err(NetError::NoRoute { .. })));
+        assert!(matches!(spf.path(0, 3), Err(NetError::NoRoute { .. })));
+        assert!(spf.reachable(0, 1));
+        assert!(spf.reachable(2, 3));
+    }
+
+    #[test]
+    fn abilene_all_pairs_reachable() {
+        let t = Topology::abilene();
+        let spf = SpfTable::compute(&t, &[]);
+        for a in 0..t.num_pops() {
+            for b in 0..t.num_pops() {
+                assert!(spf.reachable(a, b), "{a} cannot reach {b}");
+                let p = spf.path(a, b).unwrap();
+                assert_eq!(p.first(), Some(&a));
+                assert_eq!(p.last(), Some(&b));
+                // Paths on an 11-node network are short.
+                assert!(p.len() <= 6, "suspiciously long path {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn abilene_path_endpoints_consistent_with_distance() {
+        let t = Topology::abilene();
+        let spf = SpfTable::compute(&t, &[]);
+        for a in 0..t.num_pops() {
+            for b in 0..t.num_pops() {
+                let p = spf.path(a, b).unwrap();
+                // Unit metrics: path hop count - 1 == distance.
+                assert_eq!((p.len() - 1) as f64, spf.distance(a, b).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_pop_rejected() {
+        let t = line_topology();
+        let spf = SpfTable::compute(&t, &[]);
+        assert!(spf.distance(9, 0).is_err());
+        assert!(spf.path(0, 9).is_err());
+        assert!(!spf.reachable(9, 0));
+    }
+}

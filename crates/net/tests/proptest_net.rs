@@ -1,0 +1,105 @@
+//! Property-based tests for prefix matching and routing.
+
+use odflow_net::{IpAddr, Prefix, PrefixTrie, SpfTable, Topology};
+use proptest::prelude::*;
+
+/// Reference longest-prefix-match by linear scan.
+fn linear_lpm(entries: &[(Prefix, u32)], addr: IpAddr) -> Option<u32> {
+    entries
+        .iter()
+        .filter(|(p, _)| p.contains(addr))
+        .max_by_key(|(p, _)| p.len())
+        .map(|&(_, v)| v)
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Prefix::new(IpAddr(addr), len).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn trie_matches_linear_scan(
+        entries in proptest::collection::vec((arb_prefix(), any::<u32>()), 0..40),
+        addr in any::<u32>(),
+    ) {
+        // Deduplicate by prefix: the trie replaces, the linear scan must see
+        // the *last* value for a duplicate prefix to agree.
+        let mut dedup: Vec<(Prefix, u32)> = Vec::new();
+        for (p, v) in &entries {
+            if let Some(slot) = dedup.iter_mut().find(|(q, _)| q == p) {
+                slot.1 = *v;
+            } else {
+                dedup.push((*p, *v));
+            }
+        }
+        let mut trie = PrefixTrie::new();
+        for &(p, v) in &dedup {
+            trie.insert(p, v);
+        }
+        let addr = IpAddr(addr);
+        prop_assert_eq!(trie.lookup(addr).copied(), linear_lpm(&dedup, addr));
+    }
+
+    #[test]
+    fn prefix_contains_its_range(p in arb_prefix(), offset in any::<u32>()) {
+        let size_m1 = p.last().0.wrapping_sub(p.first().0);
+        let inside = IpAddr(p.first().0.wrapping_add(if size_m1 == u32::MAX { offset } else { offset % (size_m1 + 1) }));
+        prop_assert!(p.contains(inside), "{} should contain {}", p, inside);
+    }
+
+    #[test]
+    fn prefix_parse_display_roundtrip(p in arb_prefix()) {
+        let text = p.to_string();
+        let parsed: Prefix = text.parse().unwrap();
+        prop_assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn anonymization_never_changes_egress_for_coarse_tables(
+        host in any::<u32>(),
+        pop in 0usize..11,
+        block in 0usize..4,
+    ) {
+        // The synthetic plan uses /16s (coarser than /21), so 11-bit
+        // anonymization must never change resolution.
+        let t = Topology::abilene();
+        let plan = odflow_net::AddressPlan::synthetic(&t);
+        let table = plan.build_route_table(1.0).unwrap();
+        let addr = plan.customer_addr(pop, block, host);
+        let anon = odflow_net::anonymize_dst(addr);
+        prop_assert_eq!(table.egress(addr), table.egress(anon));
+    }
+
+    #[test]
+    fn spf_triangle_inequality(seed_failed in proptest::collection::vec(0usize..14, 0..2)) {
+        let t = Topology::abilene();
+        let spf = SpfTable::compute(&t, &seed_failed);
+        let n = t.num_pops();
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    if spf.reachable(a, b) && spf.reachable(b, c) && spf.reachable(a, c) {
+                        let via = spf.distance(a, b).unwrap() + spf.distance(b, c).unwrap();
+                        prop_assert!(spf.distance(a, c).unwrap() <= via + 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spf_symmetric_for_undirected_graph(fail in proptest::collection::vec(0usize..14, 0..3)) {
+        let t = Topology::abilene();
+        let spf = SpfTable::compute(&t, &fail);
+        for a in 0..t.num_pops() {
+            for b in 0..t.num_pops() {
+                prop_assert_eq!(spf.reachable(a, b), spf.reachable(b, a));
+                if spf.reachable(a, b) {
+                    prop_assert!((spf.distance(a, b).unwrap() - spf.distance(b, a).unwrap()).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Descriptive statistics: summaries and empirical quantiles.
+//!
+//! Used by the experiment harness to report the distributional shape of
+//! detection statistics and anomaly properties (duration, OD-flow counts)
+//! alongside the paper's histograms.
+
+use crate::error::{Result, StatsError};
+
+/// A five-number-plus summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation (0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub q25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q75: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Computes a [`Summary`] of the sample.
+///
+/// # Errors
+///
+/// [`StatsError::InsufficientData`] for an empty sample.
+pub fn summarize(data: &[f64]) -> Result<Summary> {
+    if data.is_empty() {
+        return Err(StatsError::InsufficientData { op: "summarize", got: 0, need: 1 });
+    }
+    let n = data.len();
+    let mean = data.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data for summarize"));
+    Ok(Summary {
+        n,
+        mean,
+        std_dev: var.sqrt(),
+        min: sorted[0],
+        q25: quantile_sorted(&sorted, 0.25),
+        median: quantile_sorted(&sorted, 0.5),
+        q75: quantile_sorted(&sorted, 0.75),
+        max: sorted[n - 1],
+    })
+}
+
+/// Empirical quantile of `data` at probability `p in [0, 1]`, with linear
+/// interpolation between order statistics (type-7, the R/NumPy default).
+///
+/// # Errors
+///
+/// * [`StatsError::InsufficientData`] for an empty sample.
+/// * [`StatsError::InvalidProbability`] if `p` is outside `[0, 1]`.
+pub fn quantile(data: &[f64], p: f64) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::InsufficientData { op: "quantile", got: 0, need: 1 });
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(StatsError::InvalidProbability { p });
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data for quantile"));
+    Ok(quantile_sorted(&sorted, p))
+}
+
+/// Type-7 quantile on pre-sorted data.
+fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = (n - 1) as f64 * p;
+    let lo = h.floor() as usize;
+    let hi = (lo + 1).min(n - 1);
+    let frac = h - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_known() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = summarize(&data).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q25, 2.0);
+        assert_eq!(s.q75, 4.0);
+        // std dev of 1..5 = sqrt(2.5)
+        assert!((s.std_dev - 2.5_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_single_point() {
+        let s = summarize(&[7.0]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn summary_empty_rejected() {
+        assert!(summarize(&[]).is_err());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let data = [10.0, 20.0];
+        assert_eq!(quantile(&data, 0.0).unwrap(), 10.0);
+        assert_eq!(quantile(&data, 1.0).unwrap(), 20.0);
+        assert_eq!(quantile(&data, 0.5).unwrap(), 15.0);
+        assert_eq!(quantile(&data, 0.75).unwrap(), 17.5);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let data = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile(&data, 0.5).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn quantile_rejects_bad_p() {
+        assert!(quantile(&[1.0], -0.1).is_err());
+        assert!(quantile(&[1.0], 1.1).is_err());
+        assert!(quantile(&[], 0.5).is_err());
+    }
+}

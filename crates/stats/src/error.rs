@@ -1,0 +1,73 @@
+//! Error types for statistical computations.
+
+use std::fmt;
+
+/// Errors produced by `odflow-stats` operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A probability argument was outside the open interval `(0, 1)`.
+    InvalidProbability {
+        /// The offending value.
+        p: f64,
+    },
+    /// A distribution or threshold parameter was invalid.
+    InvalidParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Not enough data for the requested computation.
+    InsufficientData {
+        /// Human-readable name of the operation.
+        op: &'static str,
+        /// How many samples were provided.
+        got: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// An iterative routine failed to converge.
+    NoConvergence {
+        /// Human-readable name of the operation.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidProbability { p } => {
+                write!(f, "probability must be in (0, 1), got {p}")
+            }
+            StatsError::InvalidParameter { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
+            StatsError::InsufficientData { op, got, need } => {
+                write!(f, "{op}: need at least {need} samples, got {got}")
+            }
+            StatsError::NoConvergence { op } => write!(f, "{op}: failed to converge"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StatsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(StatsError::InvalidProbability { p: 1.5 }.to_string().contains("(0, 1)"));
+        assert!(StatsError::InvalidParameter { what: "df", value: -1.0 }
+            .to_string()
+            .contains("invalid df"));
+        assert!(StatsError::InsufficientData { op: "q", got: 1, need: 2 }
+            .to_string()
+            .contains("need at least 2"));
+        assert!(StatsError::NoConvergence { op: "x" }.to_string().contains("converge"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Exponentially weighted moving average (EWMA) baseline detector.
+//!
+//! The harness uses this classic univariate detector as a *baseline* against
+//! which the subspace method is compared in the ablation benches: EWMA looks
+//! at each OD flow (or the network aggregate) independently, so it cannot
+//! exploit the cross-flow correlation structure that PCA captures — exactly
+//! the gap the paper's network-wide approach closes.
+
+use crate::error::{Result, StatsError};
+
+/// An online EWMA mean/variance tracker with z-score style alarming.
+///
+/// Maintains `μ_t = λ x_t + (1-λ) μ_{t-1}` and an EWMA of squared deviations
+/// for a variance estimate. A point alarms when it deviates from the current
+/// mean by more than `threshold_sigmas` estimated standard deviations.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    lambda: f64,
+    threshold_sigmas: f64,
+    mean: f64,
+    var: f64,
+    warmup_remaining: usize,
+    initialized: bool,
+}
+
+/// Result of feeding one observation to the EWMA detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EwmaOutput {
+    /// The smoothed mean *after* incorporating this observation.
+    pub mean: f64,
+    /// The deviation of the observation from the pre-update mean, in
+    /// estimated standard deviations (0 during warm-up).
+    pub z_score: f64,
+    /// Whether the observation exceeded the alarm threshold.
+    pub alarm: bool,
+}
+
+impl Ewma {
+    /// Creates an EWMA detector.
+    ///
+    /// * `lambda` — smoothing weight in `(0, 1]`; smaller = smoother.
+    /// * `threshold_sigmas` — alarm threshold in standard deviations
+    ///   (must be positive).
+    /// * `warmup` — number of initial observations used only for priming the
+    ///   estimates (no alarms are raised during warm-up).
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] for out-of-range `lambda` or a
+    /// non-positive threshold.
+    pub fn new(lambda: f64, threshold_sigmas: f64, warmup: usize) -> Result<Self> {
+        if !(lambda > 0.0 && lambda <= 1.0) {
+            return Err(StatsError::InvalidParameter { what: "EWMA lambda", value: lambda });
+        }
+        if !(threshold_sigmas > 0.0 && threshold_sigmas.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                what: "EWMA threshold",
+                value: threshold_sigmas,
+            });
+        }
+        Ok(Ewma {
+            lambda,
+            threshold_sigmas,
+            mean: 0.0,
+            var: 0.0,
+            warmup_remaining: warmup,
+            initialized: false,
+        })
+    }
+
+    /// Feeds one observation, returning the smoothed state and alarm flag.
+    pub fn update(&mut self, x: f64) -> EwmaOutput {
+        if !self.initialized {
+            self.mean = x;
+            self.var = 0.0;
+            self.initialized = true;
+            self.warmup_remaining = self.warmup_remaining.saturating_sub(1);
+            return EwmaOutput { mean: self.mean, z_score: 0.0, alarm: false };
+        }
+        let dev = x - self.mean;
+        let sd = self.var.max(0.0).sqrt();
+        let z = if sd > 1e-300 { dev / sd } else { 0.0 };
+
+        let in_warmup = self.warmup_remaining > 0;
+        self.warmup_remaining = self.warmup_remaining.saturating_sub(1);
+        let alarm = !in_warmup && z.abs() > self.threshold_sigmas;
+
+        // Robustness: don't let an alarming point poison the baseline —
+        // standard practice for EWMA control charts on contaminated data.
+        if !alarm {
+            self.mean += self.lambda * dev;
+            self.var = (1.0 - self.lambda) * (self.var + self.lambda * dev * dev);
+        }
+
+        EwmaOutput { mean: self.mean, z_score: z, alarm }
+    }
+
+    /// Runs the detector over a full series, returning one output per point.
+    pub fn run(&mut self, series: &[f64]) -> Vec<EwmaOutput> {
+        series.iter().map(|&x| self.update(x)).collect()
+    }
+
+    /// Current smoothed mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Current smoothed standard deviation estimate.
+    pub fn std_dev(&self) -> f64 {
+        self.var.max(0.0).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_series_never_alarms() {
+        let mut e = Ewma::new(0.3, 3.0, 5).unwrap();
+        for _ in 0..100 {
+            let out = e.update(10.0);
+            assert!(!out.alarm);
+        }
+        assert!((e.mean() - 10.0).abs() < 1e-12);
+        assert!(e.std_dev() < 1e-12);
+    }
+
+    #[test]
+    fn spike_alarms_after_warmup() {
+        let mut e = Ewma::new(0.2, 3.0, 10).unwrap();
+        // Noisy-ish baseline.
+        for i in 0..50 {
+            e.update(100.0 + (i % 3) as f64);
+        }
+        let out = e.update(500.0);
+        assert!(out.alarm, "spike should alarm, z={}", out.z_score);
+        assert!(out.z_score > 3.0);
+    }
+
+    #[test]
+    fn no_alarm_during_warmup() {
+        let mut e = Ewma::new(0.2, 1.0, 10).unwrap();
+        e.update(1.0);
+        e.update(2.0);
+        let out = e.update(1000.0); // still within warmup of 10
+        assert!(!out.alarm);
+    }
+
+    #[test]
+    fn alarm_does_not_poison_baseline() {
+        let mut e = Ewma::new(0.5, 3.0, 5).unwrap();
+        for i in 0..30 {
+            e.update(10.0 + 0.5 * ((i % 2) as f64));
+        }
+        let mean_before = e.mean();
+        e.update(10_000.0); // huge spike, alarmed and excluded
+        assert!((e.mean() - mean_before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_tracks_level_shift() {
+        let mut e = Ewma::new(0.3, 100.0, 0).unwrap(); // huge threshold: never alarm
+        for _ in 0..200 {
+            e.update(5.0);
+        }
+        for _ in 0..200 {
+            e.update(15.0);
+        }
+        assert!((e.mean() - 15.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn run_returns_one_output_per_point() {
+        let mut e = Ewma::new(0.2, 3.0, 2).unwrap();
+        let outs = e.run(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(outs.len(), 4);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Ewma::new(0.0, 3.0, 0).is_err());
+        assert!(Ewma::new(1.5, 3.0, 0).is_err());
+        assert!(Ewma::new(0.3, 0.0, 0).is_err());
+        assert!(Ewma::new(0.3, f64::NAN, 0).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! Fixed-bin histograms.
+//!
+//! Figure 2 of the paper presents two histograms — anomaly duration in
+//! minutes and number of OD flows per anomaly. [`Histogram`] reproduces
+//! those, including ASCII rendering for terminal output in the harness.
+
+use crate::error::{Result, StatsError};
+
+/// A histogram over `[lo, hi)` with equal-width bins.
+///
+/// Values below `lo` are clamped into the first bin; values at or above `hi`
+/// go into an overflow count reported separately (the paper's duration
+/// histogram uses a bounded x-axis with a long tail).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] if `bins == 0`, `lo >= hi`, or the
+    /// bounds are non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter { what: "histogram bins", value: 0.0 });
+        }
+        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+            return Err(StatsError::InvalidParameter { what: "histogram bounds", value: hi - lo });
+        }
+        Ok(Histogram { lo, hi, counts: vec![0; bins], overflow: 0, total: 0 })
+    }
+
+    /// Adds one observation. NaN observations are ignored (and not counted).
+    pub fn add(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        self.total += 1;
+        if x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = (((x - self.lo) / width).floor() as i64).clamp(0, self.counts.len() as i64 - 1);
+        self.counts[idx as usize] += 1;
+    }
+
+    /// Adds every observation in `xs`.
+    pub fn add_all(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Per-bin counts (excludes overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations added (including overflow, excluding NaN).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `(bin_start, bin_end, count)` triples for reporting.
+    pub fn bins(&self) -> Vec<(f64, f64, u64)> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width, c))
+            .collect()
+    }
+
+    /// Index and count of the most populated bin; `None` if all are empty.
+    pub fn mode_bin(&self) -> Option<(usize, u64)> {
+        let (mut best_i, mut best_c) = (0usize, 0u64);
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > best_c {
+                best_i = i;
+                best_c = c;
+            }
+        }
+        if best_c == 0 {
+            None
+        } else {
+            Some((best_i, best_c))
+        }
+    }
+
+    /// Renders the histogram as ASCII bars, one bin per line, e.g.
+    ///
+    /// ```text
+    /// [  0,  20) ############################ 140
+    /// [ 20,  40) ######## 40
+    /// ```
+    pub fn render_ascii(&self, max_width: usize) -> String {
+        let max_count = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (start, end, c) in self.bins() {
+            let bar = (c as f64 / max_count as f64 * max_width as f64).round() as usize;
+            out.push_str(&format!(
+                "[{start:>8.1}, {end:>8.1}) {} {c}\n",
+                "#".repeat(bar)
+            ));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("[{:>8.1},      inf) {}\n", self.hi, self.overflow));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.add_all([0.0, 1.9, 2.0, 5.5, 9.99]);
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn overflow_and_clamp() {
+        let mut h = Histogram::new(0.0, 10.0, 2).unwrap();
+        h.add(10.0); // at hi -> overflow
+        h.add(100.0);
+        h.add(-5.0); // below lo -> clamped into first bin
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.counts(), &[1, 0]);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn nan_ignored() {
+        let mut h = Histogram::new(0.0, 1.0, 1).unwrap();
+        h.add(f64::NAN);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn bins_edges() {
+        let h = Histogram::new(0.0, 100.0, 4).unwrap();
+        let bins = h.bins();
+        assert_eq!(bins.len(), 4);
+        assert_eq!(bins[0].0, 0.0);
+        assert_eq!(bins[0].1, 25.0);
+        assert_eq!(bins[3].1, 100.0);
+    }
+
+    #[test]
+    fn mode_bin_found() {
+        let mut h = Histogram::new(0.0, 3.0, 3).unwrap();
+        h.add_all([0.5, 1.5, 1.6, 1.7, 2.5]);
+        assert_eq!(h.mode_bin(), Some((1, 3)));
+        let empty = Histogram::new(0.0, 1.0, 2).unwrap();
+        assert_eq!(empty.mode_bin(), None);
+    }
+
+    #[test]
+    fn ascii_render_contains_bars() {
+        let mut h = Histogram::new(0.0, 2.0, 2).unwrap();
+        h.add_all([0.5, 0.6, 1.5]);
+        h.add(5.0);
+        let s = h.render_ascii(10);
+        assert!(s.contains('#'));
+        assert!(s.contains("inf"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 3).is_err());
+        assert!(Histogram::new(2.0, 1.0, 3).is_err());
+        assert!(Histogram::new(0.0, f64::INFINITY, 3).is_err());
+    }
+}

@@ -1,0 +1,315 @@
+//! The Q-statistic (squared prediction error) threshold of Jackson &
+//! Mudholkar.
+//!
+//! The subspace method flags a timebin as anomalous when the squared
+//! residual `||x~||^2` exceeds `δ²_α`, the Q-statistic threshold at the
+//! `1 - α` confidence level (paper §2.2; Jackson & Mudholkar,
+//! *Technometrics* 1979 — the paper's reference \[12\]).
+//!
+//! Given the eigenvalues `λ_1 >= λ_2 >= ... >= λ_p` of the data covariance
+//! and a normal subspace of dimension `k`, define the residual spectral sums
+//!
+//! ```text
+//! φ_i = Σ_{j=k+1}^{p} λ_j^i       for i = 1, 2, 3
+//! h0  = 1 - 2 φ_1 φ_3 / (3 φ_2²)
+//! ```
+//!
+//! then the threshold is
+//!
+//! ```text
+//! δ²_α = φ_1 [ c_α sqrt(2 φ_2 h0²) / φ_1  +  1  +  φ_2 h0 (h0 - 1) / φ_1² ]^{1/h0}
+//! ```
+//!
+//! where `c_α` is the `1 - α` standard-normal quantile. The derivation rests
+//! on a cube-root normalizing power transform of the residual sum; it holds
+//! regardless of which eigenvalues the residual retains, which is what lets
+//! the paper move the boundary `k` without re-deriving the test.
+
+use crate::dist::Normal;
+use crate::error::{Result, StatsError};
+
+/// The residual spectral sums and derived quantities behind the threshold.
+///
+/// Exposed so the detection layer can report *why* a threshold took the
+/// value it did (useful when an operator tunes `k`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QStatParams {
+    /// `φ_1 = Σ λ_j` over residual eigenvalues.
+    pub phi1: f64,
+    /// `φ_2 = Σ λ_j²` over residual eigenvalues.
+    pub phi2: f64,
+    /// `φ_3 = Σ λ_j³` over residual eigenvalues.
+    pub phi3: f64,
+    /// The power-transform exponent `h0`.
+    pub h0: f64,
+}
+
+/// Computes the residual spectral sums for eigenvalues beyond index `k`.
+///
+/// Eigenvalues must be sorted descending (as produced by
+/// `odflow_linalg::eigen_symmetric`). Small negative eigenvalues (numerical
+/// noise in rank-deficient covariances) are clamped to zero.
+///
+/// # Errors
+///
+/// * [`StatsError::InvalidParameter`] if `k >= eigenvalues.len()` (no
+///   residual subspace — every direction is "normal") or if the residual
+///   carries no variance at all.
+pub fn qstat_params(eigenvalues: &[f64], k: usize) -> Result<QStatParams> {
+    if k >= eigenvalues.len() {
+        return Err(StatsError::InvalidParameter {
+            what: "normal subspace dimension k (must leave a residual)",
+            value: k as f64,
+        });
+    }
+    let mut phi1 = 0.0;
+    let mut phi2 = 0.0;
+    let mut phi3 = 0.0;
+    for &l in &eigenvalues[k..] {
+        let l = l.max(0.0);
+        phi1 += l;
+        phi2 += l * l;
+        phi3 += l * l * l;
+    }
+    if phi1 <= 0.0 || phi2 <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            what: "residual variance (all residual eigenvalues are zero)",
+            value: phi1,
+        });
+    }
+    let h0 = 1.0 - 2.0 * phi1 * phi3 / (3.0 * phi2 * phi2);
+    Ok(QStatParams { phi1, phi2, phi3, h0 })
+}
+
+/// Computes the Q-statistic threshold `δ²_α` at confidence level `1 - alpha`.
+///
+/// `eigenvalues` are the covariance eigenvalues sorted descending; `k` is
+/// the normal-subspace dimension (the paper uses `k = 4`); `alpha` is the
+/// false-alarm rate (the paper uses `alpha = 0.001`, i.e. 99.9% confidence).
+///
+/// # Errors
+///
+/// * [`StatsError::InvalidProbability`] unless `0 < alpha < 1`.
+/// * Propagates [`qstat_params`] errors for degenerate spectra.
+///
+/// # Examples
+///
+/// ```
+/// use odflow_stats::q_threshold;
+///
+/// let eigenvalues = vec![100.0, 10.0, 1.0, 0.5, 0.25, 0.1];
+/// let delta = q_threshold(&eigenvalues, 2, 0.001).unwrap();
+/// assert!(delta > 0.0);
+/// ```
+pub fn q_threshold(eigenvalues: &[f64], k: usize, alpha: f64) -> Result<f64> {
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(StatsError::InvalidProbability { p: alpha });
+    }
+    let p = qstat_params(eigenvalues, k)?;
+    let c_alpha = Normal::quantile(1.0 - alpha)?;
+
+    // The power transform Q^h0 is approximately normal with
+    //   mean     θ1^h0 [1 + θ2 h0 (h0-1) / θ1²]
+    //   variance 2 θ2 h0² θ1^(2 h0 - 2).
+    // For h0 > 0 the upper tail of Q maps to the upper tail of Q^h0; for
+    // h0 < 0 (heavy residual spectra — typical for traffic matrices, where
+    // a few residual eigenvalues dominate a long tail) the transform is
+    // DECREASING, so the upper tail of Q is the LOWER tail of Q^h0 and the
+    // c_α term enters with a minus sign. Jackson & Mudholkar's formula as
+    // usually quoted assumes h0 > 0; both branches below reduce to it
+    // there.
+    //
+    // h0 == 0 is a removable singularity (the transform degenerates to
+    // log); nudge away from it, the expression is continuous.
+    let h0 = if p.h0.abs() < 1e-9 { 1e-9_f64.copysign(if p.h0 == 0.0 { 1.0 } else { p.h0 }) } else { p.h0 };
+
+    let mean_shift = p.phi2 * h0 * (h0 - 1.0) / (p.phi1 * p.phi1);
+    let tail = c_alpha * (2.0 * p.phi2).sqrt() * h0.abs() / p.phi1;
+    let term = if h0 > 0.0 { 1.0 + mean_shift + tail } else { 1.0 + mean_shift - tail };
+
+    if term <= 0.0 {
+        // The normal approximation of Q^h0 broke down (extreme α or
+        // pathological spectrum). Fall back to a two-moment normal
+        // approximation on Q itself: mean φ1, variance 2 φ2.
+        return Ok(p.phi1 + c_alpha * (2.0 * p.phi2).sqrt());
+    }
+    Ok(p.phi1 * term.powf(1.0 / h0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spectrum() -> Vec<f64> {
+        vec![1000.0, 200.0, 80.0, 40.0, 10.0, 5.0, 2.0, 1.0, 0.5, 0.2]
+    }
+
+    #[test]
+    fn params_known_sums() {
+        let ev = vec![4.0, 3.0, 2.0, 1.0];
+        let p = qstat_params(&ev, 2).unwrap();
+        assert_eq!(p.phi1, 3.0); // 2 + 1
+        assert_eq!(p.phi2, 5.0); // 4 + 1
+        assert_eq!(p.phi3, 9.0); // 8 + 1
+        let h0 = 1.0 - 2.0 * 3.0 * 9.0 / (3.0 * 25.0);
+        assert!((p.h0 - h0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn params_clamp_negative_eigenvalues() {
+        let ev = vec![10.0, 1.0, -1e-12];
+        let p = qstat_params(&ev, 1).unwrap();
+        assert_eq!(p.phi1, 1.0);
+    }
+
+    #[test]
+    fn params_reject_no_residual() {
+        let ev = vec![4.0, 3.0];
+        assert!(qstat_params(&ev, 2).is_err());
+        assert!(qstat_params(&ev, 5).is_err());
+    }
+
+    #[test]
+    fn params_reject_zero_residual_variance() {
+        let ev = vec![4.0, 0.0, 0.0];
+        assert!(qstat_params(&ev, 1).is_err());
+    }
+
+    #[test]
+    fn threshold_positive_and_scales_with_variance() {
+        let t1 = q_threshold(&spectrum(), 4, 0.001).unwrap();
+        assert!(t1 > 0.0);
+        // Scaling all eigenvalues by c scales the threshold by c
+        // (Q is a sum of λ-weighted chi-squares).
+        let scaled: Vec<f64> = spectrum().iter().map(|l| l * 7.0).collect();
+        let t2 = q_threshold(&scaled, 4, 0.001).unwrap();
+        assert!((t2 / t1 - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_monotone_in_alpha() {
+        // Smaller alpha (higher confidence) -> larger threshold.
+        let t_strict = q_threshold(&spectrum(), 4, 0.001).unwrap();
+        let t_loose = q_threshold(&spectrum(), 4, 0.05).unwrap();
+        assert!(t_strict > t_loose);
+    }
+
+    #[test]
+    fn threshold_shrinks_with_larger_k() {
+        // Moving more variance into the normal subspace leaves a smaller
+        // residual, so the threshold must not grow.
+        let s = spectrum();
+        let mut prev = f64::INFINITY;
+        for k in 1..(s.len() - 1) {
+            let t = q_threshold(&s, k, 0.001).unwrap();
+            assert!(t <= prev + 1e-9, "threshold grew at k={k}: {t} > {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn threshold_exceeds_mean_residual_energy() {
+        // E[||x~||^2] = φ_1; a 99.9% threshold must sit well above the mean.
+        let p = qstat_params(&spectrum(), 4).unwrap();
+        let t = q_threshold(&spectrum(), 4, 0.001).unwrap();
+        assert!(t > p.phi1, "threshold {t} below mean residual energy {}", p.phi1);
+    }
+
+    #[test]
+    fn threshold_matches_chi_square_for_single_residual() {
+        // With exactly one residual eigenvalue λ, Q = λ χ²(1). The JM formula
+        // is approximate; it should land within a few percent of the exact
+        // λ * quantile(χ²(1), 1-α).
+        let ev = vec![100.0, 50.0, 2.0];
+        let alpha = 0.01;
+        let t = q_threshold(&ev, 2, alpha).unwrap();
+        let chi = crate::dist::ChiSquared::new(1.0).unwrap();
+        let exact = 2.0 * chi.quantile(1.0 - alpha).unwrap();
+        let rel = (t - exact).abs() / exact;
+        assert!(rel < 0.25, "JM single-eigenvalue threshold off by {rel}: {t} vs {exact}");
+    }
+
+    #[test]
+    fn rejects_bad_alpha() {
+        assert!(q_threshold(&spectrum(), 4, 0.0).is_err());
+        assert!(q_threshold(&spectrum(), 4, 1.0).is_err());
+        assert!(q_threshold(&spectrum(), 4, -1.0).is_err());
+    }
+
+    #[test]
+    fn negative_h0_heavy_tail_spectrum() {
+        // One dominant residual eigenvalue over a long tail drives
+        // h0 = 1 - 2φ1φ3/(3φ2²) negative — the regime real traffic
+        // matrices live in. The threshold must still exceed the mean
+        // residual energy and deliver ≈ α exceedance.
+        use rand::{Rng, SeedableRng};
+        let mut residual = vec![850.0];
+        residual.extend(std::iter::repeat(300.0).take(30));
+        residual.extend(std::iter::repeat(50.0).take(80));
+        let mut ev = vec![1e6, 1e5];
+        ev.extend_from_slice(&residual);
+
+        let p = qstat_params(&ev, 2).unwrap();
+        assert!(p.h0 < 0.0, "spectrum chosen to exercise h0 < 0, got {}", p.h0);
+
+        let alpha = 0.005;
+        let t = q_threshold(&ev, 2, alpha).unwrap();
+        assert!(t > p.phi1, "threshold {t} must exceed mean residual energy {}", p.phi1);
+
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        let trials = 100_000;
+        let mut exceed = 0usize;
+        for _ in 0..trials {
+            let mut q = 0.0;
+            for &l in &residual {
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                q += l * z * z;
+            }
+            if q > t {
+                exceed += 1;
+            }
+        }
+        let rate = exceed as f64 / trials as f64;
+        assert!(
+            rate > alpha / 3.0 && rate < alpha * 3.0,
+            "false alarm rate {rate} not within 3x of alpha={alpha} (threshold {t})"
+        );
+    }
+
+    #[test]
+    fn empirical_false_alarm_rate_matches_alpha() {
+        // Draw Q = Σ λ_j z_j² with standard normal z; the threshold at
+        // 1-α should be exceeded with probability ≈ α.
+        use rand::{Rng, SeedableRng};
+        let residual = [10.0, 5.0, 2.0, 1.0, 0.5];
+        let mut ev = vec![1e4, 1e3]; // "normal" eigenvalues, ignored by Q
+        ev.extend_from_slice(&residual);
+        let alpha = 0.01;
+        let t = q_threshold(&ev, 2, alpha).unwrap();
+
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        let trials = 200_000;
+        let mut exceed = 0usize;
+        for _ in 0..trials {
+            let mut q = 0.0;
+            for &l in &residual {
+                // Box–Muller normal draw.
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                q += l * z * z;
+            }
+            if q > t {
+                exceed += 1;
+            }
+        }
+        let rate = exceed as f64 / trials as f64;
+        // JM is an approximation; allow 3x tolerance band around alpha.
+        assert!(
+            rate > alpha / 3.0 && rate < alpha * 3.0,
+            "false alarm rate {rate} not within 3x of alpha={alpha}"
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for distributions and thresholds.
+
+use odflow_stats::dist::{ChiSquared, FDist, Normal, StudentT};
+use odflow_stats::{q_threshold, quantile, summarize, t2_threshold, Histogram};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn normal_cdf_monotone(a in -8.0f64..8.0, b in -8.0f64..8.0) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(Normal::cdf(lo) <= Normal::cdf(hi) + 1e-15);
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf(p in 0.0001f64..0.9999) {
+        let x = Normal::quantile(p).unwrap();
+        prop_assert!((Normal::cdf(x) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chi_squared_cdf_bounds(k in 0.5f64..60.0, x in 0.0f64..200.0) {
+        let c = ChiSquared::new(k).unwrap();
+        let v = c.cdf(x);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn f_quantile_roundtrip(d1 in 1.0f64..30.0, d2 in 2.0f64..300.0, p in 0.01f64..0.999) {
+        let f = FDist::new(d1, d2).unwrap();
+        let x = f.quantile(p).unwrap();
+        prop_assert!((f.cdf(x) - p).abs() < 1e-8,
+            "d1={d1} d2={d2} p={p}: cdf(q)={}", f.cdf(x));
+    }
+
+    #[test]
+    fn student_t_symmetry(nu in 1.0f64..50.0, x in 0.0f64..20.0) {
+        let t = StudentT::new(nu).unwrap();
+        prop_assert!((t.cdf(x) + t.cdf(-x) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn t2_threshold_positive_and_monotone_alpha(
+        k in 1usize..10, extra in 10usize..3000, a1 in 0.001f64..0.2,
+    ) {
+        let n = k + extra;
+        let t_strict = t2_threshold(k, n, a1).unwrap();
+        let t_looser = t2_threshold(k, n, (a1 * 2.0).min(0.5)).unwrap();
+        prop_assert!(t_strict > 0.0);
+        prop_assert!(t_strict >= t_looser - 1e-9);
+    }
+
+    #[test]
+    fn q_threshold_positive_for_valid_spectra(
+        head in proptest::collection::vec(1.0f64..1e6, 1..5),
+        tail in proptest::collection::vec(0.01f64..100.0, 2..20),
+        alpha in 0.0005f64..0.1,
+    ) {
+        let mut ev: Vec<f64> = head;
+        ev.extend(tail);
+        ev.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let k = 1;
+        let t = q_threshold(&ev, k, alpha).unwrap();
+        prop_assert!(t > 0.0 && t.is_finite());
+    }
+
+    #[test]
+    fn q_threshold_scale_equivariant(
+        tail in proptest::collection::vec(0.5f64..50.0, 3..10),
+        scale in 0.1f64..100.0,
+    ) {
+        let mut ev = vec![1e5];
+        ev.extend(tail);
+        ev.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let t1 = q_threshold(&ev, 1, 0.01).unwrap();
+        let scaled: Vec<f64> = ev.iter().map(|l| l * scale).collect();
+        let t2 = q_threshold(&scaled, 1, 0.01).unwrap();
+        prop_assert!((t2 / t1 - scale).abs() < 1e-6 * scale);
+    }
+
+    #[test]
+    fn summarize_bounds(data in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = summarize(&data).unwrap();
+        prop_assert!(s.min <= s.q25 + 1e-9);
+        prop_assert!(s.q25 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.q75 + 1e-9);
+        prop_assert!(s.q75 <= s.max + 1e-9);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+    }
+
+    #[test]
+    fn quantile_monotone_in_p(data in proptest::collection::vec(-100.0f64..100.0, 2..100),
+                              p1 in 0.0f64..1.0, p2 in 0.0f64..1.0) {
+        let (lo, hi) = if p1 < p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(quantile(&data, lo).unwrap() <= quantile(&data, hi).unwrap() + 1e-12);
+    }
+
+    #[test]
+    fn histogram_conserves_count(xs in proptest::collection::vec(-50.0f64..150.0, 0..300)) {
+        let mut h = Histogram::new(0.0, 100.0, 10).unwrap();
+        h.add_all(xs.iter().copied());
+        let binned: u64 = h.counts().iter().sum();
+        prop_assert_eq!(binned + h.overflow(), h.total());
+        prop_assert_eq!(h.total(), xs.len() as u64);
+    }
+}

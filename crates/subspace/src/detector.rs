@@ -1,0 +1,254 @@
+//! Combined SPE + T² anomaly detection over a traffic matrix.
+//!
+//! The paper's §2.2 extension: the Q statistic (SPE) alone misses anomalies
+//! large enough to be captured *inside* the normal subspace, so detection
+//! runs both statistics and flags a timebin when either exceeds its
+//! threshold. [`SubspaceDetector::analyze`] fits the model and returns the
+//! full statistic timeseries (the material of the paper's Figure 1) plus
+//! the flagged bins.
+
+use crate::error::Result;
+use crate::model::{SubspaceConfig, SubspaceModel};
+use odflow_linalg::{vecops, Matrix};
+
+/// Which statistic fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatisticKind {
+    /// Squared prediction error on the residual subspace.
+    Spe,
+    /// T² on the normal subspace.
+    T2,
+}
+
+/// One statistic exceedance at one timebin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Timebin index (row of the analyzed matrix).
+    pub bin: usize,
+    /// Which statistic fired.
+    pub kind: StatisticKind,
+    /// Observed statistic value.
+    pub value: f64,
+    /// Threshold it exceeded.
+    pub threshold: f64,
+}
+
+impl Detection {
+    /// How far above threshold the statistic was, as a ratio (`>= 1`).
+    pub fn severity(&self) -> f64 {
+        if self.threshold <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.value / self.threshold
+        }
+    }
+}
+
+/// Full analysis output for one traffic matrix.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The fitted model (reusable for identification and streaming).
+    pub model: SubspaceModel,
+    /// `||x||²` per bin — the paper's Figure 1 top row ("State Vector").
+    pub state_norm_sq: Vec<f64>,
+    /// `||x̃||²` per bin — Figure 1 middle row ("Residual Vector").
+    pub spe: Vec<f64>,
+    /// t² per bin — Figure 1 bottom row.
+    pub t2: Vec<f64>,
+    /// All threshold exceedances, ordered by bin.
+    pub detections: Vec<Detection>,
+}
+
+impl Analysis {
+    /// Bins where at least one statistic fired, deduplicated and sorted.
+    pub fn anomalous_bins(&self) -> Vec<usize> {
+        let mut bins: Vec<usize> = self.detections.iter().map(|d| d.bin).collect();
+        bins.sort_unstable();
+        bins.dedup();
+        bins
+    }
+
+    /// The detections at one bin (0, 1, or 2 entries).
+    pub fn detections_at(&self, bin: usize) -> Vec<Detection> {
+        self.detections.iter().filter(|d| d.bin == bin).copied().collect()
+    }
+
+    /// Fraction of bins flagged (an operator-facing alarm-budget summary).
+    pub fn alarm_rate(&self) -> f64 {
+        if self.spe.is_empty() {
+            return 0.0;
+        }
+        self.anomalous_bins().len() as f64 / self.spe.len() as f64
+    }
+}
+
+/// Detector facade: fit + score + flag in one call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubspaceDetector {
+    /// Model configuration (defaults to the paper's `k = 4`, `α = 0.001`).
+    pub config: SubspaceConfig,
+}
+
+impl SubspaceDetector {
+    /// Creates a detector with explicit configuration.
+    pub fn new(config: SubspaceConfig) -> Self {
+        SubspaceDetector { config }
+    }
+
+    /// Fits the subspace model to `x` (rows = timebins, columns = OD pairs)
+    /// and evaluates both statistics on every row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-fitting errors (shape, degeneracy).
+    pub fn analyze(&self, x: &Matrix) -> Result<Analysis> {
+        let model = SubspaceModel::fit(x, self.config)?;
+        let n = x.nrows();
+        let mut state_norm_sq = Vec::with_capacity(n);
+        let mut spe = Vec::with_capacity(n);
+        let mut t2 = Vec::with_capacity(n);
+        let mut detections = Vec::new();
+
+        for (bin, row) in x.rows_iter().enumerate() {
+            state_norm_sq.push(vecops::norm_sq(row));
+            let split = model.split(row)?;
+            let s = vecops::norm_sq(&split.residual);
+            let t = model.t2_of_centered(&split.centered)?;
+            if s > model.spe_threshold() {
+                detections.push(Detection {
+                    bin,
+                    kind: StatisticKind::Spe,
+                    value: s,
+                    threshold: model.spe_threshold(),
+                });
+            }
+            if t > model.t2_threshold() {
+                detections.push(Detection {
+                    bin,
+                    kind: StatisticKind::T2,
+                    value: t,
+                    threshold: model.t2_threshold(),
+                });
+            }
+            spe.push(s);
+            t2.push(t);
+        }
+
+        Ok(Analysis { model, state_norm_sq, spe, t2, detections })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traffic_with_spikes(n: usize, p: usize, spikes: &[(usize, usize, f64)]) -> Matrix {
+        crate::testutil::traffic(n, p, 1.0, spikes)
+    }
+
+    #[test]
+    fn detects_injected_spike_via_spe() {
+        // Moderate spike: too small to claim a top-4 eigenflow slot, so it
+        // must surface in the residual (SPE).
+        let x = traffic_with_spikes(500, 12, &[(250, 3, 150.0)]);
+        let analysis = SubspaceDetector::default().analyze(&x).unwrap();
+        let bins = analysis.anomalous_bins();
+        assert!(bins.contains(&250), "spike bin not flagged; flagged: {bins:?}");
+        let dets = analysis.detections_at(250);
+        assert!(dets.iter().any(|d| d.kind == StatisticKind::Spe));
+        assert!(dets[0].severity() > 1.0);
+    }
+
+    #[test]
+    fn huge_spike_caught_even_if_absorbed_by_pca() {
+        // A very large spike in the *training* window can be pulled into a
+        // top eigenflow — the normal subspace — where SPE is blind. This is
+        // exactly the paper's §2.2 argument for adding T²: the union of the
+        // two statistics must still flag the bin.
+        let x = traffic_with_spikes(500, 12, &[(250, 3, 2000.0)]);
+        let analysis = SubspaceDetector::default().analyze(&x).unwrap();
+        assert!(
+            analysis.anomalous_bins().contains(&250),
+            "huge spike must be flagged by SPE or T²"
+        );
+    }
+
+    #[test]
+    fn clean_data_low_alarm_rate() {
+        let x = traffic_with_spikes(600, 12, &[]);
+        let analysis = SubspaceDetector::default().analyze(&x).unwrap();
+        assert!(
+            analysis.alarm_rate() < 0.02,
+            "clean alarm rate {} too high",
+            analysis.alarm_rate()
+        );
+    }
+
+    #[test]
+    fn series_lengths_match_bins() {
+        let x = traffic_with_spikes(300, 8, &[]);
+        let analysis = SubspaceDetector::default().analyze(&x).unwrap();
+        assert_eq!(analysis.state_norm_sq.len(), 300);
+        assert_eq!(analysis.spe.len(), 300);
+        assert_eq!(analysis.t2.len(), 300);
+    }
+
+    #[test]
+    fn periodicity_removed_from_residual() {
+        // The shared diurnal cycle dominates ||x||² but must be absent
+        // from the residual: SPE's diurnal range is tiny relative to the
+        // state vector's.
+        let x = traffic_with_spikes(576, 10, &[]);
+        let analysis = SubspaceDetector::default().analyze(&x).unwrap();
+        let range = |v: &[f64]| {
+            let max = v.iter().cloned().fold(f64::MIN, f64::max);
+            let min = v.iter().cloned().fold(f64::MAX, f64::min);
+            (max - min) / (max + 1e-12)
+        };
+        let state_range = range(&analysis.state_norm_sq);
+        let spe_mean = analysis.spe.iter().sum::<f64>() / analysis.spe.len() as f64;
+        let state_mean =
+            analysis.state_norm_sq.iter().sum::<f64>() / analysis.state_norm_sq.len() as f64;
+        assert!(state_range > 0.5, "traffic should show strong diurnal swing");
+        assert!(
+            spe_mean < state_mean * 1e-3,
+            "residual energy {spe_mean} should be tiny next to state {state_mean}"
+        );
+    }
+
+    #[test]
+    fn multiple_spikes_all_detected() {
+        let spikes = [(100, 2, 350.0), (200, 7, 350.0), (300, 9, 350.0)];
+        let x = traffic_with_spikes(500, 12, &spikes);
+        let analysis = SubspaceDetector::default().analyze(&x).unwrap();
+        let bins = analysis.anomalous_bins();
+        for &(b, _, _) in &spikes {
+            assert!(bins.contains(&b), "spike at {b} missed");
+        }
+    }
+
+    #[test]
+    fn detections_ordered_by_bin() {
+        let x = traffic_with_spikes(400, 10, &[(50, 1, 300.0), (350, 2, 300.0)]);
+        let analysis = SubspaceDetector::default().analyze(&x).unwrap();
+        let bins: Vec<usize> = analysis.detections.iter().map(|d| d.bin).collect();
+        let mut sorted = bins.clone();
+        sorted.sort_unstable();
+        assert_eq!(bins, sorted);
+    }
+
+    #[test]
+    fn severity_infinite_for_zero_threshold() {
+        let d = Detection { bin: 0, kind: StatisticKind::Spe, value: 1.0, threshold: 0.0 };
+        assert!(d.severity().is_infinite());
+    }
+
+    #[test]
+    fn detections_at_missing_bin_empty() {
+        let x = traffic_with_spikes(300, 8, &[]);
+        let analysis = SubspaceDetector::default().analyze(&x).unwrap();
+        // A bin with no detections yields an empty set.
+        let quiet_bin = (0..300).find(|b| analysis.detections_at(*b).is_empty()).unwrap();
+        assert!(analysis.detections_at(quiet_bin).is_empty());
+    }
+}

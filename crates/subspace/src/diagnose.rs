@@ -1,0 +1,198 @@
+//! Whole-network diagnosis across the three traffic types.
+//!
+//! The paper's full §3-§4 pipeline in one call: run the subspace detector
+//! on the **bytes**, **packets**, and **IP-flows** views of the same
+//! observation window, identify the responsible OD flows behind every
+//! threshold exceedance, and merge the resulting (traffic type, time,
+//! OD flow) triples into final [`AnomalyEvent`]s.
+
+use crate::detector::{Analysis, StatisticKind, SubspaceDetector};
+use crate::error::Result;
+use crate::events::{merge_detections, AnomalyEvent, DetectionTriple};
+use crate::identify::{identify_spe, identify_t2};
+use crate::model::SubspaceConfig;
+use odflow_flow::{TrafficMatrixSet, TrafficType};
+
+/// The full network-wide diagnosis of one observation window.
+#[derive(Debug, Clone)]
+pub struct Diagnosis {
+    /// Per-traffic-type analysis (Figure 1 material), in B, P, F order.
+    pub analyses: Vec<(TrafficType, Analysis)>,
+    /// All identified detection triples (the paper's §4 input set).
+    pub triples: Vec<DetectionTriple>,
+    /// Final merged anomaly events (the unit of Tables 1 and 3).
+    pub events: Vec<AnomalyEvent>,
+}
+
+impl Diagnosis {
+    /// The analysis for one traffic type.
+    pub fn analysis(&self, t: TrafficType) -> Option<&Analysis> {
+        self.analyses.iter().find(|(tt, _)| *tt == t).map(|(_, a)| a)
+    }
+
+    /// Total number of anomaly events found.
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// Runs detection + identification + merging over all three traffic views.
+///
+/// For each flagged bin the responsible OD flows are identified per
+/// statistic (exact greedy for SPE, iterative greedy for T²) and unioned.
+/// Identification failures at a bin degrade gracefully to an empty OD set
+/// rather than aborting the whole diagnosis — matching how the paper
+/// tolerates its ~10% unexplainable detections.
+///
+/// # Errors
+///
+/// Propagates model-fitting failures (shape/degeneracy). Identification
+/// failures are absorbed as described.
+pub fn diagnose(set: &TrafficMatrixSet, config: SubspaceConfig) -> Result<Diagnosis> {
+    let detector = SubspaceDetector::new(config);
+    let mut analyses = Vec::with_capacity(3);
+    let mut triples = Vec::new();
+
+    for t in [TrafficType::Bytes, TrafficType::Packets, TrafficType::Flows] {
+        let matrix = set.get(t);
+        let analysis = detector.analyze(&matrix.data)?;
+        for bin in analysis.anomalous_bins() {
+            let row = matrix.data.row(bin)?;
+            let mut flows: Vec<usize> = Vec::new();
+            for d in analysis.detections_at(bin) {
+                let result = match d.kind {
+                    StatisticKind::Spe => identify_spe(&analysis.model, row, bin),
+                    StatisticKind::T2 => identify_t2(&analysis.model, row, bin),
+                };
+                if let Ok(id) = result {
+                    for f in id.od_flows {
+                        if !flows.contains(&f) {
+                            flows.push(f);
+                        }
+                    }
+                }
+            }
+            triples.push(DetectionTriple { traffic_type: t, bin, od_flows: flows });
+        }
+        analyses.push((t, analysis));
+    }
+
+    let events = merge_detections(&triples);
+    Ok(Diagnosis { analyses, triples, events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odflow_flow::{TrafficMatrix, TrafficMatrixSet};
+    use odflow_linalg::Matrix;
+
+    /// Builds an aligned B/P/F set with optional spikes per type.
+    fn matrix_set(
+        n: usize,
+        p: usize,
+        byte_spikes: &[(usize, usize, f64)],
+        packet_spikes: &[(usize, usize, f64)],
+        flow_spikes: &[(usize, usize, f64)],
+    ) -> TrafficMatrixSet {
+        let base = |scale: f64, spikes: &[(usize, usize, f64)]| {
+            let mut m = Matrix::from_fn(n, p, |i, j| {
+                let t = i as f64 / 288.0 * std::f64::consts::TAU;
+                let phase = (j % 4) as f64 * 0.6;
+                scale * (12.0 + j as f64) * (2.0 + (t + phase).sin())
+                    + scale * 0.4 * (((i * 17 + j * 5) % 37) as f64 - 18.0) / 18.0
+            });
+            for &(bi, od, mag) in spikes {
+                m[(bi, od)] += mag * scale;
+            }
+            m
+        };
+        TrafficMatrixSet {
+            bytes: TrafficMatrix {
+                traffic_type: TrafficType::Bytes,
+                start_secs: 0,
+                bin_secs: 300,
+                data: base(1000.0, byte_spikes),
+            },
+            packets: TrafficMatrix {
+                traffic_type: TrafficType::Packets,
+                start_secs: 0,
+                bin_secs: 300,
+                data: base(10.0, packet_spikes),
+            },
+            flows: TrafficMatrix {
+                traffic_type: TrafficType::Flows,
+                start_secs: 0,
+                bin_secs: 300,
+                data: base(1.0, flow_spikes),
+            },
+        }
+    }
+
+    #[test]
+    fn single_type_spike_yields_single_type_event() {
+        let set = matrix_set(400, 10, &[], &[], &[(200, 3, 300.0)]);
+        let d = diagnose(&set, SubspaceConfig::default()).unwrap();
+        let ev: Vec<_> = d.events.iter().filter(|e| e.covers_bin(200)).collect();
+        assert_eq!(ev.len(), 1, "events: {:?}", d.events);
+        assert_eq!(ev[0].types.code(), "F");
+        assert!(ev[0].od_flows.contains(&3));
+    }
+
+    #[test]
+    fn multi_type_spike_merges_to_composite() {
+        // Spike in both bytes and packets at the same bin -> BP event,
+        // like the paper's bandwidth-measurement anomaly (2) in Figure 1.
+        let set = matrix_set(400, 10, &[(150, 5, 350.0)], &[(150, 5, 350.0)], &[]);
+        let d = diagnose(&set, SubspaceConfig::default()).unwrap();
+        let ev: Vec<_> = d.events.iter().filter(|e| e.covers_bin(150)).collect();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].types.code(), "BP");
+        assert!(ev[0].od_flows.contains(&5));
+    }
+
+    #[test]
+    fn consecutive_bins_merge_into_one_event() {
+        let set = matrix_set(
+            400,
+            10,
+            &[],
+            &[],
+            &[(220, 2, 320.0), (221, 2, 320.0), (222, 2, 320.0)],
+        );
+        let d = diagnose(&set, SubspaceConfig::default()).unwrap();
+        let ev: Vec<_> = d.events.iter().filter(|e| e.covers_bin(221)).collect();
+        assert_eq!(ev.len(), 1);
+        assert!(ev[0].duration_bins >= 3);
+        assert_eq!(ev[0].duration_minutes(300), ev[0].duration_bins as f64 * 5.0);
+    }
+
+    #[test]
+    fn analyses_cover_all_types() {
+        let set = matrix_set(300, 8, &[], &[], &[]);
+        let d = diagnose(&set, SubspaceConfig::default()).unwrap();
+        assert!(d.analysis(TrafficType::Bytes).is_some());
+        assert!(d.analysis(TrafficType::Packets).is_some());
+        assert!(d.analysis(TrafficType::Flows).is_some());
+        assert_eq!(d.analyses.len(), 3);
+    }
+
+    #[test]
+    fn clean_window_few_events() {
+        let set = matrix_set(500, 10, &[], &[], &[]);
+        let d = diagnose(&set, SubspaceConfig::default()).unwrap();
+        assert!(d.num_events() <= 6, "clean window produced {} events", d.num_events());
+    }
+
+    #[test]
+    fn distinct_spikes_distinct_events() {
+        let set = matrix_set(500, 10, &[(100, 1, 400.0)], &[], &[(300, 7, 400.0)]);
+        let d = diagnose(&set, SubspaceConfig::default()).unwrap();
+        let at100: Vec<_> = d.events.iter().filter(|e| e.covers_bin(100)).collect();
+        let at300: Vec<_> = d.events.iter().filter(|e| e.covers_bin(300)).collect();
+        assert_eq!(at100.len(), 1);
+        assert_eq!(at300.len(), 1);
+        assert_eq!(at100[0].types.code(), "B");
+        assert_eq!(at300[0].types.code(), "F");
+    }
+}

@@ -1,0 +1,210 @@
+//! Eigenflow decomposition of OD traffic.
+//!
+//! "PCA can be used to decompose the set of OD flows into their constituent
+//! **eigenflows**, or common temporal patterns ... the set of eigenflows
+//! are ordered by the amount of variance they capture" (§2.2, citing the
+//! authors' SIGMETRICS'04 structural analysis). An eigenflow is a unit-norm
+//! temporal pattern (an `n`-vector over timebins); every OD flow is a
+//! weighted sum of eigenflows, and — the key empirical fact the subspace
+//! method rests on — "only a handful of eigenflows are sufficient to
+//! capture the dominant temporal patterns common to the hundreds of OD
+//! flows".
+
+use crate::error::{Result, SubspaceError};
+use odflow_linalg::{center_columns, thin_svd, Centering, Matrix};
+
+/// The eigenflow decomposition of an `n x p` OD traffic matrix.
+#[derive(Debug, Clone)]
+pub struct EigenflowDecomposition {
+    /// `n x r` matrix whose columns are the unit-norm eigenflows
+    /// (temporal patterns), strongest first.
+    pub eigenflows: Matrix,
+    /// `p x r` matrix whose rows give each OD flow's loading onto each
+    /// eigenflow (the principal axes of the OD space).
+    pub loadings: Matrix,
+    /// Singular values of the centered data, descending; `σ_i²/(n-1)` is
+    /// the variance captured by eigenflow `i`.
+    pub singular_values: Vec<f64>,
+    /// The column centering applied before decomposition (needed to project
+    /// new observations consistently).
+    pub centering: Centering,
+    /// Number of timebins the decomposition was fit on.
+    pub n: usize,
+}
+
+impl EigenflowDecomposition {
+    /// Computes the eigenflow decomposition of a data matrix (rows =
+    /// timebins, columns = OD flows). Columns are mean-centered first, as
+    /// the paper requires ("the multivariate mean ... for eigenflows is
+    /// equal to zero by construction").
+    ///
+    /// # Errors
+    ///
+    /// * [`SubspaceError::InsufficientData`] unless `n >= 2` and `p >= 2`.
+    /// * [`SubspaceError::Numeric`] for non-finite input.
+    pub fn fit(x: &Matrix) -> Result<Self> {
+        let (n, p) = x.shape();
+        if n < 2 || p < 2 {
+            return Err(SubspaceError::InsufficientData { n, p, need: "need n >= 2 and p >= 2" });
+        }
+        let (centered, centering) = center_columns(x)?;
+        let svd = thin_svd(&centered, 0.0)?;
+        Ok(EigenflowDecomposition {
+            eigenflows: svd.u,
+            loadings: svd.v,
+            singular_values: svd.sigma,
+            centering,
+            n,
+        })
+    }
+
+    /// Number of eigenflows retained.
+    pub fn rank(&self) -> usize {
+        self.singular_values.len()
+    }
+
+    /// The `i`-th eigenflow as a timeseries.
+    pub fn eigenflow(&self, i: usize) -> Result<Vec<f64>> {
+        self.eigenflows.col(i).map_err(SubspaceError::from)
+    }
+
+    /// Variance captured by eigenflow `i` (the covariance eigenvalue
+    /// `σ_i² / (n - 1)`).
+    pub fn eigenvalue(&self, i: usize) -> f64 {
+        let s = self.singular_values.get(i).copied().unwrap_or(0.0);
+        s * s / (self.n as f64 - 1.0)
+    }
+
+    /// All covariance eigenvalues, descending, padded with zeros to `p`
+    /// (rank-deficient data has fewer positive singular values than OD
+    /// pairs; the Q-statistic needs the full spectrum).
+    pub fn eigenvalues_padded(&self, p: usize) -> Vec<f64> {
+        let mut ev: Vec<f64> = (0..self.rank()).map(|i| self.eigenvalue(i)).collect();
+        ev.resize(p.max(ev.len()), 0.0);
+        ev
+    }
+
+    /// Fraction of total variance captured by the top `k` eigenflows.
+    pub fn variance_captured(&self, k: usize) -> f64 {
+        let total: f64 = self.singular_values.iter().map(|s| s * s).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.singular_values.iter().take(k).map(|s| s * s).sum::<f64>() / total
+    }
+
+    /// Number of eigenflows needed to capture at least `fraction` of the
+    /// variance — the paper's "handful of eigenflows" observation is this
+    /// number being small relative to `p`.
+    pub fn effective_dimension(&self, fraction: f64) -> usize {
+        let total: f64 = self.singular_values.iter().map(|s| s * s).sum();
+        if total <= 0.0 {
+            return 0;
+        }
+        let mut acc = 0.0;
+        for (i, s) in self.singular_values.iter().enumerate() {
+            acc += s * s;
+            if acc / total >= fraction {
+                return i + 1;
+            }
+        }
+        self.rank()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic OD matrix: a shared diurnal pattern with per-column
+    /// amplitudes, plus small deterministic noise.
+    fn diurnal_matrix(n: usize, p: usize) -> Matrix {
+        Matrix::from_fn(n, p, |i, j| {
+            let t = i as f64 / 288.0 * std::f64::consts::TAU;
+            let amp = 10.0 + j as f64;
+            amp * (1.0 + 0.5 * t.sin())
+                + 0.01 * (((i * 31 + j * 17) % 97) as f64 - 48.0)
+        })
+    }
+
+    #[test]
+    fn shared_pattern_concentrates_variance() {
+        let x = diurnal_matrix(288, 20);
+        let d = EigenflowDecomposition::fit(&x).unwrap();
+        // One shared diurnal pattern -> first eigenflow dominates.
+        assert!(
+            d.variance_captured(1) > 0.95,
+            "first eigenflow captures {}",
+            d.variance_captured(1)
+        );
+        assert!(d.effective_dimension(0.95) <= 2);
+    }
+
+    #[test]
+    fn eigenflows_unit_norm_and_ordered() {
+        let x = diurnal_matrix(100, 8);
+        let d = EigenflowDecomposition::fit(&x).unwrap();
+        for i in 0..d.rank() {
+            let u = d.eigenflow(i).unwrap();
+            let norm: f64 = u.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-8, "eigenflow {i} norm {norm}");
+        }
+        for w in d.singular_values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-10);
+        }
+    }
+
+    #[test]
+    fn eigenflows_zero_mean() {
+        // Centered data => each eigenflow (column of U spanning the data)
+        // has ~zero mean because column means were removed.
+        let x = diurnal_matrix(150, 6);
+        let d = EigenflowDecomposition::fit(&x).unwrap();
+        // Reconstruct centered data, verify row means of columns vanish.
+        let u0 = d.eigenflow(0).unwrap();
+        let mean: f64 = u0.iter().sum::<f64>() / u0.len() as f64;
+        assert!(mean.abs() < 0.05, "dominant eigenflow mean {mean}");
+    }
+
+    #[test]
+    fn eigenvalue_matches_score_variance() {
+        let x = diurnal_matrix(200, 5);
+        let d = EigenflowDecomposition::fit(&x).unwrap();
+        // Scores z_i = sigma_i * u_i; sample variance of z_i should equal
+        // eigenvalue_i (scores have zero mean by centering).
+        for i in 0..2 {
+            let u = d.eigenflow(i).unwrap();
+            let sigma = d.singular_values[i];
+            let var: f64 =
+                u.iter().map(|v| (sigma * v) * (sigma * v)).sum::<f64>() / (d.n as f64 - 1.0);
+            assert!(
+                (var - d.eigenvalue(i)).abs() < 1e-6 * (1.0 + var),
+                "eigenvalue {i}: {} vs score variance {var}",
+                d.eigenvalue(i)
+            );
+        }
+    }
+
+    #[test]
+    fn padded_spectrum_has_full_length() {
+        let x = Matrix::from_fn(10, 6, |i, j| (i * j) as f64); // rank 2 at most
+        let d = EigenflowDecomposition::fit(&x).unwrap();
+        let ev = d.eigenvalues_padded(6);
+        assert_eq!(ev.len(), 6);
+        assert!(ev[5] >= 0.0);
+    }
+
+    #[test]
+    fn rejects_tiny_input() {
+        assert!(EigenflowDecomposition::fit(&Matrix::zeros(1, 5)).is_err());
+        assert!(EigenflowDecomposition::fit(&Matrix::zeros(5, 1)).is_err());
+    }
+
+    #[test]
+    fn variance_captured_bounds() {
+        let x = diurnal_matrix(50, 4);
+        let d = EigenflowDecomposition::fit(&x).unwrap();
+        assert_eq!(d.variance_captured(0), 0.0);
+        assert!((d.variance_captured(d.rank()) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,63 @@
+//! # odflow-subspace — the subspace method for network-wide anomaly
+//! detection
+//!
+//! The core contribution of Lakhina, Crovella & Diot, *Characterization of
+//! Network-Wide Anomalies in Traffic Flows* (IMC 2004), implemented as a
+//! library:
+//!
+//! * [`EigenflowDecomposition`] — PCA of the `n x p` OD traffic timeseries
+//!   into **eigenflows** (common temporal patterns, variance-ordered).
+//! * [`SubspaceModel`] — the normal/anomalous subspace split at `k = 4`,
+//!   with the exact decomposition `x = x̂ + x̃` and both detection
+//!   statistics: SPE (`||x̃||²` vs the Jackson–Mudholkar `δ²_α`) and t²
+//!   (normal-subspace scores vs `T²_{k,n,α}`).
+//! * [`SubspaceDetector`] — fit + score + flag over a window (the
+//!   material of the paper's Figure 1).
+//! * [`identify_spe`] / [`identify_t2`] — the §4 procedure finding the
+//!   smallest OD-flow set that brings a statistic back under threshold.
+//! * [`merge_detections`] — §4's aggregation of (type, time, OD flow)
+//!   triples into B/P/F/BP/FP/BF/BFP anomaly events (Tables 1 & 3,
+//!   Figure 2).
+//! * [`diagnose`] — the whole pipeline across the three traffic views.
+//! * [`OnlineDetector`] — the streaming extension the paper's §6 points
+//!   toward.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use odflow_linalg::Matrix;
+//! use odflow_subspace::{SubspaceConfig, SubspaceDetector};
+//!
+//! // 300 bins of 6 OD flows sharing a diurnal trend, with a spike.
+//! let mut x = Matrix::from_fn(300, 6, |i, j| {
+//!     (10.0 + j as f64) * (2.0 + (i as f64 / 288.0 * std::f64::consts::TAU).sin())
+//! });
+//! x[(123, 2)] += 500.0;
+//! let analysis = SubspaceDetector::new(SubspaceConfig::default())
+//!     .analyze(&x)
+//!     .unwrap();
+//! assert!(analysis.anomalous_bins().contains(&123));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod detector;
+mod diagnose;
+mod eigenflow;
+mod error;
+mod events;
+mod identify;
+mod model;
+mod streaming;
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use detector::{Analysis, Detection, StatisticKind, SubspaceDetector};
+pub use diagnose::{diagnose, Diagnosis};
+pub use eigenflow::EigenflowDecomposition;
+pub use error::{Result, SubspaceError};
+pub use events::{count_by_combination, merge_detections, AnomalyEvent, DetectionTriple, TypeSet};
+pub use identify::{identify_spe, identify_t2, Identification};
+pub use model::{StateSplit, SubspaceConfig, SubspaceModel};
+pub use streaming::{OnlineDetector, SharedOnlineDetector, StreamVerdict};

@@ -1,0 +1,402 @@
+//! The subspace model: normal/anomalous separation of OD traffic.
+//!
+//! "The subspace method exploits this result by designating the trends in
+//! these top k eigenflows as normal, and the temporal patterns in the
+//! remaining eigenflows as anomalous (we use k = 4 throughout). We can then
+//! use this separation to reconstruct each OD flow as a sum of normal and
+//! anomalous components: x = x̂ + x̃" (§2.2).
+//!
+//! [`SubspaceModel`] fits PCA to a traffic matrix, splits the OD space into
+//! the normal subspace (spanned by the top-`k` principal axes) and its
+//! orthogonal complement, and exposes both detection statistics with their
+//! thresholds:
+//!
+//! * the squared prediction error `SPE = ||x̃||²` against the
+//!   Jackson–Mudholkar threshold `δ²_α`, and
+//! * the `t²` statistic (sum of squared unit-variance normal-subspace
+//!   scores) against `T²_{k,n,α} = k(n-1)/(n-k) F_{k,n-k,α}`.
+
+use crate::eigenflow::EigenflowDecomposition;
+use crate::error::{Result, SubspaceError};
+use odflow_linalg::{vecops, Matrix};
+use odflow_stats::{q_threshold, t2_threshold};
+
+/// Configuration of the subspace model.
+#[derive(Debug, Clone, Copy)]
+pub struct SubspaceConfig {
+    /// Normal subspace dimension. The paper uses `k = 4` throughout.
+    pub k: usize,
+    /// False-alarm rate for both thresholds. The paper's figures use the
+    /// 99.9% confidence level, i.e. `alpha = 0.001`.
+    pub alpha: f64,
+}
+
+impl Default for SubspaceConfig {
+    fn default() -> Self {
+        SubspaceConfig { k: 4, alpha: 0.001 }
+    }
+}
+
+/// Decomposition of one traffic observation into normal and anomalous
+/// parts (in *centered* coordinates: `centered = normal + residual`).
+#[derive(Debug, Clone)]
+pub struct StateSplit {
+    /// The centered observation.
+    pub centered: Vec<f64>,
+    /// Projection onto the normal subspace (`x̂`, centered coordinates).
+    pub normal: Vec<f64>,
+    /// Residual (`x̃`): the anomalous component.
+    pub residual: Vec<f64>,
+}
+
+/// A fitted subspace model over one traffic type.
+#[derive(Debug, Clone)]
+pub struct SubspaceModel {
+    decomp: EigenflowDecomposition,
+    config: SubspaceConfig,
+    p: usize,
+    spe_threshold: f64,
+    t2_threshold: f64,
+    /// `true` when the training residual carried no variance at all (exact
+    /// low-rank data); the SPE threshold is then 0 and any positive
+    /// residual energy alarms.
+    degenerate_residual: bool,
+}
+
+impl SubspaceModel {
+    /// Fits the model to an `n x p` traffic matrix (rows = 5-minute bins,
+    /// columns = OD pairs).
+    ///
+    /// # Errors
+    ///
+    /// * [`SubspaceError::BadSubspaceDim`] unless `0 < k < p`.
+    /// * [`SubspaceError::InsufficientData`] unless `n > k` (the T²
+    ///   threshold needs `n - k` denominator degrees of freedom; the paper
+    ///   studies week-long windows where `n = 2016 >> p = 121`).
+    /// * Numeric/threshold errors from degenerate inputs.
+    pub fn fit(x: &Matrix, config: SubspaceConfig) -> Result<Self> {
+        let (n, p) = x.shape();
+        if config.k == 0 || config.k >= p {
+            return Err(SubspaceError::BadSubspaceDim { k: config.k, p });
+        }
+        if n <= config.k {
+            return Err(SubspaceError::InsufficientData {
+                n,
+                p,
+                need: "need more timebins than normal-subspace dimensions",
+            });
+        }
+        let decomp = EigenflowDecomposition::fit(x)?;
+        let eigenvalues = decomp.eigenvalues_padded(p);
+
+        let (spe_threshold, degenerate_residual) =
+            match q_threshold(&eigenvalues, config.k, config.alpha) {
+                Ok(t) => (t, false),
+                // Exactly low-rank training data: no residual variance.
+                Err(odflow_stats::StatsError::InvalidParameter { .. }) => (0.0, true),
+                Err(e) => return Err(e.into()),
+            };
+        let t2 = t2_threshold(config.k, n, config.alpha)?;
+
+        Ok(SubspaceModel {
+            decomp,
+            config,
+            p,
+            spe_threshold,
+            t2_threshold: t2,
+            degenerate_residual,
+        })
+    }
+
+    /// Fits with the paper's defaults (`k = 4`, 99.9% confidence).
+    pub fn fit_default(x: &Matrix) -> Result<Self> {
+        Self::fit(x, SubspaceConfig::default())
+    }
+
+    /// The configuration used at fit time.
+    pub fn config(&self) -> SubspaceConfig {
+        self.config
+    }
+
+    /// Number of OD pairs the model expects.
+    pub fn num_od_pairs(&self) -> usize {
+        self.p
+    }
+
+    /// Number of training timebins.
+    pub fn num_train_bins(&self) -> usize {
+        self.decomp.n
+    }
+
+    /// The underlying eigenflow decomposition.
+    pub fn decomposition(&self) -> &EigenflowDecomposition {
+        &self.decomp
+    }
+
+    /// The SPE (Q-statistic) detection threshold `δ²_α`.
+    pub fn spe_threshold(&self) -> f64 {
+        self.spe_threshold
+    }
+
+    /// The T² detection threshold `T²_{k,n,α}`.
+    pub fn t2_threshold(&self) -> f64 {
+        self.t2_threshold
+    }
+
+    /// `true` when training data was exactly low-rank (see struct docs).
+    pub fn degenerate_residual(&self) -> bool {
+        self.degenerate_residual
+    }
+
+    /// Splits one observation (raw, uncentered, length `p`) into normal
+    /// and residual components.
+    ///
+    /// # Errors
+    ///
+    /// [`SubspaceError::DimensionMismatch`] for wrong-length input.
+    pub fn split(&self, x: &[f64]) -> Result<StateSplit> {
+        if x.len() != self.p {
+            return Err(SubspaceError::DimensionMismatch { expected: self.p, got: x.len() });
+        }
+        let mut centered = x.to_vec();
+        self.decomp.centering.apply_row(&mut centered)?;
+
+        // x̂ = P P^T x_c over the top-k principal axes.
+        let k = self.config.k.min(self.decomp.rank());
+        let mut normal = vec![0.0; self.p];
+        for i in 0..k {
+            let axis = self.decomp.loadings.col(i)?;
+            let score = vecops::dot(&axis, &centered);
+            vecops::axpy(score, &axis, &mut normal);
+        }
+        let residual = vecops::sub(&centered, &normal);
+        Ok(StateSplit { centered, normal, residual })
+    }
+
+    /// The squared prediction error `||x̃||²` of one observation.
+    pub fn spe(&self, x: &[f64]) -> Result<f64> {
+        Ok(vecops::norm_sq(&self.split(x)?.residual))
+    }
+
+    /// The t² statistic of one observation: the sum of squared
+    /// unit-variance scores along the top-k axes.
+    pub fn t2(&self, x: &[f64]) -> Result<f64> {
+        if x.len() != self.p {
+            return Err(SubspaceError::DimensionMismatch { expected: self.p, got: x.len() });
+        }
+        let mut centered = x.to_vec();
+        self.decomp.centering.apply_row(&mut centered)?;
+        self.t2_of_centered(&centered)
+    }
+
+    /// t² from an already-centered observation.
+    pub(crate) fn t2_of_centered(&self, centered: &[f64]) -> Result<f64> {
+        let k = self.config.k.min(self.decomp.rank());
+        let mut t2 = 0.0;
+        for i in 0..k {
+            let axis = self.decomp.loadings.col(i)?;
+            let z = vecops::dot(&axis, centered);
+            let lambda = self.decomp.eigenvalue(i);
+            if lambda > 1e-300 {
+                t2 += z * z / lambda;
+            }
+        }
+        Ok(t2)
+    }
+
+    /// Centers a raw observation with the training means.
+    pub(crate) fn center(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.p {
+            return Err(SubspaceError::DimensionMismatch { expected: self.p, got: x.len() });
+        }
+        let mut centered = x.to_vec();
+        self.decomp.centering.apply_row(&mut centered)?;
+        Ok(centered)
+    }
+
+    /// The SPE timeseries over a full matrix (one value per row).
+    pub fn spe_series(&self, x: &Matrix) -> Result<Vec<f64>> {
+        x.rows_iter().map(|row| self.spe(row)).collect()
+    }
+
+    /// The t² timeseries over a full matrix (one value per row).
+    pub fn t2_series(&self, x: &Matrix) -> Result<Vec<f64>> {
+        x.rows_iter().map(|row| self.t2(row)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic OD traffic: two shared temporal patterns + noise, with an
+    /// optional spike injected at (bin, od).
+    fn traffic(n: usize, p: usize, spike: Option<(usize, usize, f64)>) -> Matrix {
+        let mut m = Matrix::from_fn(n, p, |i, j| {
+            let t = i as f64 / 288.0 * std::f64::consts::TAU;
+            let phase = (j % 3) as f64 * 0.7;
+            let amp = 20.0 + (j as f64) * 2.0;
+            amp * (2.0 + (t + phase).sin())
+                + 0.3 * (((i * 37 + j * 23) % 101) as f64 - 50.0) / 50.0
+        });
+        if let Some((bi, od, mag)) = spike {
+            m[(bi, od)] += mag;
+        }
+        m
+    }
+
+    #[test]
+    fn decomposition_exact() {
+        // x = x̂ + x̃ must hold exactly (in centered coordinates).
+        let x = traffic(200, 10, None);
+        let model = SubspaceModel::fit_default(&x).unwrap();
+        let row = x.row(57).unwrap();
+        let split = model.split(row).unwrap();
+        for i in 0..10 {
+            let sum = split.normal[i] + split.residual[i];
+            assert!((sum - split.centered[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn subspaces_orthogonal() {
+        let x = traffic(200, 10, None);
+        let model = SubspaceModel::fit_default(&x).unwrap();
+        let split = model.split(x.row(11).unwrap()).unwrap();
+        let dot = vecops::dot(&split.normal, &split.residual);
+        let scale = vecops::norm(&split.normal) * vecops::norm(&split.residual);
+        assert!(dot.abs() <= 1e-8 * (1.0 + scale), "normal·residual = {dot}");
+    }
+
+    #[test]
+    fn pythagoras_on_split() {
+        let x = traffic(150, 8, None);
+        let model = SubspaceModel::fit_default(&x).unwrap();
+        let split = model.split(x.row(42).unwrap()).unwrap();
+        let total = vecops::norm_sq(&split.centered);
+        let parts = vecops::norm_sq(&split.normal) + vecops::norm_sq(&split.residual);
+        assert!((total - parts).abs() < 1e-7 * (1.0 + total));
+    }
+
+    #[test]
+    fn spike_raises_spe_above_threshold() {
+        let n = 400;
+        let clean = traffic(n, 12, None);
+        // Train on clean data, then evaluate a spiked observation.
+        let model = SubspaceModel::fit_default(&clean).unwrap();
+        let spiked = traffic(n, 12, Some((100, 5, 500.0)));
+        let spe_clean = model.spe(clean.row(100).unwrap()).unwrap();
+        let spe_spiked = model.spe(spiked.row(100).unwrap()).unwrap();
+        assert!(spe_spiked > spe_clean * 50.0);
+        assert!(
+            spe_spiked > model.spe_threshold(),
+            "spiked SPE {spe_spiked} must exceed threshold {}",
+            model.spe_threshold()
+        );
+        assert!(spe_clean < model.spe_threshold(), "clean bin must not alarm");
+    }
+
+    #[test]
+    fn broad_shift_raises_t2() {
+        // A shift aligned with the dominant axes inflates t², not SPE.
+        let n = 400;
+        let clean = traffic(n, 12, None);
+        let model = SubspaceModel::fit_default(&clean).unwrap();
+        // Push the observation far along the first principal axis.
+        let axis = model.decomposition().loadings.col(0).unwrap();
+        let sigma0 = model.decomposition().eigenvalue(0).sqrt();
+        let mut shifted = clean.row(100).unwrap().to_vec();
+        for (s, a) in shifted.iter_mut().zip(&axis) {
+            *s += 20.0 * sigma0 * a;
+        }
+        let t2 = model.t2(&shifted).unwrap();
+        assert!(
+            t2 > model.t2_threshold(),
+            "t2 {t2} must exceed threshold {}",
+            model.t2_threshold()
+        );
+        // And the residual barely moves.
+        let spe = model.spe(&shifted).unwrap();
+        let spe_clean = model.spe(clean.row(100).unwrap()).unwrap();
+        assert!(spe < spe_clean * 3.0 + 1e-6);
+    }
+
+    #[test]
+    fn training_t2_mean_near_k() {
+        // For unit-variance scores, E[t²] = k on training data.
+        let x = traffic(500, 10, None);
+        let model = SubspaceModel::fit_default(&x).unwrap();
+        let t2s = model.t2_series(&x).unwrap();
+        let mean: f64 = t2s.iter().sum::<f64>() / t2s.len() as f64;
+        assert!((mean - 4.0).abs() < 0.2, "mean t² {mean} should be ≈ k = 4");
+    }
+
+    #[test]
+    fn few_training_alarms_at_high_confidence() {
+        let x = traffic(500, 10, None);
+        let model = SubspaceModel::fit_default(&x).unwrap();
+        let spe = model.spe_series(&x).unwrap();
+        let alarms = spe.iter().filter(|&&v| v > model.spe_threshold()).count();
+        // alpha = 0.001 over 500 bins -> expect ~0-3 alarms.
+        assert!(alarms <= 10, "too many SPE alarms on clean data: {alarms}");
+        let t2 = model.t2_series(&x).unwrap();
+        let alarms = t2.iter().filter(|&&v| v > model.t2_threshold()).count();
+        assert!(alarms <= 10, "too many t² alarms on clean data: {alarms}");
+    }
+
+    #[test]
+    fn rejects_bad_config_and_shapes() {
+        let x = traffic(50, 6, None);
+        assert!(matches!(
+            SubspaceModel::fit(&x, SubspaceConfig { k: 0, alpha: 0.001 }),
+            Err(SubspaceError::BadSubspaceDim { .. })
+        ));
+        assert!(matches!(
+            SubspaceModel::fit(&x, SubspaceConfig { k: 6, alpha: 0.001 }),
+            Err(SubspaceError::BadSubspaceDim { .. })
+        ));
+        let tiny = traffic(3, 6, None);
+        assert!(SubspaceModel::fit(&tiny, SubspaceConfig { k: 4, alpha: 0.001 }).is_err());
+
+        let model = SubspaceModel::fit_default(&x).unwrap();
+        assert!(matches!(
+            model.spe(&[1.0, 2.0]),
+            Err(SubspaceError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(model.t2(&[1.0]), Err(SubspaceError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn degenerate_low_rank_data_handled() {
+        // Exactly rank-2 data: the residual spectrum is numerically zero
+        // (either exactly — degenerate flag — or at rounding-noise level,
+        // giving a vanishing threshold). Either way the model stays usable
+        // and a genuine residual deviation still alarms.
+        let x = Matrix::from_fn(60, 8, |i, j| {
+            (i as f64).sin() * (j as f64 + 1.0) + (i as f64 / 7.0).cos() * (j as f64)
+        });
+        let model = SubspaceModel::fit(&x, SubspaceConfig { k: 4, alpha: 0.001 }).unwrap();
+        let scale = model.decomposition().eigenvalue(0);
+        assert!(
+            model.degenerate_residual() || model.spe_threshold() < 1e-9 * scale,
+            "threshold {} not degenerate (scale {scale})",
+            model.spe_threshold()
+        );
+        // A residual-direction deviation of visible size must alarm.
+        let mut row = x.row(30).unwrap().to_vec();
+        row[5] += 10.0;
+        assert!(model.spe(&row).unwrap() > model.spe_threshold());
+    }
+
+    #[test]
+    fn thresholds_positive_and_config_stored() {
+        let x = traffic(300, 9, None);
+        let cfg = SubspaceConfig { k: 3, alpha: 0.01 };
+        let model = SubspaceModel::fit(&x, cfg).unwrap();
+        assert!(model.spe_threshold() > 0.0);
+        assert!(model.t2_threshold() > 0.0);
+        assert_eq!(model.config().k, 3);
+        assert_eq!(model.num_od_pairs(), 9);
+        assert_eq!(model.num_train_bins(), 300);
+    }
+}

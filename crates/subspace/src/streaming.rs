@@ -1,0 +1,293 @@
+//! Online (streaming) subspace detection.
+//!
+//! The paper closes by pointing at "practical, online diagnosis of
+//! network-wide anomalies" as the goal (§6). [`OnlineDetector`] is that
+//! extension: fit the subspace model on a training window, then score each
+//! arriving 5-minute state vector against the frozen thresholds in O(k·p),
+//! refitting periodically so the normal model tracks slow traffic drift.
+//! [`SharedOnlineDetector`] wraps it for concurrent producer/consumer use
+//! (collector thread feeding bins, operator thread reading alarms).
+
+use crate::detector::{Detection, StatisticKind};
+use crate::error::{Result, SubspaceError};
+use crate::model::{SubspaceConfig, SubspaceModel};
+use odflow_linalg::{vecops, Matrix};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Outcome of scoring one streamed observation.
+#[derive(Debug, Clone)]
+pub struct StreamVerdict {
+    /// Index of the observation in the stream (bins since detector start).
+    pub bin: usize,
+    /// SPE value and T² value.
+    pub spe: f64,
+    /// T² statistic value.
+    pub t2: f64,
+    /// Detections fired by this observation (0-2 entries).
+    pub detections: Vec<Detection>,
+}
+
+impl StreamVerdict {
+    /// `true` if either statistic exceeded its threshold.
+    pub fn is_anomalous(&self) -> bool {
+        !self.detections.is_empty()
+    }
+}
+
+/// Streaming subspace detector with periodic refit.
+#[derive(Debug)]
+pub struct OnlineDetector {
+    config: SubspaceConfig,
+    model: SubspaceModel,
+    /// Recent observations retained for refitting.
+    window: Vec<Vec<f64>>,
+    /// Maximum retained window (also the refit window length).
+    window_len: usize,
+    /// Refit after this many new observations (0 = never refit).
+    refit_every: usize,
+    since_refit: usize,
+    next_bin: usize,
+}
+
+impl OnlineDetector {
+    /// Fits the initial model on `training` (rows = bins) and prepares to
+    /// stream. `refit_every = 0` freezes the model forever.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-fitting errors.
+    pub fn new(training: &Matrix, config: SubspaceConfig, refit_every: usize) -> Result<Self> {
+        let model = SubspaceModel::fit(training, config)?;
+        let window_len = training.nrows();
+        let window: Vec<Vec<f64>> =
+            training.rows_iter().map(|r| r.to_vec()).collect();
+        Ok(OnlineDetector {
+            config,
+            model,
+            window,
+            window_len,
+            refit_every,
+            since_refit: 0,
+            next_bin: 0,
+        })
+    }
+
+    /// The current model (replaced on refit).
+    pub fn model(&self) -> &SubspaceModel {
+        &self.model
+    }
+
+    /// Number of observations streamed so far.
+    pub fn bins_seen(&self) -> usize {
+        self.next_bin
+    }
+
+    /// Scores one observation and slides the training window.
+    ///
+    /// Anomalous observations are *not* folded into the refit window —
+    /// keeping the normal model clean of the anomalies it just flagged
+    /// (standard practice; otherwise a sustained attack becomes "normal").
+    ///
+    /// # Errors
+    ///
+    /// [`SubspaceError::DimensionMismatch`] on wrong-length input; refit
+    /// errors propagate.
+    pub fn push(&mut self, x: &[f64]) -> Result<StreamVerdict> {
+        if x.len() != self.model.num_od_pairs() {
+            return Err(SubspaceError::DimensionMismatch {
+                expected: self.model.num_od_pairs(),
+                got: x.len(),
+            });
+        }
+        let bin = self.next_bin;
+        self.next_bin += 1;
+
+        let split = self.model.split(x)?;
+        let spe = vecops::norm_sq(&split.residual);
+        let t2 = self.model.t2_of_centered(&split.centered)?;
+        let mut detections = Vec::new();
+        if spe > self.model.spe_threshold() {
+            detections.push(Detection {
+                bin,
+                kind: StatisticKind::Spe,
+                value: spe,
+                threshold: self.model.spe_threshold(),
+            });
+        }
+        if t2 > self.model.t2_threshold() {
+            detections.push(Detection {
+                bin,
+                kind: StatisticKind::T2,
+                value: t2,
+                threshold: self.model.t2_threshold(),
+            });
+        }
+
+        if detections.is_empty() {
+            self.window.push(x.to_vec());
+            if self.window.len() > self.window_len {
+                self.window.remove(0);
+            }
+            self.since_refit += 1;
+            if self.refit_every > 0 && self.since_refit >= self.refit_every {
+                self.refit()?;
+            }
+        }
+
+        Ok(StreamVerdict { bin, spe, t2, detections })
+    }
+
+    /// Refits the model on the current window.
+    fn refit(&mut self) -> Result<()> {
+        let n = self.window.len();
+        let p = self.model.num_od_pairs();
+        let mut data = Vec::with_capacity(n * p);
+        for row in &self.window {
+            data.extend_from_slice(row);
+        }
+        let m = Matrix::from_vec(n, p, data).map_err(SubspaceError::from)?;
+        self.model = SubspaceModel::fit(&m, self.config)?;
+        self.since_refit = 0;
+        Ok(())
+    }
+}
+
+/// Thread-safe handle around [`OnlineDetector`] for concurrent pipelines.
+#[derive(Debug, Clone)]
+pub struct SharedOnlineDetector {
+    inner: Arc<RwLock<OnlineDetector>>,
+}
+
+impl SharedOnlineDetector {
+    /// Wraps a detector for sharing across threads.
+    pub fn new(detector: OnlineDetector) -> Self {
+        SharedOnlineDetector { inner: Arc::new(RwLock::new(detector)) }
+    }
+
+    /// Scores one observation (exclusive lock).
+    pub fn push(&self, x: &[f64]) -> Result<StreamVerdict> {
+        self.inner.write().push(x)
+    }
+
+    /// Reads the current thresholds (shared lock) as `(spe, t2)`.
+    pub fn thresholds(&self) -> (f64, f64) {
+        let g = self.inner.read();
+        (g.model().spe_threshold(), g.model().t2_threshold())
+    }
+
+    /// Observations streamed so far.
+    pub fn bins_seen(&self) -> usize {
+        self.inner.read().bins_seen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traffic(n: usize, p: usize, offset: usize) -> Matrix {
+        Matrix::from_fn(n, p, |i, j| {
+            let t = (i + offset) as f64 / 288.0 * std::f64::consts::TAU;
+            let phase = if j % 2 == 0 { 0.0 } else { 0.5 };
+            let psi = if (j / 2) % 2 == 0 { 0.0 } else { 0.7 };
+            (10.0 + j as f64) * (2.0 + (t + phase).sin() + 0.8 * (2.0 * t + psi).sin())
+                + 1.0 * crate::testutil::hash_noise(i + offset, j)
+        })
+    }
+
+    #[test]
+    fn clean_stream_rarely_alarms() {
+        let train = traffic(400, 10, 0);
+        let mut det = OnlineDetector::new(&train, SubspaceConfig::default(), 0).unwrap();
+        let live = traffic(200, 10, 400);
+        let mut alarms = 0;
+        for row in live.rows_iter() {
+            if det.push(row).unwrap().is_anomalous() {
+                alarms += 1;
+            }
+        }
+        assert!(alarms <= 5, "too many alarms on clean stream: {alarms}");
+        assert_eq!(det.bins_seen(), 200);
+    }
+
+    #[test]
+    fn spike_detected_in_stream() {
+        let train = traffic(400, 10, 0);
+        let mut det = OnlineDetector::new(&train, SubspaceConfig::default(), 0).unwrap();
+        let live = traffic(50, 10, 400);
+        let mut spiked = live.row(25).unwrap().to_vec();
+        spiked[4] += 400.0;
+        for (i, row) in live.rows_iter().enumerate() {
+            let verdict = if i == 25 {
+                det.push(&spiked).unwrap()
+            } else {
+                det.push(row).unwrap()
+            };
+            if i == 25 {
+                assert!(verdict.is_anomalous(), "spike must alarm");
+                assert!(verdict.detections.iter().any(|d| d.kind == StatisticKind::Spe));
+            }
+        }
+    }
+
+    #[test]
+    fn anomalies_excluded_from_refit_window() {
+        let train = traffic(100, 8, 0);
+        let mut det = OnlineDetector::new(&train, SubspaceConfig::default(), 10_000).unwrap();
+        let before = det.window.len();
+        let mut spiked = traffic(1, 8, 100).row(0).unwrap().to_vec();
+        spiked[2] += 500.0;
+        let v = det.push(&spiked).unwrap();
+        assert!(v.is_anomalous());
+        assert_eq!(det.window.len(), before, "anomalous bin must not enter window");
+    }
+
+    #[test]
+    fn refit_happens_and_model_stays_valid() {
+        let train = traffic(120, 8, 0);
+        let mut det = OnlineDetector::new(&train, SubspaceConfig::default(), 50).unwrap();
+        let live = traffic(120, 8, 120);
+        for row in live.rows_iter() {
+            det.push(row).unwrap();
+        }
+        // After refits the thresholds remain positive and usable.
+        assert!(det.model().spe_threshold() >= 0.0);
+        assert!(det.model().t2_threshold() > 0.0);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let train = traffic(100, 8, 0);
+        let mut det = OnlineDetector::new(&train, SubspaceConfig::default(), 0).unwrap();
+        assert!(matches!(
+            det.push(&[1.0, 2.0]),
+            Err(SubspaceError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_detector_concurrent_pushes() {
+        let train = traffic(300, 8, 0);
+        let det = OnlineDetector::new(&train, SubspaceConfig::default(), 0).unwrap();
+        let shared = SharedOnlineDetector::new(det);
+        let (spe_t, t2_t) = shared.thresholds();
+        assert!(spe_t > 0.0 && t2_t > 0.0);
+
+        let handles: Vec<_> = (0..4)
+            .map(|w| {
+                let s = shared.clone();
+                std::thread::spawn(move || {
+                    let live = traffic(50, 8, 300 + w * 50);
+                    for row in live.rows_iter() {
+                        s.push(row).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared.bins_seen(), 200);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the subspace method's algebraic invariants.
+
+use odflow_linalg::{vecops, Matrix};
+use odflow_subspace::{
+    identify_spe, merge_detections, DetectionTriple, SubspaceConfig, SubspaceModel, TypeSet,
+};
+use proptest::prelude::*;
+
+/// Low-rank-plus-noise traffic: k shared temporal patterns with random
+/// loadings plus bounded noise — the regime the model assumes.
+fn arb_traffic() -> impl Strategy<Value = Matrix> {
+    (
+        40usize..120,
+        6usize..14,
+        proptest::collection::vec(0.1f64..2.0, 6 * 14),
+        any::<u64>(),
+    )
+        .prop_map(|(n, p, loadings, seed)| {
+            Matrix::from_fn(n, p, |i, j| {
+                let t = i as f64 / 48.0 * std::f64::consts::TAU;
+                let l1 = loadings[(j * 3) % loadings.len()];
+                let l2 = loadings[(j * 5 + 1) % loadings.len()];
+                let noise = {
+                    let mut z = (seed ^ ((i * 131 + j) as u64).wrapping_mul(0x9E3779B97F4A7C15))
+                        .wrapping_mul(0xBF58476D1CE4E5B9);
+                    z ^= z >> 31;
+                    (z as f64 / u64::MAX as f64) - 0.5
+                };
+                30.0 + 10.0 * l1 * t.sin() + 8.0 * l2 * (2.0 * t).cos() + noise
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn split_is_exact_and_orthogonal(x in arb_traffic()) {
+        let model = SubspaceModel::fit(&x, SubspaceConfig { k: 4, alpha: 0.001 }).unwrap();
+        for i in (0..x.nrows()).step_by(7) {
+            let split = model.split(x.row(i).unwrap()).unwrap();
+            // x_c = x_hat + x_tilde exactly.
+            for ((c, n), r) in split.centered.iter().zip(&split.normal).zip(&split.residual) {
+                prop_assert!((c - (n + r)).abs() < 1e-9);
+            }
+            // Components orthogonal; Pythagoras holds.
+            let dot = vecops::dot(&split.normal, &split.residual);
+            let scale = 1.0 + vecops::norm(&split.normal) * vecops::norm(&split.residual);
+            prop_assert!(dot.abs() < 1e-7 * scale);
+        }
+    }
+
+    #[test]
+    fn spe_invariant_under_od_permutation(x in arb_traffic()) {
+        // Permuting OD columns must not change any bin's SPE.
+        let p = x.ncols();
+        let perm: Vec<usize> = (0..p).rev().collect();
+        let xp = x.select_cols(&perm).unwrap();
+        let m1 = SubspaceModel::fit(&x, SubspaceConfig { k: 3, alpha: 0.001 }).unwrap();
+        let m2 = SubspaceModel::fit(&xp, SubspaceConfig { k: 3, alpha: 0.001 }).unwrap();
+        for i in (0..x.nrows()).step_by(11) {
+            let s1 = m1.spe(x.row(i).unwrap()).unwrap();
+            let s2 = m2.spe(xp.row(i).unwrap()).unwrap();
+            prop_assert!((s1 - s2).abs() < 1e-6 * (1.0 + s1), "bin {i}: {s1} vs {s2}");
+        }
+        // Thresholds identical too (spectrum is permutation-invariant).
+        prop_assert!((m1.spe_threshold() - m2.spe_threshold()).abs()
+            < 1e-6 * (1.0 + m1.spe_threshold()));
+    }
+
+    #[test]
+    fn identification_reduces_statistic(x in arb_traffic(), spike in 50.0f64..400.0) {
+        let model = SubspaceModel::fit(&x, SubspaceConfig { k: 4, alpha: 0.001 }).unwrap();
+        let mut row = x.row(x.nrows() / 2).unwrap().to_vec();
+        row[0] += spike;
+        if model.spe(&row).unwrap() <= model.spe_threshold() {
+            return Ok(()); // spike too small for this draw — nothing to identify
+        }
+        let id = identify_spe(&model, &row, 0).unwrap();
+        prop_assert!(!id.od_flows.is_empty());
+        prop_assert!(id.final_value <= model.spe_threshold() + 1e-9);
+        prop_assert!(id.final_value <= id.initial_value);
+        prop_assert_eq!(*id.od_flows.first().unwrap(), 0, "spiked flow ranks first");
+    }
+
+    #[test]
+    fn merge_covers_all_triples(
+        bins in proptest::collection::vec(0usize..50, 1..40),
+        types in proptest::collection::vec(0u8..3, 1..40),
+    ) {
+        use odflow_flow::TrafficType;
+        let n = bins.len().min(types.len());
+        let triples: Vec<DetectionTriple> = (0..n)
+            .map(|i| DetectionTriple {
+                traffic_type: [TrafficType::Bytes, TrafficType::Packets, TrafficType::Flows]
+                    [types[i] as usize],
+                bin: bins[i],
+                od_flows: vec![i % 5],
+            })
+            .collect();
+        let events = merge_detections(&triples);
+        // Every triple's bin is covered by exactly one event.
+        for t in &triples {
+            let covering: Vec<_> =
+                events.iter().filter(|e| e.covers_bin(t.bin)).collect();
+            prop_assert_eq!(covering.len(), 1, "bin {} covered by {} events", t.bin, covering.len());
+            prop_assert!(covering[0].types.contains(t.traffic_type));
+            for f in &t.od_flows {
+                prop_assert!(covering[0].od_flows.contains(f));
+            }
+        }
+        // Events never overlap.
+        for (i, a) in events.iter().enumerate() {
+            for b in events.iter().skip(i + 1) {
+                prop_assert!(a.end_bin() < b.start_bin || b.end_bin() < a.start_bin);
+            }
+        }
+    }
+
+    #[test]
+    fn typeset_union_commutative_monotone(a in 0u8..8, b in 0u8..8) {
+        use odflow_flow::TrafficType::*;
+        let build = |bits: u8| {
+            let mut s = TypeSet::empty();
+            if bits & 1 != 0 { s.insert(Bytes); }
+            if bits & 2 != 0 { s.insert(Flows); }
+            if bits & 4 != 0 { s.insert(Packets); }
+            s
+        };
+        let (sa, sb) = (build(a), build(b));
+        prop_assert_eq!(sa.union(sb), sb.union(sa));
+        let u = sa.union(sb);
+        prop_assert!(u.len() >= sa.len().max(sb.len()));
+        for t in [Bytes, Flows, Packets] {
+            prop_assert_eq!(u.contains(t), sa.contains(t) || sb.contains(t));
+        }
+    }
+}

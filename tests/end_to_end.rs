@@ -1,0 +1,199 @@
+//! Cross-crate integration: generator → measurement → detection →
+//! classification → ground-truth scoring, on a one-day scenario.
+
+use odflow::classify::score_events;
+use odflow::experiment::{run_scenario, truth_labels, ExperimentConfig};
+use odflow::gen::{
+    AnomalyKind, InjectedAnomaly, Scenario, ScanMode, ScenarioConfig,
+};
+
+fn day_scenario(schedule: Vec<InjectedAnomaly>) -> Scenario {
+    let config = ScenarioConfig { seed: 0xE2E, num_bins: 288, ..Default::default() };
+    Scenario::new(config, schedule).unwrap()
+}
+
+fn anomaly(
+    id: u64,
+    kind: AnomalyKind,
+    start: usize,
+    dur: usize,
+    od: Vec<(usize, usize)>,
+    intensity: f64,
+    port: u16,
+) -> InjectedAnomaly {
+    InjectedAnomaly {
+        id,
+        kind,
+        start_bin: start,
+        duration_bins: dur,
+        od_pairs: od,
+        intensity,
+        port,
+        scan_mode: ScanMode::Network,
+        shift_to: None,
+        packets_per_flow: 0.0,
+        packet_bytes: 0,
+    }
+}
+
+#[test]
+fn clean_day_has_low_alarm_rate() {
+    let scenario = day_scenario(vec![]);
+    let run = run_scenario(&scenario, &ExperimentConfig::default()).unwrap();
+    // Resolution reproduces the paper's claim territory (≥ 90%).
+    assert!(
+        run.resolution.flow_rate() > 0.88,
+        "flow resolution {:.3}",
+        run.resolution.flow_rate()
+    );
+    // At alpha = 0.001 over 288 bins x 3 types, a handful of alarms max.
+    assert!(
+        run.classified.len() <= 8,
+        "clean day produced {} events",
+        run.classified.len()
+    );
+}
+
+#[test]
+fn injected_dos_detected_and_classified() {
+    let scenario = day_scenario(vec![anomaly(
+        1,
+        AnomalyKind::Dos,
+        140,
+        2,
+        vec![(2, 9)],
+        900.0,
+        0,
+    )]);
+    let run = run_scenario(&scenario, &ExperimentConfig::default()).unwrap();
+    let truth = truth_labels(&scenario);
+    let report = score_events(&truth, &run.scored_events(), 2);
+    assert_eq!(report.true_positives, 1, "DOS must be detected");
+    // The event overlapping the injection should be DOS-labeled.
+    let hit = run
+        .classified
+        .iter()
+        .find(|c| c.event.covers_bin(140) || c.event.covers_bin(141))
+        .expect("an event must cover the injection");
+    assert_eq!(
+        hit.class.table3_group(),
+        "DOS",
+        "got {:?} with evidence {:?}",
+        hit.class,
+        hit.evidence
+    );
+}
+
+#[test]
+fn injected_alpha_detected_in_byte_packet_views() {
+    let scenario = day_scenario(vec![anomaly(
+        1,
+        AnomalyKind::Alpha,
+        100,
+        2,
+        vec![(1, 6)],
+        4000.0,
+        5001,
+    )]);
+    let run = run_scenario(&scenario, &ExperimentConfig::default()).unwrap();
+    let hit = run
+        .classified
+        .iter()
+        .find(|c| c.event.covers_bin(100) || c.event.covers_bin(101))
+        .expect("ALPHA must be detected");
+    use odflow::flow::TrafficType;
+    assert!(
+        hit.event.types.contains(TrafficType::Bytes)
+            || hit.event.types.contains(TrafficType::Packets),
+        "ALPHA should appear in B/P views, got {}",
+        hit.event.types
+    );
+    assert_eq!(hit.class.label(), "ALPHA", "evidence: {:?}", hit.evidence);
+}
+
+#[test]
+fn injected_scan_flow_anomaly() {
+    let scenario = day_scenario(vec![anomaly(
+        1,
+        AnomalyKind::Scan,
+        180,
+        2,
+        vec![(4, 7)],
+        800.0,
+        139,
+    )]);
+    let run = run_scenario(&scenario, &ExperimentConfig::default()).unwrap();
+    let hit = run
+        .classified
+        .iter()
+        .find(|c| c.event.covers_bin(180) || c.event.covers_bin(181))
+        .expect("SCAN must be detected");
+    use odflow::flow::TrafficType;
+    assert!(
+        hit.event.types.contains(TrafficType::Flows),
+        "SCAN is a flow anomaly, got {}",
+        hit.event.types
+    );
+    assert_eq!(hit.class.label(), "SCAN", "evidence: {:?}", hit.evidence);
+}
+
+#[test]
+fn outage_produces_dip_event() {
+    // A PoP-level outage affects that PoP's pairs in both directions —
+    // the 8-pair footprint the scenario scheduler uses. The window must be
+    // a full week as in the paper: on short windows an hours-long outage
+    // contaminates a large fraction of the training bins and PCA absorbs
+    // it into the normal subspace.
+    let config = ScenarioConfig { seed: 0xE2E0, ..Default::default() };
+    let scenario = Scenario::new(
+        config,
+        vec![anomaly(
+            1,
+            AnomalyKind::Outage,
+            1000,
+            36,
+            vec![(6, 0), (6, 1), (6, 2), (6, 3), (0, 6), (1, 6), (2, 6), (3, 6)],
+            0.0,
+            0,
+        )],
+    )
+    .unwrap();
+    let run = run_scenario(&scenario, &ExperimentConfig::default()).unwrap();
+    let hit = run
+        .classified
+        .iter()
+        .find(|c| (1000..1036).any(|b| c.event.covers_bin(b)) && c.volume_ratio < 1.0);
+    let hit = hit.expect("outage must produce a dip event");
+    assert!(
+        hit.class.label() == "OUTAGE" || hit.class.label() == "INGRESS-SHIFT",
+        "dip classified as {} with evidence {:?}",
+        hit.class,
+        hit.evidence
+    );
+}
+
+#[test]
+fn detection_identifies_correct_od_flow() {
+    let scenario = day_scenario(vec![anomaly(
+        1,
+        AnomalyKind::Dos,
+        200,
+        2,
+        vec![(3, 8)],
+        1000.0,
+        113,
+    )]);
+    let run = run_scenario(&scenario, &ExperimentConfig::default()).unwrap();
+    let n = scenario.topology.num_pops();
+    let expected_od = 3 * n + 8;
+    let hit = run
+        .classified
+        .iter()
+        .find(|c| c.event.covers_bin(200) || c.event.covers_bin(201))
+        .expect("DOS must be detected");
+    assert!(
+        hit.event.od_flows.contains(&expected_od),
+        "expected OD {expected_od} in {:?}",
+        hit.event.od_flows
+    );
+}
