@@ -37,9 +37,7 @@ fn bench_linalg(c: &mut Criterion) {
         });
     }
     let x = traffic_matrix(2016, 121);
-    g.bench_function("thin_svd_2016x121", |b| {
-        b.iter(|| thin_svd(black_box(&x), 0.0).unwrap())
-    });
+    g.bench_function("thin_svd_2016x121", |b| b.iter(|| thin_svd(black_box(&x), 0.0).unwrap()));
     g.finish();
 }
 

@@ -28,11 +28,7 @@ fn main() {
         };
         let run = run_scenario(&scenario, &config).expect("run");
         let report = score_events(&run.truth, &run.scored_events(), config.match_slack);
-        let unknown = run
-            .classified
-            .iter()
-            .filter(|c| c.class.label() == "UNKNOWN")
-            .count();
+        let unknown = run.classified.iter().filter(|c| c.class.label() == "UNKNOWN").count();
         acc_by_p.push((p, report.classification_accuracy()));
         rows.push((
             format!("p={p:.2}"),

@@ -68,9 +68,6 @@ fn main() {
         recall_by_rate.last().unwrap() >= recall_by_rate.first().unwrap(),
         "more sampling must not hurt recall"
     );
-    assert!(
-        recall_by_rate[2] > 0.8,
-        "the paper's operating point (1%) must retain high recall"
-    );
+    assert!(recall_by_rate[2] > 0.8, "the paper's operating point (1%) must retain high recall");
     println!("check passed: recall monotone-ish in rate; 1% operating point strong");
 }

@@ -18,6 +18,9 @@ use odflow::subspace::{merge_detections, DetectionTriple, StatisticKind};
 use odflow_bench::plot::count_table;
 use odflow_bench::HARNESS_SEED;
 
+/// Predicate choosing which detection statistics feed the event pipeline.
+type StatisticFilter = Box<dyn Fn(StatisticKind) -> bool>;
+
 fn main() {
     let scenario = Scenario::paper_week(HARNESS_SEED, 0).expect("scenario");
     let config = ExperimentConfig::default();
@@ -26,7 +29,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut recalls = Vec::new();
-    let variants: Vec<(&str, Box<dyn Fn(StatisticKind) -> bool>)> = vec![
+    let variants: Vec<(&str, StatisticFilter)> = vec![
         ("SPE only", Box::new(|k| k == StatisticKind::Spe)),
         ("T2 only", Box::new(|k| k == StatisticKind::T2)),
         ("SPE + T2", Box::new(|_| true)),

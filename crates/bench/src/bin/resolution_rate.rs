@@ -26,9 +26,8 @@ fn main() {
         let routes = scenario.plan.build_route_table(coverage).expect("routes");
         let ingress = IngressResolver::synthetic(&scenario.topology);
         let pipe_cfg = PipelineConfig::abilene(0, 288);
-        let mut pipeline =
-            MeasurementPipeline::new(pipe_cfg, &scenario.topology, ingress, routes)
-                .expect("pipeline");
+        let mut pipeline = MeasurementPipeline::new(pipe_cfg, &scenario.topology, ingress, routes)
+            .expect("pipeline");
         for bin in 0..generator.num_bins() {
             for record in generator.records_for_bin(bin) {
                 pipeline.push_sampled_record(record).expect("push");

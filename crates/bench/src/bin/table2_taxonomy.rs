@@ -10,7 +10,7 @@
 
 use odflow::classify::AnomalyClass;
 use odflow::experiment::{run_scenario, ExperimentConfig};
-use odflow::gen::{AnomalyKind, InjectedAnomaly, Scenario, ScanMode, ScenarioConfig};
+use odflow::gen::{AnomalyKind, InjectedAnomaly, ScanMode, Scenario, ScenarioConfig};
 use odflow_bench::plot::count_table;
 use odflow_bench::HARNESS_SEED;
 
@@ -124,7 +124,9 @@ fn main() {
     let mut correct = 0usize;
     for case in &cases {
         let config_s = ScenarioConfig {
-            seed: HARNESS_SEED ^ case.anomaly.port as u64 ^ (case.anomaly.duration_bins as u64) << 17,
+            seed: HARNESS_SEED
+                ^ case.anomaly.port as u64
+                ^ (case.anomaly.duration_bins as u64) << 17,
             ..Default::default()
         };
         let scenario = Scenario::new(config_s, vec![case.anomaly.clone()]).expect("scenario");
@@ -137,8 +139,7 @@ fn main() {
             .classified
             .iter()
             .filter(|c| {
-                (case.anomaly.start_bin..=case.anomaly.end_bin() + 2)
-                    .any(|b| c.event.covers_bin(b))
+                (case.anomaly.start_bin..=case.anomaly.end_bin() + 2).any(|b| c.event.covers_bin(b))
             })
             .max_by_key(|c| c.event.duration_bins);
         let (types, dur_min, n_od, class) = match hit {

@@ -65,10 +65,7 @@ fn main() {
         let cells: Vec<String> = classes
             .iter()
             .map(|class| {
-                grid.get(&(class.to_string(), combo.to_string()))
-                    .copied()
-                    .unwrap_or(0)
-                    .to_string()
+                grid.get(&(class.to_string(), combo.to_string())).copied().unwrap_or(0).to_string()
             })
             .collect();
         rows.push((combo.to_string(), cells));
@@ -108,10 +105,7 @@ fn main() {
     let ct = |c: &str| class_totals.get(c).copied().unwrap_or(0);
     assert!(ct("ALPHA") > ct("DOS"), "ALPHA is the most prevalent class");
     assert!(ct("ALPHA") > ct("SCAN") && ct("ALPHA") > ct("FLASH-CROWD"));
-    assert!(
-        ct("OUTAGE") + ct("INGRESS-SHIFT") <= 12,
-        "operational events are rare"
-    );
+    assert!(ct("OUTAGE") + ct("INGRESS-SHIFT") <= 12, "operational events are rare");
     assert!(recall > 0.85, "detection recall must be high, got {recall}");
     assert!(
         (unknown + false_alarm) as f64 / total.max(1) as f64 <= 0.30,
@@ -120,9 +114,6 @@ fn main() {
     // ALPHA detected via bytes/packets, never flows-only (Table 3's row
     // structure: ALPHA mass sits in B, P, BP).
     let alpha_flow_only = grid.get(&("ALPHA".to_string(), "F".to_string())).copied().unwrap_or(0);
-    assert!(
-        alpha_flow_only <= ct("ALPHA") / 10,
-        "ALPHA must not be a flows-view anomaly"
-    );
+    assert!(alpha_flow_only <= ct("ALPHA") / 10, "ALPHA must not be a flows-view anomaly");
     println!("\nshape check passed: ALPHA dominates; operational events rare; ALPHA not in F");
 }

@@ -33,9 +33,9 @@ pub fn ascii_panel(series: &[f64], height: usize, width: usize, threshold: Optio
         grid[r][c] = if above { '*' } else { '.' };
     }
     if let Some(tr) = thr_row {
-        for c in 0..width {
-            if grid[tr][c] == ' ' {
-                grid[tr][c] = '-';
+        for cell in &mut grid[tr] {
+            if *cell == ' ' {
+                *cell = '-';
             }
         }
     }

@@ -129,7 +129,14 @@ mod tests {
     use super::*;
     use odflow_flow::{FlowKey, FlowRecord, Protocol};
 
-    fn rec(src: [u8; 4], dst: [u8; 4], sport: u16, dport: u16, pkts: u64, bytes: u64) -> FlowRecord {
+    fn rec(
+        src: [u8; 4],
+        dst: [u8; 4],
+        sport: u16,
+        dport: u16,
+        pkts: u64,
+        bytes: u64,
+    ) -> FlowRecord {
         FlowRecord {
             key: FlowKey::new(
                 IpAddr::from_octets(src[0], src[1], src[2], src[3]),
@@ -153,9 +160,8 @@ mod tests {
         for i in 0..10u16 {
             d.add(&rec([1, 1, 1, i as u8], [2, 2, 0, 0], 1000 + i, 7000 + i, 1, 100));
         }
-        let dom =
-            DominantAttributes::evaluate(&d, TrafficType::Flows, DominanceConfig::default())
-                .unwrap();
+        let dom = DominantAttributes::evaluate(&d, TrafficType::Flows, DominanceConfig::default())
+            .unwrap();
         assert!(dom.dst_port.is_none(), "weak ports must not be dominant");
         // But the single destination address is dominant.
         assert!(dom.dst_addr.is_some());
@@ -193,9 +199,8 @@ mod tests {
                 500,
             ));
         }
-        let dom =
-            DominantAttributes::evaluate(&d, TrafficType::Flows, DominanceConfig::default())
-                .unwrap();
+        let dom = DominantAttributes::evaluate(&d, TrafficType::Flows, DominanceConfig::default())
+            .unwrap();
         assert!(dom.none_dominant(), "{dom:?}");
     }
 

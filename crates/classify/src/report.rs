@@ -93,11 +93,7 @@ impl MatchReport {
 
 /// Matches events to truth by time overlap (with `slack` bins tolerance)
 /// and, when both sides carry OD flows, a non-empty OD intersection.
-pub fn score_events(
-    truth: &[TruthLabel],
-    events: &[ScoredEvent],
-    slack: usize,
-) -> MatchReport {
+pub fn score_events(truth: &[TruthLabel], events: &[ScoredEvent], slack: usize) -> MatchReport {
     let mut truth_matched = vec![false; truth.len()];
     let mut confusion: BTreeMap<(String, String), usize> = BTreeMap::new();
     let mut unmatched_events = 0usize;

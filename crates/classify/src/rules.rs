@@ -220,10 +220,9 @@ pub fn classify(obs: &AnomalyObservation, config: &RuleConfig) -> Result<Classif
     // legitimate clients cover most traffic from a handful of /24 blocks
     // (pollution-robust share measure), spoofed floods need hundreds.
     if let Some((dst, share)) = dom.dst_addr {
-        let clustered = dom.src_blocks_for_80pct > 0
-            && dom.src_blocks_for_80pct <= config.clustered_src_blocks;
-        let service_port =
-            dom.dst_port.map(|(p, _)| is_well_known_service(p)).unwrap_or(false);
+        let clustered =
+            dom.src_blocks_for_80pct > 0 && dom.src_blocks_for_80pct <= config.clustered_src_blocks;
+        let service_port = dom.dst_port.map(|(p, _)| is_well_known_service(p)).unwrap_or(false);
         if clustered && service_port {
             evidence.push(format!(
                 "victim {dst} ({:.0}%) on service port, 80% of traffic from {} source blocks",
@@ -254,7 +253,14 @@ mod tests {
     use odflow_flow::{FlowKey, FlowRecord, Protocol};
     use odflow_net::IpAddr;
 
-    fn rec(src: [u8; 4], dst: [u8; 4], sport: u16, dport: u16, pkts: u64, bytes: u64) -> FlowRecord {
+    fn rec(
+        src: [u8; 4],
+        dst: [u8; 4],
+        sport: u16,
+        dport: u16,
+        pkts: u64,
+        bytes: u64,
+    ) -> FlowRecord {
         FlowRecord {
             key: FlowKey::new(
                 IpAddr::from_octets(src[0], src[1], src[2], src[3]),
@@ -399,11 +405,8 @@ mod tests {
     #[test]
     fn classifies_outage_and_ingress_shift() {
         let d = AttributeDigest::new(); // traffic vanished: empty digest OK
-        let mut o = obs(
-            d,
-            types(&[TrafficType::Bytes, TrafficType::Flows, TrafficType::Packets]),
-            0.05,
-        );
+        let mut o =
+            obs(d, types(&[TrafficType::Bytes, TrafficType::Flows, TrafficType::Packets]), 0.05);
         o.num_od_flows = 6;
         let c = classify(&o, &RuleConfig::default()).unwrap();
         assert_eq!(c.class, AnomalyClass::Outage);

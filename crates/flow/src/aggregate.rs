@@ -83,12 +83,8 @@ impl FlowAggregator {
     fn drain_closed(&mut self) -> Vec<FlowRecord> {
         let closed_before = self.watermark.saturating_sub(self.slack);
         let mut out = Vec::new();
-        let windows: Vec<u64> = self
-            .open
-            .keys()
-            .copied()
-            .filter(|w| w + self.window_secs <= closed_before)
-            .collect();
+        let windows: Vec<u64> =
+            self.open.keys().copied().filter(|w| w + self.window_secs <= closed_before).collect();
         for w in windows {
             if let Some(records) = self.open.remove(&w) {
                 out.extend(records.into_values());

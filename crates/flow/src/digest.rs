@@ -84,10 +84,7 @@ impl AttributeDigest {
         self.by_src_port.entry(r.key.src_port).or_default().add_record(r);
         self.by_dst_port.entry(r.key.dst_port).or_default().add_record(r);
         self.by_dst_addr.entry(r.key.dst_ip.0).or_default().add_record(r);
-        self.by_dst_addr_port
-            .entry((r.key.dst_ip.0, r.key.dst_port))
-            .or_default()
-            .add_record(r);
+        self.by_dst_addr_port.entry((r.key.dst_ip.0, r.key.dst_port)).or_default().add_record(r);
     }
 
     /// Folds every record of `rs` into the digest.
@@ -220,7 +217,14 @@ mod tests {
     use crate::key::{FlowKey, Protocol};
     use crate::matrix::TrafficType;
 
-    fn rec(src: [u8; 4], dst: [u8; 4], sport: u16, dport: u16, pkts: u64, bytes: u64) -> FlowRecord {
+    fn rec(
+        src: [u8; 4],
+        dst: [u8; 4],
+        sport: u16,
+        dport: u16,
+        pkts: u64,
+        bytes: u64,
+    ) -> FlowRecord {
         FlowRecord {
             key: FlowKey::new(
                 IpAddr::from_octets(src[0], src[1], src[2], src[3]),

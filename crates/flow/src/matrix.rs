@@ -26,7 +26,8 @@ pub enum TrafficType {
 
 impl TrafficType {
     /// All three types in the paper's B, P, F order.
-    pub const ALL: [TrafficType; 3] = [TrafficType::Bytes, TrafficType::Packets, TrafficType::Flows];
+    pub const ALL: [TrafficType; 3] =
+        [TrafficType::Bytes, TrafficType::Packets, TrafficType::Flows];
 
     /// One-letter code used in the paper's tables (B, P, F).
     pub fn code(self) -> char {
@@ -89,13 +90,11 @@ impl TrafficMatrix {
 
     /// The per-timebin state vector `x` (traffic of all OD flows at bin `i`).
     pub fn state_vector(&self, i: usize) -> Result<&[f64]> {
-        self.data
-            .row(i)
-            .map_err(|_| FlowError::TimestampOutOfRange {
-                ts: self.bin_start(i),
-                start: self.start_secs,
-                end: self.bin_start(self.num_bins()),
-            })
+        self.data.row(i).map_err(|_| FlowError::TimestampOutOfRange {
+            ts: self.bin_start(i),
+            start: self.start_secs,
+            end: self.bin_start(self.num_bins()),
+        })
     }
 
     /// Timeseries of a single OD pair (column `od`).

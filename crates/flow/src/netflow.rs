@@ -142,7 +142,10 @@ pub fn decode_datagram(data: &[u8]) -> Result<(DatagramHeader, Vec<FlowRecord>)>
     let expected = count as usize * RECORD_LEN;
     if buf.remaining() != expected {
         return Err(FlowError::Codec {
-            reason: format!("count {count} implies {expected} payload bytes, got {}", buf.remaining()),
+            reason: format!(
+                "count {count} implies {expected} payload bytes, got {}",
+                buf.remaining()
+            ),
         });
     }
 
@@ -179,10 +182,7 @@ pub fn decode_datagram(data: &[u8]) -> Result<(DatagramHeader, Vec<FlowRecord>)>
         });
     }
 
-    Ok((
-        DatagramHeader { version, count, unix_secs, flow_sequence, sampling_interval },
-        records,
-    ))
+    Ok((DatagramHeader { version, count, unix_secs, flow_sequence, sampling_interval }, records))
 }
 
 #[cfg(test)]

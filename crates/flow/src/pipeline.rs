@@ -142,16 +142,14 @@ impl MeasurementPipeline {
             record.key = record.key.with_anonymized_dst();
         }
         match self.resolver.resolve(&record) {
-            OdResolution::Resolved { od_index } => {
-                match self.binner.push(od_index, &record) {
-                    Ok(()) => Ok(()),
-                    Err(FlowError::TimestampOutOfRange { .. }) => {
-                        self.dropped_out_of_window += 1;
-                        Ok(())
-                    }
-                    Err(e) => Err(e),
+            OdResolution::Resolved { od_index } => match self.binner.push(od_index, &record) {
+                Ok(()) => Ok(()),
+                Err(FlowError::TimestampOutOfRange { .. }) => {
+                    self.dropped_out_of_window += 1;
+                    Ok(())
                 }
-            }
+                Err(e) => Err(e),
+            },
             // Unresolvable and transit traffic is excluded from OD matrices
             // — exactly the paper's ~7% resolution loss.
             _ => Ok(()),

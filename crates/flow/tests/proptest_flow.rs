@@ -1,8 +1,6 @@
 //! Property-based tests for the measurement substrate.
 
-use odflow_flow::{
-    netflow, FlowAggregator, FlowKey, FlowRecord, OdBinner, PacketObs, Protocol,
-};
+use odflow_flow::{netflow, FlowAggregator, FlowKey, FlowRecord, OdBinner, PacketObs, Protocol};
 use odflow_net::IpAddr;
 use proptest::prelude::*;
 

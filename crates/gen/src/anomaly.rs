@@ -138,19 +138,15 @@ impl InjectedAnomaly {
             return 1.0;
         }
         match self.kind {
-            AnomalyKind::Outage => {
-                if self.od_pairs.iter().any(|&(o, d)| o == origin && d == destination) {
-                    0.02 // near-total loss, "usually to zero"
-                } else {
-                    1.0
-                }
+            AnomalyKind::Outage
+                if self.od_pairs.iter().any(|&(o, d)| o == origin && d == destination) =>
+            {
+                0.02 // near-total loss, "usually to zero"
             }
-            AnomalyKind::IngressShift => {
-                if self.od_pairs.iter().any(|&(o, d)| o == origin && d == destination) {
-                    0.15 // most of the customer's traffic leaves this ingress
-                } else {
-                    1.0
-                }
+            AnomalyKind::IngressShift
+                if self.od_pairs.iter().any(|&(o, d)| o == origin && d == destination) =>
+            {
+                0.15 // most of the customer's traffic leaves this ingress
             }
             _ => 1.0,
         }
@@ -218,12 +214,7 @@ impl InjectedAnomaly {
     }
 
     fn bin_rng(&self, trace_seed: u64, bin: usize, pair_idx: usize) -> rand_chacha::ChaCha8Rng {
-        cell_rng(
-            trace_seed,
-            bin as u64,
-            pair_idx as u64,
-            Stream::Anomaly(self.id),
-        )
+        cell_rng(trace_seed, bin as u64, pair_idx as u64, Stream::Anomaly(self.id))
     }
 
     /// ALPHA: one dominant source-destination host pair moving bulk data.
@@ -242,8 +233,7 @@ impl InjectedAnomaly {
         let dst = plan.customer_addr(dest, 0, actors.gen());
         let mut rng = self.bin_rng(trace_seed, bin, 0);
         let packets = (self.intensity * (0.9 + 0.2 * rng.gen::<f64>())) as u64;
-        let bytes_per_packet =
-            if self.packet_bytes > 0 { self.packet_bytes as u64 } else { 1500 };
+        let bytes_per_packet = if self.packet_bytes > 0 { self.packet_bytes as u64 } else { 1500 };
         let key = FlowKey::new(src, dst, self.port, self.port, Protocol::Tcp);
         let minutes = (bin_secs / 60).max(1);
         // The transfer spans the bin; export one record per minute, as the
@@ -285,8 +275,7 @@ impl InjectedAnomaly {
             for _ in 0..flows {
                 // Spoofed source: uniformly random address space.
                 let src = IpAddr(rng.gen());
-                let packets =
-                    1 + (ppf * (0.5 + rng.gen::<f64>())) as u64;
+                let packets = 1 + (ppf * (0.5 + rng.gen::<f64>())) as u64;
                 out.push(FlowRecord {
                     key: FlowKey::new(
                         src,
@@ -321,8 +310,7 @@ impl InjectedAnomaly {
         let server = plan.customer_addr(dest, 0, actors.gen());
         // Clients cluster in 3 /24s of the origin's space (Jung et al.'s
         // topological-clustering signature of real flash crowds).
-        let client_blocks: Vec<u32> =
-            (0..3).map(|_| actors.gen::<u32>() & 0xFFFF_FF00).collect();
+        let client_blocks: Vec<u32> = (0..3).map(|_| actors.gen::<u32>() & 0xFFFF_FF00).collect();
         let mut rng = self.bin_rng(trace_seed, bin, 0);
         let flows = (self.intensity * (0.8 + 0.4 * rng.gen::<f64>())) as u64;
         let ppf = if self.packets_per_flow > 0.0 { self.packets_per_flow } else { 5.0 };
@@ -381,7 +369,13 @@ impl InjectedAnomaly {
                     ScanMode::Port => (fixed_target, (1 + (i % 60_000)) as u16),
                 };
                 FlowRecord {
-                    key: FlowKey::new(scanner, dst, rng.gen_range(1024..=65_535), dport, Protocol::Tcp),
+                    key: FlowKey::new(
+                        scanner,
+                        dst,
+                        rng.gen_range(1024..=65_535),
+                        dport,
+                        Protocol::Tcp,
+                    ),
                     router: origin,
                     interface: 0,
                     window_start: bin_start + rng.gen_range(0..minutes) * 60,
@@ -415,7 +409,13 @@ impl InjectedAnomaly {
                 let dst = plan.customer_addr(dest, rng.gen_range(0..4), rng.gen());
                 let packets = 1 + rng.gen_range(0..2) as u64;
                 out.push(FlowRecord {
-                    key: FlowKey::new(src, dst, rng.gen_range(1024..=65_535), self.port, Protocol::Tcp),
+                    key: FlowKey::new(
+                        src,
+                        dst,
+                        rng.gen_range(1024..=65_535),
+                        self.port,
+                        Protocol::Tcp,
+                    ),
                     router: origin,
                     interface: 0,
                     window_start: bin_start + rng.gen_range(0..minutes) * 60,
@@ -450,7 +450,13 @@ impl InjectedAnomaly {
             .map(|_| {
                 let dst = plan.customer_addr(dest, rng.gen_range(0..4), rng.gen());
                 FlowRecord {
-                    key: FlowKey::new(server, dst, self.port, rng.gen_range(1024..=65_535), Protocol::Tcp),
+                    key: FlowKey::new(
+                        server,
+                        dst,
+                        self.port,
+                        rng.gen_range(1024..=65_535),
+                        Protocol::Tcp,
+                    ),
                     router: origin,
                     interface: 0,
                     window_start: bin_start + rng.gen_range(0..minutes) * 60,
@@ -472,7 +478,12 @@ mod tests {
         AddressPlan::synthetic(&Topology::abilene())
     }
 
-    fn base(kind: AnomalyKind, od: Vec<(usize, usize)>, intensity: f64, port: u16) -> InjectedAnomaly {
+    fn base(
+        kind: AnomalyKind,
+        od: Vec<(usize, usize)>,
+        intensity: f64,
+        port: u16,
+    ) -> InjectedAnomaly {
         InjectedAnomaly {
             id: 1,
             kind,

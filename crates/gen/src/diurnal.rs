@@ -91,8 +91,7 @@ impl DiurnalModel {
         let local = ts as f64 - tz_offset_hours * 3600.0;
         let day_frac = (local.rem_euclid(DAY_SECS as f64)) / DAY_SECS as f64;
         let peak_frac = self.peak_hour / 24.0;
-        let daily =
-            1.0 + self.day_amp * (std::f64::consts::TAU * (day_frac - peak_frac)).cos();
+        let daily = 1.0 + self.day_amp * (std::f64::consts::TAU * (day_frac - peak_frac)).cos();
 
         let day_index = (local.rem_euclid(WEEK_SECS as f64) / DAY_SECS as f64).floor() as u64;
         // Epoch is Monday; days 5 and 6 are Saturday/Sunday.
@@ -132,17 +131,13 @@ mod tests {
 
     #[test]
     fn rejects_bad_parameters() {
-        let mut m = DiurnalModel::default();
-        m.day_amp = 1.5;
+        let m = DiurnalModel { day_amp: 1.5, ..Default::default() };
         assert!(m.validate().is_err());
-        let mut m = DiurnalModel::default();
-        m.peak_hour = 25.0;
+        let m = DiurnalModel { peak_hour: 25.0, ..Default::default() };
         assert!(m.validate().is_err());
-        let mut m = DiurnalModel::default();
-        m.weekend_dip = -0.1;
+        let m = DiurnalModel { weekend_dip: -0.1, ..Default::default() };
         assert!(m.validate().is_err());
-        let mut m = DiurnalModel::default();
-        m.floor = 0.0;
+        let m = DiurnalModel { floor: 0.0, ..Default::default() };
         assert!(m.validate().is_err());
     }
 
@@ -168,8 +163,7 @@ mod tests {
 
     #[test]
     fn weekend_dip_applies() {
-        let mut m = DiurnalModel::default();
-        m.weekend_dip = 0.5;
+        let m = DiurnalModel { weekend_dip: 0.5, ..Default::default() };
         // Monday noon vs Saturday noon (same time of day).
         let monday_noon = DAY_SECS / 2;
         let saturday_noon = 5 * DAY_SECS + DAY_SECS / 2;

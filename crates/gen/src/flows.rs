@@ -141,6 +141,7 @@ pub fn draw_packet_bytes(rng: &mut impl Rng) -> u32 {
 ///
 /// Records carry `router = origin`, `interface = 0` (customer port) so the
 /// OD resolver attributes ingress exactly as the paper's procedure does.
+#[allow(clippy::too_many_arguments)]
 pub fn synthesize_cell(
     params: &BaselineParams,
     plan: &AddressPlan,
@@ -223,17 +224,13 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range_params() {
-        let mut p = BaselineParams::default();
-        p.noise_sigma = -0.1;
+        let p = BaselineParams { noise_sigma: -0.1, ..Default::default() };
         assert!(p.validate().is_err());
-        let mut p = BaselineParams::default();
-        p.unresolvable_frac = 1.0;
+        let p = BaselineParams { unresolvable_frac: 1.0, ..Default::default() };
         assert!(p.validate().is_err());
-        let mut p = BaselineParams::default();
-        p.elephant_frac = -0.01;
+        let p = BaselineParams { elephant_frac: -0.01, ..Default::default() };
         assert!(p.validate().is_err());
-        let mut p = BaselineParams::default();
-        p.elephant_packets = 0.5;
+        let p = BaselineParams { elephant_packets: 0.5, ..Default::default() };
         assert!(p.validate().is_err());
     }
 
@@ -282,11 +279,8 @@ mod tests {
     #[test]
     fn unresolvable_fraction_close_to_configured() {
         let plan = setup();
-        let params = BaselineParams {
-            unresolvable_frac: 0.07,
-            noise_sigma: 0.0,
-            ..Default::default()
-        };
+        let params =
+            BaselineParams { unresolvable_frac: 0.07, noise_sigma: 0.0, ..Default::default() };
         let mut unres = 0usize;
         let mut total = 0usize;
         for i in 0..200 {
@@ -331,8 +325,7 @@ mod tests {
     fn zero_mean_produces_no_records() {
         let plan = setup();
         let mut rng = cell_rng(1, 0, 0, Stream::Baseline);
-        let recs =
-            synthesize_cell(&BaselineParams::default(), &plan, 0, 1, 0.0, 0, 300, &mut rng);
+        let recs = synthesize_cell(&BaselineParams::default(), &plan, 0, 1, 0.0, 0, 300, &mut rng);
         assert!(recs.is_empty());
     }
 
@@ -346,10 +339,14 @@ mod tests {
         for i in 0..100 {
             let mut r1 = cell_rng(5, i, 0, Stream::Baseline);
             let mut r2 = cell_rng(5, i, 0, Stream::Baseline);
-            packets_heavy +=
-                synthesize_cell(&heavy, &plan, 0, 1, 20.0, 0, 300, &mut r1).iter().map(|r| r.packets).sum::<u64>();
-            packets_light +=
-                synthesize_cell(&light, &plan, 0, 1, 20.0, 0, 300, &mut r2).iter().map(|r| r.packets).sum::<u64>();
+            packets_heavy += synthesize_cell(&heavy, &plan, 0, 1, 20.0, 0, 300, &mut r1)
+                .iter()
+                .map(|r| r.packets)
+                .sum::<u64>();
+            packets_light += synthesize_cell(&light, &plan, 0, 1, 20.0, 0, 300, &mut r2)
+                .iter()
+                .map(|r| r.packets)
+                .sum::<u64>();
         }
         assert!(packets_heavy as f64 > packets_light as f64 * 2.0);
     }

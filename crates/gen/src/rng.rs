@@ -129,8 +129,7 @@ mod tests {
             let n = 30_000;
             let draws: Vec<f64> = (0..n).map(|_| poisson(lambda, &mut rng) as f64).collect();
             let mean = draws.iter().sum::<f64>() / n as f64;
-            let var =
-                draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+            let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
             let se = (lambda / n as f64).sqrt();
             assert!((mean - lambda).abs() < 6.0 * se + 0.05, "λ={lambda}: mean {mean}");
             assert!((var / lambda - 1.0).abs() < 0.12, "λ={lambda}: var {var}");
@@ -148,8 +147,7 @@ mod tests {
     fn lognormal_mean_one() {
         let mut rng = cell_rng(3, 0, 0, Stream::Baseline);
         let n = 100_000;
-        let mean: f64 =
-            (0..n).map(|_| lognormal_noise(0.3, &mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| lognormal_noise(0.3, &mut rng)).sum::<f64>() / n as f64;
         assert!((mean - 1.0).abs() < 0.02, "lognormal mean {mean}");
         assert_eq!(lognormal_noise(0.0, &mut rng), 1.0);
     }

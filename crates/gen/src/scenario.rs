@@ -133,7 +133,8 @@ impl Scenario {
     /// offsets both the RNG stream and the anomaly ids, so consecutive
     /// weeks differ.
     pub fn paper_week(seed: u64, week: u64) -> Result<Scenario> {
-        let config = ScenarioConfig { seed: seed ^ (week.wrapping_mul(0x9E37_79B9)), ..Default::default() };
+        let config =
+            ScenarioConfig { seed: seed ^ (week.wrapping_mul(0x9E37_79B9)), ..Default::default() };
         let schedule = paper_schedule(config.seed, config.num_bins, week);
         Scenario::new(config, schedule)
     }
@@ -147,11 +148,8 @@ impl Scenario {
     pub fn generator(&self) -> TraceGenerator<'_> {
         TraceGenerator {
             scenario: self,
-            gravity: GravityModel::new(
-                GravityModel::abilene_weights(),
-                self.config.total_demand,
-            )
-            .expect("abilene gravity weights are valid"),
+            gravity: GravityModel::new(GravityModel::abilene_weights(), self.config.total_demand)
+                .expect("abilene gravity weights are valid"),
         }
     }
 }
@@ -184,8 +182,7 @@ impl<'a> TraceGenerator<'a> {
     pub fn base_mean(&self, bin: usize, origin: PopId, destination: PopId) -> f64 {
         let ts = self.bin_start(bin);
         let tz = ABILENE_TZ_OFFSET_HOURS[origin % ABILENE_TZ_OFFSET_HOURS.len()];
-        self.gravity.od_mean(origin, destination)
-            * self.scenario.config.diurnal.multiplier(ts, tz)
+        self.gravity.od_mean(origin, destination) * self.scenario.config.diurnal.multiplier(ts, tz)
     }
 
     /// The effective mean after OUTAGE / INGRESS-SHIFT modifiers.
@@ -231,7 +228,11 @@ impl<'a> TraceGenerator<'a> {
 
     /// Renders only the records an anomaly contributes to a bin (for
     /// focused inspection in the classification stage).
-    pub fn anomaly_records_for_bin(&self, anomaly: &InjectedAnomaly, bin: usize) -> Vec<FlowRecord> {
+    pub fn anomaly_records_for_bin(
+        &self,
+        anomaly: &InjectedAnomaly,
+        bin: usize,
+    ) -> Vec<FlowRecord> {
         anomaly.synthesize(
             self.scenario.config.seed,
             bin,
@@ -277,9 +278,8 @@ fn paper_schedule(seed: u64, num_bins: usize, week: u64) -> Vec<InjectedAnomaly>
     for i in 0..34 {
         let duration = 1 + rng.gen_range(0..2);
         let start = place(&mut rng, duration);
-        let port = *[5001u16, 5010, 5050, 56117 % 60000, 1412]
-            .get(rng.gen_range(0..5))
-            .expect("static list");
+        let port =
+            *[5001u16, 5010, 5050, 56117, 1412].get(rng.gen_range(0..5)).expect("static list");
         // Three transfer profiles sized against the per-view noise floors
         // (B fires at ~6.8e5 bytes, P at ~560 packets). Abilene carried
         // 9000-byte jumbo frames, and the bandwidth experiments behind
@@ -289,12 +289,15 @@ fn paper_schedule(seed: u64, num_bins: usize, week: u64) -> Vec<InjectedAnomaly>
         // byte floor (→ P-only); large MTU transfers hit both (→ BP).
         // Proportions follow Table 3's ALPHA row (B 59, P 54, BP 19).
         let (intensity, packet_bytes) = match i % 7 {
-            0 | 1 | 2 => (120.0 + rng.gen::<f64>() * 350.0, 9000), // B-only band
-            3 | 4 | 5 => (620.0 + rng.gen::<f64>() * 330.0, 560),  // P-only band
-            _ => (2000.0 + rng.gen::<f64>() * 4000.0, 1500),       // BP
+            0..=2 => (120.0 + rng.gen::<f64>() * 350.0, 9000), // B-only band
+            3..=5 => (620.0 + rng.gen::<f64>() * 330.0, 560),  // P-only band
+            _ => (2000.0 + rng.gen::<f64>() * 4000.0, 1500),   // BP
         };
         schedule.push(InjectedAnomaly {
-            id: { id += 1; id },
+            id: {
+                id += 1;
+                id
+            },
             kind: AnomalyKind::Alpha,
             start_bin: start,
             duration_bins: duration,
@@ -322,7 +325,10 @@ fn paper_schedule(seed: u64, num_bins: usize, week: u64) -> Vec<InjectedAnomaly>
             130.0 + rng.gen::<f64>() * 70.0 // F-only band
         };
         schedule.push(InjectedAnomaly {
-            id: { id += 1; id },
+            id: {
+                id += 1;
+                id
+            },
             kind: AnomalyKind::FlashCrowd,
             start_bin: start,
             duration_bins: duration,
@@ -344,7 +350,10 @@ fn paper_schedule(seed: u64, num_bins: usize, week: u64) -> Vec<InjectedAnomaly>
         let duration = 1 + rng.gen_range(0..2);
         let start = place(&mut rng, duration);
         schedule.push(InjectedAnomaly {
-            id: { id += 1; id },
+            id: {
+                id += 1;
+                id
+            },
             kind: AnomalyKind::Scan,
             start_bin: start,
             duration_bins: duration,
@@ -372,7 +381,10 @@ fn paper_schedule(seed: u64, num_bins: usize, week: u64) -> Vec<InjectedAnomaly>
             _ => (500.0 + rng.gen::<f64>() * 400.0, 2.0),     // FP flood
         };
         schedule.push(InjectedAnomaly {
-            id: { id += 1; id },
+            id: {
+                id += 1;
+                id
+            },
             kind: AnomalyKind::Dos,
             start_bin: start,
             duration_bins: duration,
@@ -398,7 +410,10 @@ fn paper_schedule(seed: u64, num_bins: usize, week: u64) -> Vec<InjectedAnomaly>
         }
         origins.truncate(3 + rng.gen_range(0..2));
         schedule.push(InjectedAnomaly {
-            id: { id += 1; id },
+            id: {
+                id += 1;
+                id
+            },
             kind: AnomalyKind::Ddos,
             start_bin: start,
             duration_bins: duration,
@@ -420,7 +435,10 @@ fn paper_schedule(seed: u64, num_bins: usize, week: u64) -> Vec<InjectedAnomaly>
         let start = place(&mut rng, duration);
         let dests: Vec<usize> = (0..n_pops).filter(|&d| d != from && d != to).take(4).collect();
         schedule.push(InjectedAnomaly {
-            id: { id += 1; id },
+            id: {
+                id += 1;
+                id
+            },
             kind: AnomalyKind::IngressShift,
             start_bin: start,
             duration_bins: duration,
@@ -454,7 +472,10 @@ fn paper_schedule(seed: u64, num_bins: usize, week: u64) -> Vec<InjectedAnomaly>
             // (hours-long) duration — the paper's Figure 2 duration tail.
             pairs.truncate(16);
             schedule.push(InjectedAnomaly {
-                id: { id += 1; id },
+                id: {
+                    id += 1;
+                    id
+                },
                 kind: AnomalyKind::Outage,
                 start_bin: start,
                 duration_bins: duration,
@@ -472,7 +493,10 @@ fn paper_schedule(seed: u64, num_bins: usize, week: u64) -> Vec<InjectedAnomaly>
             let duration = 2 + rng.gen_range(0..3);
             let start = place(&mut rng, duration);
             schedule.push(InjectedAnomaly {
-                id: { id += 1; id },
+                id: {
+                    id += 1;
+                    id
+                },
                 kind: AnomalyKind::PointMultipoint,
                 start_bin: start,
                 duration_bins: duration,
@@ -489,10 +513,12 @@ fn paper_schedule(seed: u64, num_bins: usize, week: u64) -> Vec<InjectedAnomaly>
             // Worm remnants on 1433 (SQL-Snake) across several pairs.
             let duration = 2 + rng.gen_range(0..4);
             let start = place(&mut rng, duration);
-            let pairs: Vec<(usize, usize)> =
-                (0..3).map(|_| rand_pair(&mut rng)).collect();
+            let pairs: Vec<(usize, usize)> = (0..3).map(|_| rand_pair(&mut rng)).collect();
             schedule.push(InjectedAnomaly {
-                id: { id += 1; id },
+                id: {
+                    id += 1;
+                    id
+                },
                 kind: AnomalyKind::Worm,
                 start_bin: start,
                 duration_bins: duration,
@@ -674,10 +700,8 @@ mod tests {
     fn four_weeks_have_distinct_schedules_and_rare_events() {
         let weeks = Scenario::paper_four_weeks(7).unwrap();
         assert_eq!(weeks.len(), 4);
-        let kinds: Vec<Vec<AnomalyKind>> = weeks
-            .iter()
-            .map(|w| w.schedule.iter().map(|a| a.kind).collect())
-            .collect();
+        let kinds: Vec<Vec<AnomalyKind>> =
+            weeks.iter().map(|w| w.schedule.iter().map(|a| a.kind).collect()).collect();
         // Week 1 has the PTMP event, week 2 the worm.
         assert!(kinds[1].contains(&AnomalyKind::PointMultipoint));
         assert!(kinds[2].contains(&AnomalyKind::Worm));

@@ -141,10 +141,7 @@ pub fn eigen_symmetric_with(a: &Matrix, opts: JacobiOptions) -> Result<EigenDeco
     let mut sweeps = 0;
     while off_diagonal_norm(&w) > tol {
         if sweeps >= opts.max_sweeps {
-            return Err(LinalgError::NoConvergence {
-                op: "eigen_symmetric",
-                iterations: sweeps,
-            });
+            return Err(LinalgError::NoConvergence { op: "eigen_symmetric", iterations: sweeps });
         }
         for p in 0..n - 1 {
             for q in p + 1..n {
@@ -273,12 +270,9 @@ mod tests {
 
     #[test]
     fn reconstruction_3x3() {
-        let a = Matrix::from_rows(&[
-            vec![4.0, 1.0, 0.5],
-            vec![1.0, 3.0, 0.25],
-            vec![0.5, 0.25, 2.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[vec![4.0, 1.0, 0.5], vec![1.0, 3.0, 0.25], vec![0.5, 0.25, 2.0]])
+                .unwrap();
         let e = eigen_symmetric(&a).unwrap();
         assert!(reconstruct(&e).approx_eq(&a, 1e-10));
     }
@@ -293,7 +287,8 @@ mod tests {
 
     #[test]
     fn trace_equals_eigenvalue_sum() {
-        let a = Matrix::from_fn(6, 6, |i, j| ((i * j) as f64).sin() + if i == j { 3.0 } else { 0.0 });
+        let a =
+            Matrix::from_fn(6, 6, |i, j| ((i * j) as f64).sin() + if i == j { 3.0 } else { 0.0 });
         let sym = Matrix::from_fn(6, 6, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
         let e = eigen_symmetric(&sym).unwrap();
         let tr = sym.trace().unwrap();

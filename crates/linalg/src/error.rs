@@ -70,10 +70,9 @@ impl fmt::Display for LinalgError {
             LinalgError::NotSquare { op, shape } => {
                 write!(f, "{op}: requires a square matrix, got {}x{}", shape.0, shape.1)
             }
-            LinalgError::NotSymmetric { max_asymmetry } => write!(
-                f,
-                "matrix is not symmetric (max |a_ij - a_ji| = {max_asymmetry:.3e})"
-            ),
+            LinalgError::NotSymmetric { max_asymmetry } => {
+                write!(f, "matrix is not symmetric (max |a_ij - a_ji| = {max_asymmetry:.3e})")
+            }
             LinalgError::NoConvergence { op, iterations } => {
                 write!(f, "{op}: failed to converge after {iterations} iterations")
             }

@@ -45,7 +45,10 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
             }
         }
         if pivot_val < 1e-13 * scale {
-            return Err(LinalgError::NoConvergence { op: "solve (singular pivot)", iterations: col });
+            return Err(LinalgError::NoConvergence {
+                op: "solve (singular pivot)",
+                iterations: col,
+            });
         }
         if pivot_row != col {
             for c in 0..n {

@@ -11,22 +11,20 @@ use proptest::prelude::*;
 
 /// Strategy: a small matrix with well-conditioned, bounded entries.
 fn small_matrix(max_n: usize, max_p: usize) -> impl Strategy<Value = Matrix> {
-    (2usize..=max_n, 1usize..=max_p)
-        .prop_flat_map(|(n, p)| {
-            proptest::collection::vec(-100.0f64..100.0, n * p)
-                .prop_map(move |data| Matrix::from_vec(n, p, data).unwrap())
-        })
+    (2usize..=max_n, 1usize..=max_p).prop_flat_map(|(n, p)| {
+        proptest::collection::vec(-100.0f64..100.0, n * p)
+            .prop_map(move |data| Matrix::from_vec(n, p, data).unwrap())
+    })
 }
 
 /// Strategy: a symmetric matrix built as (A + A^T)/2.
 fn symmetric_matrix(max_n: usize) -> impl Strategy<Value = Matrix> {
-    (1usize..=max_n)
-        .prop_flat_map(|n| {
-            proptest::collection::vec(-50.0f64..50.0, n * n).prop_map(move |data| {
-                let a = Matrix::from_vec(n, n, data).unwrap();
-                Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]))
-            })
+    (1usize..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(-50.0f64..50.0, n * n).prop_map(move |data| {
+            let a = Matrix::from_vec(n, n, data).unwrap();
+            Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]))
         })
+    })
 }
 
 proptest! {

@@ -197,8 +197,8 @@ impl AddressPlan {
     pub fn build_route_table(&self, config_coverage: f64) -> Result<RouteTable> {
         let mut table = RouteTable::new();
         for (pop, blocks) in self.customer.iter().enumerate() {
-            let covered = ((blocks.len() as f64) * config_coverage.clamp(0.0, 1.0)).round()
-                as usize;
+            let covered =
+                ((blocks.len() as f64) * config_coverage.clamp(0.0, 1.0)).round() as usize;
             for (j, &prefix) in blocks.iter().enumerate().take(covered) {
                 // First block arrives via BGP, the rest via config files —
                 // mirroring the paper's augmentation step.

@@ -115,8 +115,7 @@ impl IngressResolver {
                     description: format!("to-peer-research-net:{}", topology.pops()[pop].code),
                 });
             }
-            for (k, &(nb, _)) in topology.neighbors(pop).expect("pop in range").iter().enumerate()
-            {
+            for (k, &(nb, _)) in topology.neighbors(pop).expect("pop in range").iter().enumerate() {
                 interfaces.push(Interface {
                     index: 100 + k as u32,
                     role: InterfaceRole::Backbone,

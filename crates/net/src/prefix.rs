@@ -25,12 +25,7 @@ impl IpAddr {
 
     /// The four dotted-quad octets.
     pub const fn octets(self) -> [u8; 4] {
-        [
-            (self.0 >> 24) as u8,
-            (self.0 >> 16) as u8,
-            (self.0 >> 8) as u8,
-            self.0 as u8,
-        ]
+        [(self.0 >> 24) as u8, (self.0 >> 16) as u8, (self.0 >> 8) as u8, self.0 as u8]
     }
 }
 
@@ -142,9 +137,8 @@ impl FromStr for Prefix {
     type Err = NetError;
 
     fn from_str(s: &str) -> Result<Self> {
-        let (addr, len) = s
-            .split_once('/')
-            .ok_or_else(|| NetError::InvalidPrefix { text: s.to_string() })?;
+        let (addr, len) =
+            s.split_once('/').ok_or_else(|| NetError::InvalidPrefix { text: s.to_string() })?;
         let ip: IpAddr = addr.parse()?;
         let len: u8 = len.parse().map_err(|_| NetError::InvalidPrefix { text: s.to_string() })?;
         Prefix::new(ip, len)
@@ -335,7 +329,7 @@ mod tests {
         t.insert("10.1.0.0/16".parse().unwrap(), 7);
         assert_eq!(t.get(&"10.1.0.0/16".parse().unwrap()), Some(&7));
         assert_eq!(t.get(&"10.0.0.0/8".parse().unwrap()), None);
-        assert!(t.is_empty() == false);
+        assert!(!t.is_empty());
         assert!(PrefixTrie::<u8>::new().is_empty());
     }
 

@@ -195,9 +195,9 @@ impl TopologyBuilder {
         capacity_bps: f64,
     ) -> Result<Self> {
         let find = |code: &str, pops: &[Pop]| {
-            pops.iter()
-                .position(|p| p.code.eq_ignore_ascii_case(code))
-                .ok_or_else(|| NetError::InvalidTopology { reason: format!("unknown PoP code {code:?}") })
+            pops.iter().position(|p| p.code.eq_ignore_ascii_case(code)).ok_or_else(|| {
+                NetError::InvalidTopology { reason: format!("unknown PoP code {code:?}") }
+            })
         };
         let ia = find(a, &self.pops)?;
         let ib = find(b, &self.pops)?;
@@ -264,7 +264,9 @@ mod tests {
     #[test]
     fn abilene_codes_resolve() {
         let t = Topology::abilene();
-        for code in ["ATLA", "CHIN", "DNVR", "HSTN", "IPLS", "KSCY", "LOSA", "NYCM", "SNVA", "STTL", "WASH"] {
+        for code in
+            ["ATLA", "CHIN", "DNVR", "HSTN", "IPLS", "KSCY", "LOSA", "NYCM", "SNVA", "STTL", "WASH"]
+        {
             assert!(t.pop_by_code(code).is_some(), "{code} missing");
         }
         assert!(t.pop_by_code("losa").is_some(), "case-insensitive lookup");
@@ -326,11 +328,8 @@ mod tests {
         assert!(dup.is_err());
         let oob = TopologyBuilder::new().pop("A", "a").link(0, 5, 1.0, 1.0).build();
         assert!(oob.is_err());
-        let bad_metric = TopologyBuilder::new()
-            .pop("A", "a")
-            .pop("B", "b")
-            .link(0, 1, 0.0, 1.0)
-            .build();
+        let bad_metric =
+            TopologyBuilder::new().pop("A", "a").pop("B", "b").link(0, 1, 0.0, 1.0).build();
         assert!(bad_metric.is_err());
     }
 

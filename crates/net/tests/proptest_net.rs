@@ -5,11 +5,7 @@ use proptest::prelude::*;
 
 /// Reference longest-prefix-match by linear scan.
 fn linear_lpm(entries: &[(Prefix, u32)], addr: IpAddr) -> Option<u32> {
-    entries
-        .iter()
-        .filter(|(p, _)| p.contains(addr))
-        .max_by_key(|(p, _)| p.len())
-        .map(|&(_, v)| v)
+    entries.iter().filter(|(p, _)| p.contains(addr)).max_by_key(|(p, _)| p.len()).map(|&(_, v)| v)
 }
 
 fn arb_prefix() -> impl Strategy<Value = Prefix> {

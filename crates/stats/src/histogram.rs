@@ -111,10 +111,7 @@ impl Histogram {
         let mut out = String::new();
         for (start, end, c) in self.bins() {
             let bar = (c as f64 / max_count as f64 * max_width as f64).round() as usize;
-            out.push_str(&format!(
-                "[{start:>8.1}, {end:>8.1}) {} {c}\n",
-                "#".repeat(bar)
-            ));
+            out.push_str(&format!("[{start:>8.1}, {end:>8.1}) {} {c}\n", "#".repeat(bar)));
         }
         if self.overflow > 0 {
             out.push_str(&format!("[{:>8.1},      inf) {}\n", self.hi, self.overflow));

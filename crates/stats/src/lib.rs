@@ -22,8 +22,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod dist;
 mod describe;
+pub mod dist;
 mod error;
 mod ewma;
 mod histogram;

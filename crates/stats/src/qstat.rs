@@ -121,7 +121,11 @@ pub fn q_threshold(eigenvalues: &[f64], k: usize, alpha: f64) -> Result<f64> {
     //
     // h0 == 0 is a removable singularity (the transform degenerates to
     // log); nudge away from it, the expression is continuous.
-    let h0 = if p.h0.abs() < 1e-9 { 1e-9_f64.copysign(if p.h0 == 0.0 { 1.0 } else { p.h0 }) } else { p.h0 };
+    let h0 = if p.h0.abs() < 1e-9 {
+        1e-9_f64.copysign(if p.h0 == 0.0 { 1.0 } else { p.h0 })
+    } else {
+        p.h0
+    };
 
     let mean_shift = p.phi2 * h0 * (h0 - 1.0) / (p.phi1 * p.phi1);
     let tail = c_alpha * (2.0 * p.phi2).sqrt() * h0.abs() / p.phi1;
@@ -244,8 +248,8 @@ mod tests {
         // residual energy and deliver ≈ α exceedance.
         use rand::{Rng, SeedableRng};
         let mut residual = vec![850.0];
-        residual.extend(std::iter::repeat(300.0).take(30));
-        residual.extend(std::iter::repeat(50.0).take(80));
+        residual.extend(std::iter::repeat_n(300.0, 30));
+        residual.extend(std::iter::repeat_n(50.0, 80));
         let mut ev = vec![1e6, 1e5];
         ev.extend_from_slice(&residual);
 

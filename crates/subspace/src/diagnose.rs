@@ -153,13 +153,8 @@ mod tests {
 
     #[test]
     fn consecutive_bins_merge_into_one_event() {
-        let set = matrix_set(
-            400,
-            10,
-            &[],
-            &[],
-            &[(220, 2, 320.0), (221, 2, 320.0), (222, 2, 320.0)],
-        );
+        let set =
+            matrix_set(400, 10, &[], &[], &[(220, 2, 320.0), (221, 2, 320.0), (222, 2, 320.0)]);
         let d = diagnose(&set, SubspaceConfig::default()).unwrap();
         let ev: Vec<_> = d.events.iter().filter(|e| e.covers_bin(221)).collect();
         assert_eq!(ev.len(), 1);

@@ -122,8 +122,7 @@ mod tests {
         Matrix::from_fn(n, p, |i, j| {
             let t = i as f64 / 288.0 * std::f64::consts::TAU;
             let amp = 10.0 + j as f64;
-            amp * (1.0 + 0.5 * t.sin())
-                + 0.01 * (((i * 31 + j * 17) % 97) as f64 - 48.0)
+            amp * (1.0 + 0.5 * t.sin()) + 0.01 * (((i * 31 + j * 17) % 97) as f64 - 48.0)
         })
     }
 

@@ -54,7 +54,9 @@ impl fmt::Display for SubspaceError {
             SubspaceError::BadSubspaceDim { k, p } => {
                 write!(f, "normal subspace dimension k={k} infeasible for p={p} OD pairs")
             }
-            SubspaceError::Threshold { reason } => write!(f, "threshold computation failed: {reason}"),
+            SubspaceError::Threshold { reason } => {
+                write!(f, "threshold computation failed: {reason}")
+            }
             SubspaceError::Numeric { reason } => write!(f, "numeric failure: {reason}"),
             SubspaceError::DimensionMismatch { expected, got } => {
                 write!(f, "observation has {got} entries, model expects {expected}")

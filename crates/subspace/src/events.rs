@@ -235,17 +235,13 @@ mod tests {
 
     #[test]
     fn all_combinations_order_matches_table1() {
-        let codes: Vec<String> =
-            TypeSet::all_combinations().iter().map(|c| c.code()).collect();
+        let codes: Vec<String> = TypeSet::all_combinations().iter().map(|c| c.code()).collect();
         assert_eq!(codes, vec!["B", "F", "P", "BF", "BP", "FP", "BFP"]);
     }
 
     #[test]
     fn same_time_merges_types() {
-        let events = merge_detections(&[
-            triple(Bytes, 10, &[3]),
-            triple(Packets, 10, &[3, 4]),
-        ]);
+        let events = merge_detections(&[triple(Bytes, 10, &[3]), triple(Packets, 10, &[3, 4])]);
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].types.code(), "BP");
         assert_eq!(events[0].od_flows, vec![3, 4]);
@@ -270,8 +266,7 @@ mod tests {
 
     #[test]
     fn gap_splits_events() {
-        let events =
-            merge_detections(&[triple(Flows, 5, &[1]), triple(Flows, 8, &[1])]);
+        let events = merge_detections(&[triple(Flows, 5, &[1]), triple(Flows, 8, &[1])]);
         assert_eq!(events.len(), 2);
     }
 
@@ -279,10 +274,7 @@ mod tests {
     fn type_change_splits_events() {
         // Consecutive bins but different combined types -> separate events,
         // per the paper's "same traffic type" condition.
-        let events = merge_detections(&[
-            triple(Flows, 5, &[1]),
-            triple(Packets, 6, &[1]),
-        ]);
+        let events = merge_detections(&[triple(Flows, 5, &[1]), triple(Packets, 6, &[1])]);
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].types.code(), "F");
         assert_eq!(events[1].types.code(), "P");
@@ -319,10 +311,7 @@ mod tests {
 
     #[test]
     fn od_flows_deduplicated_and_sorted() {
-        let events = merge_detections(&[
-            triple(Bytes, 3, &[9, 2, 9]),
-            triple(Packets, 3, &[2, 5]),
-        ]);
+        let events = merge_detections(&[triple(Bytes, 3, &[9, 2, 9]), triple(Packets, 3, &[2, 5])]);
         assert_eq!(events[0].od_flows, vec![2, 5, 9]);
     }
 }

@@ -161,9 +161,7 @@ pub fn identify_t2(model: &SubspaceModel, x: &[f64], bin: usize) -> Result<Ident
         }
     }
     // M = Σ v_i v_iᵀ / λ_i ; b = M x_c.
-    let m = Matrix::from_fn(p, p, |a, c| {
-        axes.iter().map(|(v, l)| v[a] * v[c] / l).sum()
-    });
+    let m = Matrix::from_fn(p, p, |a, c| axes.iter().map(|(v, l)| v[a] * v[c] / l).sum());
     let b = m.matvec(&centered).map_err(SubspaceError::from)?;
     greedy_quadratic(&m, &b, v0, threshold, k.max(1), bin)
 }
@@ -227,8 +225,7 @@ mod tests {
     #[test]
     fn t2_identifies_shifted_flow() {
         let clean = traffic(400, 12);
-        let model =
-            SubspaceModel::fit(&clean, SubspaceConfig { k: 4, alpha: 0.001 }).unwrap();
+        let model = SubspaceModel::fit(&clean, SubspaceConfig { k: 4, alpha: 0.001 }).unwrap();
         let mut row = clean.row(200).unwrap().to_vec();
         let axis = model.decomposition().loadings.col(0).unwrap();
         let (big_j, _) = vecops::argmax(&axis.iter().map(|a| a.abs()).collect::<Vec<_>>()).unwrap();

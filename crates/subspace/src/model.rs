@@ -236,8 +236,7 @@ mod tests {
             let t = i as f64 / 288.0 * std::f64::consts::TAU;
             let phase = (j % 3) as f64 * 0.7;
             let amp = 20.0 + (j as f64) * 2.0;
-            amp * (2.0 + (t + phase).sin())
-                + 0.3 * (((i * 37 + j * 23) % 101) as f64 - 50.0) / 50.0
+            amp * (2.0 + (t + phase).sin()) + 0.3 * (((i * 37 + j * 23) % 101) as f64 - 50.0) / 50.0
         });
         if let Some((bi, od, mag)) = spike {
             m[(bi, od)] += mag;
@@ -359,10 +358,7 @@ mod tests {
         assert!(SubspaceModel::fit(&tiny, SubspaceConfig { k: 4, alpha: 0.001 }).is_err());
 
         let model = SubspaceModel::fit_default(&x).unwrap();
-        assert!(matches!(
-            model.spe(&[1.0, 2.0]),
-            Err(SubspaceError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(model.spe(&[1.0, 2.0]), Err(SubspaceError::DimensionMismatch { .. })));
         assert!(matches!(model.t2(&[1.0]), Err(SubspaceError::DimensionMismatch { .. })));
     }
 

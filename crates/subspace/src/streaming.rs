@@ -60,8 +60,7 @@ impl OnlineDetector {
     pub fn new(training: &Matrix, config: SubspaceConfig, refit_every: usize) -> Result<Self> {
         let model = SubspaceModel::fit(training, config)?;
         let window_len = training.nrows();
-        let window: Vec<Vec<f64>> =
-            training.rows_iter().map(|r| r.to_vec()).collect();
+        let window: Vec<Vec<f64>> = training.rows_iter().map(|r| r.to_vec()).collect();
         Ok(OnlineDetector {
             config,
             model,
@@ -219,11 +218,7 @@ mod tests {
         let mut spiked = live.row(25).unwrap().to_vec();
         spiked[4] += 400.0;
         for (i, row) in live.rows_iter().enumerate() {
-            let verdict = if i == 25 {
-                det.push(&spiked).unwrap()
-            } else {
-                det.push(row).unwrap()
-            };
+            let verdict = if i == 25 { det.push(&spiked).unwrap() } else { det.push(row).unwrap() };
             if i == 25 {
                 assert!(verdict.is_anomalous(), "spike must alarm");
                 assert!(verdict.detections.iter().any(|d| d.kind == StatisticKind::Spe));
@@ -260,10 +255,7 @@ mod tests {
     fn dimension_mismatch_rejected() {
         let train = traffic(100, 8, 0);
         let mut det = OnlineDetector::new(&train, SubspaceConfig::default(), 0).unwrap();
-        assert!(matches!(
-            det.push(&[1.0, 2.0]),
-            Err(SubspaceError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(det.push(&[1.0, 2.0]), Err(SubspaceError::DimensionMismatch { .. })));
     }
 
     #[test]

@@ -8,7 +8,8 @@ use odflow_linalg::Matrix;
 
 /// Deterministic hash noise in `[-0.5, 0.5)`, i.i.d.-like across `(i, j)`.
 pub fn hash_noise(i: usize, j: usize) -> f64 {
-    let mut z = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (j as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    let mut z = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (j as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
@@ -21,12 +22,7 @@ pub fn hash_noise(i: usize, j: usize) -> f64 {
 /// the paper's `k = 4` normal subspace captures the signal exactly and the
 /// residual is pure white noise of magnitude `noise_amp`. Optional spikes
 /// are added afterwards.
-pub fn traffic(
-    n: usize,
-    p: usize,
-    noise_amp: f64,
-    spikes: &[(usize, usize, f64)],
-) -> Matrix {
+pub fn traffic(n: usize, p: usize, noise_amp: f64, spikes: &[(usize, usize, f64)]) -> Matrix {
     let mut m = Matrix::from_fn(n, p, |i, j| {
         let t = i as f64 / 288.0 * std::f64::consts::TAU;
         // Generic phase pairs (4 x 3 combinations) make the coefficient
@@ -35,8 +31,7 @@ pub fn traffic(
         let phase = 0.8 * (j % 4) as f64;
         let psi = 1.1 * (j % 3) as f64;
         let amp = 15.0 + j as f64;
-        amp * (2.0 + (t + phase).sin() + 0.8 * (2.0 * t + psi).sin())
-            + noise_amp * hash_noise(i, j)
+        amp * (2.0 + (t + phase).sin() + 0.8 * (2.0 * t + psi).sin()) + noise_amp * hash_noise(i, j)
     });
     for &(bi, od, mag) in spikes {
         m[(bi, od)] += mag;

@@ -9,12 +9,7 @@ use proptest::prelude::*;
 /// Low-rank-plus-noise traffic: k shared temporal patterns with random
 /// loadings plus bounded noise — the regime the model assumes.
 fn arb_traffic() -> impl Strategy<Value = Matrix> {
-    (
-        40usize..120,
-        6usize..14,
-        proptest::collection::vec(0.1f64..2.0, 6 * 14),
-        any::<u64>(),
-    )
+    (40usize..120, 6usize..14, proptest::collection::vec(0.1f64..2.0, 6 * 14), any::<u64>())
         .prop_map(|(n, p, loadings, seed)| {
             Matrix::from_fn(n, p, |i, j| {
                 let t = i as f64 / 48.0 * std::f64::consts::TAU;

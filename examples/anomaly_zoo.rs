@@ -7,7 +7,7 @@
 //! ```
 
 use odflow::experiment::{run_scenario, ExperimentConfig};
-use odflow::gen::{AnomalyKind, InjectedAnomaly, Scenario, ScanMode, ScenarioConfig};
+use odflow::gen::{AnomalyKind, InjectedAnomaly, ScanMode, Scenario, ScenarioConfig};
 
 fn inject(kind: AnomalyKind) -> InjectedAnomaly {
     let (od, intensity, port, duration, ppf, shift_to) = match kind {
@@ -57,10 +57,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         AnomalyKind::Outage,
         AnomalyKind::IngressShift,
     ];
-    println!("{:<18} {:<5} {:<9} {:<5} {:<16}", "injected", "views", "duration", "#OD", "classified as");
+    println!(
+        "{:<18} {:<5} {:<9} {:<5} {:<16}",
+        "injected", "views", "duration", "#OD", "classified as"
+    );
     for kind in kinds {
         let anomaly = inject(kind);
-        let config = ScenarioConfig { seed: 0x200 ^ kind.label().len() as u64, ..Default::default() };
+        let config =
+            ScenarioConfig { seed: 0x200 ^ kind.label().len() as u64, ..Default::default() };
         let scenario = Scenario::new(config, vec![anomaly.clone()])?;
         let run = run_scenario(&scenario, &ExperimentConfig::default())?;
         let hit = run

@@ -10,8 +10,8 @@
 //! ```
 
 use odflow::flow::{
-    netflow, FlowAggregator, FlowKey, OdBinner, OdResolution, OdResolver, PacketObs,
-    PacketSampler, Protocol,
+    netflow, FlowAggregator, FlowKey, OdBinner, OdResolution, OdResolver, PacketObs, PacketSampler,
+    Protocol,
 };
 use odflow::net::{AddressPlan, IngressResolver, Topology};
 use rand::Rng;

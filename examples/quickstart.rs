@@ -6,7 +6,7 @@
 //! ```
 
 use odflow::experiment::{run_scenario, ExperimentConfig};
-use odflow::gen::{AnomalyKind, InjectedAnomaly, Scenario, ScanMode, ScenarioConfig};
+use odflow::gen::{AnomalyKind, InjectedAnomaly, ScanMode, Scenario, ScenarioConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One day of 5-minute bins over the 11-PoP Abilene topology, with a

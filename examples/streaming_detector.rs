@@ -10,7 +10,7 @@
 //! ```
 
 use odflow::flow::{MeasurementPipeline, PipelineConfig, TrafficType};
-use odflow::gen::{AnomalyKind, InjectedAnomaly, Scenario, ScanMode, ScenarioConfig};
+use odflow::gen::{AnomalyKind, InjectedAnomaly, ScanMode, Scenario, ScenarioConfig};
 use odflow::net::IngressResolver;
 use odflow::subspace::{OnlineDetector, SharedOnlineDetector, SubspaceConfig};
 
@@ -57,16 +57,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let live = matrices_for(&Scenario::new(live_cfg, vec![dos])?);
 
     // Train on the flows view and share the detector across threads.
-    let detector = OnlineDetector::new(
-        &training.get(TrafficType::Flows).data,
-        SubspaceConfig::default(),
-        0,
-    )?;
+    let detector =
+        OnlineDetector::new(&training.get(TrafficType::Flows).data, SubspaceConfig::default(), 0)?;
     let shared = SharedOnlineDetector::new(detector);
     let (spe_thr, t2_thr) = shared.thresholds();
     println!("trained on day 1; thresholds: SPE {spe_thr:.3e}, T2 {t2_thr:.2}");
 
-    let (tx, rx) = crossbeam::channel::bounded(16);
+    let (tx, rx) = std::sync::mpsc::sync_channel(16);
     let collector = {
         let shared = shared.clone();
         let flows = live.get(TrafficType::Flows).data.clone();

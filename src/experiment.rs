@@ -103,10 +103,8 @@ pub fn run_scenario(
     // §2.1: the measurement path.
     let routes = scenario.plan.build_route_table(1.0)?;
     let ingress = IngressResolver::synthetic(&scenario.topology);
-    let pipe_cfg =
-        PipelineConfig::abilene(scenario.config.start_secs, scenario.config.num_bins);
-    let mut pipeline =
-        MeasurementPipeline::new(pipe_cfg, &scenario.topology, ingress, routes)?;
+    let pipe_cfg = PipelineConfig::abilene(scenario.config.start_secs, scenario.config.num_bins);
+    let mut pipeline = MeasurementPipeline::new(pipe_cfg, &scenario.topology, ingress, routes)?;
     for bin in 0..generator.num_bins() {
         for record in generator.records_for_bin(bin) {
             pipeline.push_sampled_record(record)?;
@@ -308,14 +306,8 @@ fn has_counterpart_spike(
             if event.od_flows.contains(&od) {
                 continue;
             }
-            let r = ratio_for_flows(
-                matrices,
-                &[od],
-                event.start_bin,
-                event.end_bin(),
-                measure,
-                window,
-            );
+            let r =
+                ratio_for_flows(matrices, &[od], event.start_bin, event.end_bin(), measure, window);
             if r.is_finite() && r > 1.5 {
                 return true;
             }

@@ -3,9 +3,7 @@
 
 use odflow::classify::score_events;
 use odflow::experiment::{run_scenario, truth_labels, ExperimentConfig};
-use odflow::gen::{
-    AnomalyKind, InjectedAnomaly, Scenario, ScanMode, ScenarioConfig,
-};
+use odflow::gen::{AnomalyKind, InjectedAnomaly, ScanMode, Scenario, ScenarioConfig};
 
 fn day_scenario(schedule: Vec<InjectedAnomaly>) -> Scenario {
     let config = ScenarioConfig { seed: 0xE2E, num_bins: 288, ..Default::default() };
@@ -41,30 +39,14 @@ fn clean_day_has_low_alarm_rate() {
     let scenario = day_scenario(vec![]);
     let run = run_scenario(&scenario, &ExperimentConfig::default()).unwrap();
     // Resolution reproduces the paper's claim territory (≥ 90%).
-    assert!(
-        run.resolution.flow_rate() > 0.88,
-        "flow resolution {:.3}",
-        run.resolution.flow_rate()
-    );
+    assert!(run.resolution.flow_rate() > 0.88, "flow resolution {:.3}", run.resolution.flow_rate());
     // At alpha = 0.001 over 288 bins x 3 types, a handful of alarms max.
-    assert!(
-        run.classified.len() <= 8,
-        "clean day produced {} events",
-        run.classified.len()
-    );
+    assert!(run.classified.len() <= 8, "clean day produced {} events", run.classified.len());
 }
 
 #[test]
 fn injected_dos_detected_and_classified() {
-    let scenario = day_scenario(vec![anomaly(
-        1,
-        AnomalyKind::Dos,
-        140,
-        2,
-        vec![(2, 9)],
-        900.0,
-        0,
-    )]);
+    let scenario = day_scenario(vec![anomaly(1, AnomalyKind::Dos, 140, 2, vec![(2, 9)], 900.0, 0)]);
     let run = run_scenario(&scenario, &ExperimentConfig::default()).unwrap();
     let truth = truth_labels(&scenario);
     let report = score_events(&truth, &run.scored_events(), 2);
@@ -86,15 +68,8 @@ fn injected_dos_detected_and_classified() {
 
 #[test]
 fn injected_alpha_detected_in_byte_packet_views() {
-    let scenario = day_scenario(vec![anomaly(
-        1,
-        AnomalyKind::Alpha,
-        100,
-        2,
-        vec![(1, 6)],
-        4000.0,
-        5001,
-    )]);
+    let scenario =
+        day_scenario(vec![anomaly(1, AnomalyKind::Alpha, 100, 2, vec![(1, 6)], 4000.0, 5001)]);
     let run = run_scenario(&scenario, &ExperimentConfig::default()).unwrap();
     let hit = run
         .classified
@@ -113,15 +88,8 @@ fn injected_alpha_detected_in_byte_packet_views() {
 
 #[test]
 fn injected_scan_flow_anomaly() {
-    let scenario = day_scenario(vec![anomaly(
-        1,
-        AnomalyKind::Scan,
-        180,
-        2,
-        vec![(4, 7)],
-        800.0,
-        139,
-    )]);
+    let scenario =
+        day_scenario(vec![anomaly(1, AnomalyKind::Scan, 180, 2, vec![(4, 7)], 800.0, 139)]);
     let run = run_scenario(&scenario, &ExperimentConfig::default()).unwrap();
     let hit = run
         .classified
@@ -174,15 +142,8 @@ fn outage_produces_dip_event() {
 
 #[test]
 fn detection_identifies_correct_od_flow() {
-    let scenario = day_scenario(vec![anomaly(
-        1,
-        AnomalyKind::Dos,
-        200,
-        2,
-        vec![(3, 8)],
-        1000.0,
-        113,
-    )]);
+    let scenario =
+        day_scenario(vec![anomaly(1, AnomalyKind::Dos, 200, 2, vec![(3, 8)], 1000.0, 113)]);
     let run = run_scenario(&scenario, &ExperimentConfig::default()).unwrap();
     let n = scenario.topology.num_pops();
     let expected_od = 3 * n + 8;

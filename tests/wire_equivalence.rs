@@ -4,8 +4,7 @@
 //! shortcut in distribution.
 
 use odflow::flow::{
-    netflow, FlowRecord, MeasurementPipeline, OdBinner, OdResolution, OdResolver,
-    PipelineConfig,
+    netflow, FlowRecord, MeasurementPipeline, OdBinner, OdResolution, OdResolver, PipelineConfig,
 };
 use odflow::gen::{Scenario, ScenarioConfig};
 use odflow::net::IngressResolver;
@@ -21,8 +20,7 @@ fn matrices_direct(scenario: &Scenario) -> odflow::flow::TrafficMatrixSet {
     let routes = scenario.plan.build_route_table(1.0).unwrap();
     let ingress = IngressResolver::synthetic(&scenario.topology);
     let cfg = PipelineConfig::abilene(0, 24);
-    let mut pipeline =
-        MeasurementPipeline::new(cfg, &scenario.topology, ingress, routes).unwrap();
+    let mut pipeline = MeasurementPipeline::new(cfg, &scenario.topology, ingress, routes).unwrap();
     for bin in 0..generator.num_bins() {
         for r in generator.records_for_bin(bin) {
             pipeline.push_sampled_record(r).unwrap();

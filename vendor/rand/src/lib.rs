@@ -1,0 +1,343 @@
+//! Offline vendored shim for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the *exact trait surface* its sources use: [`RngCore`], [`SeedableRng`],
+//! and the [`Rng`] extension trait with `gen`, `gen_range`, and `gen_bool`.
+//! Semantics follow rand 0.8 (half-open / inclusive ranges, 53-bit uniform
+//! floats); the generated streams come from whatever `RngCore` backs them
+//! (see the sibling `rand_chacha` shim), so determinism is preserved but
+//! streams are not bit-identical to upstream `rand`.
+
+#![forbid(unsafe_code)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// Core random-number generation: 32/64-bit words and byte fills.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// An RNG constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed material (e.g. `[u8; 32]` for ChaCha).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the RNG from raw seed material.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the RNG from a `u64`, expanded through SplitMix64 exactly as
+    /// rand 0.8 does, so small seeds still fill the whole seed buffer.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            // SplitMix64 (Steele, Lea & Flood), truncated to 32-bit words.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let word = (z as u32).to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types uniformly samplable from the full random bit stream (`rng.gen()`).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+                   u64 => next_u64, usize => next_u64,
+                   i8 => next_u32, i16 => next_u32, i32 => next_u32,
+                   i64 => next_u64, isize => next_u64);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Uniform in [0, 1) with 53 bits of precision, as in rand 0.8.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A type uniformly samplable from `[lo, hi)` / `[lo, hi]` bounds.
+///
+/// The single blanket [`SampleRange`] impl below is what lets inference flow
+/// *backwards* from the use site into untyped range literals
+/// (`let n: usize = rng.gen_range(0..3)`), exactly as rand 0.8 does.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws from `[lo, hi)` when `inclusive` is false, `[lo, hi]` otherwise.
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R, lo: Self, hi: Self, inclusive: bool,
+            ) -> Self {
+                // Bounds-check before subtracting: in release builds a
+                // reversed range would wrap `hi - lo` into a huge span
+                // instead of panicking like upstream rand does.
+                if inclusive {
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + uniform_u64(rng, span + 1) as $t
+                } else {
+                    assert!(lo < hi, "gen_range: empty range");
+                    lo + uniform_u64(rng, (hi - lo) as u64) as $t
+                }
+            }
+        }
+    )*};
+}
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R, lo: Self, hi: Self, inclusive: bool,
+            ) -> Self {
+                // Bounds-check before the i128→u64 span cast: a reversed
+                // range would otherwise wrap negative into a huge span and
+                // silently return garbage instead of panicking.
+                if inclusive {
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + uniform_u64(rng, span + 1) as i128) as $t
+                } else {
+                    assert!(lo < hi, "gen_range: empty range");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    (lo as i128 + uniform_u64(rng, span) as i128) as $t
+                }
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R, lo: Self, hi: Self, inclusive: bool,
+            ) -> Self {
+                if !inclusive {
+                    assert!(lo < hi, "gen_range: empty range");
+                }
+                let unit = <$t as Standard>::sample(rng);
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// A range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start() <= self.end(), "gen_range: empty range");
+        T::sample_uniform(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// Uniform draw from `[0, span)` by widening multiply (Lemire); `span > 0`.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+/// User-facing extension methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of an inferred type from the full bit stream.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from a half-open or inclusive range.
+    fn gen_range<T, Ra: SampleRange<T>>(&mut self, range: Ra) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of [0,1]");
+        <f64 as Standard>::sample(self) < p
+    }
+
+    /// Fills a mutable slice/array with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Mirror of `rand::rngs` with a minimal `StdRng` (ChaCha-free; SplitMix64
+/// stream) for code that only needs *a* seeded generator.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic fallback generator (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            StdRng { state: u64::from_le_bytes(seed) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let f: f64 = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let i: usize = rng.gen_range(0usize..=5);
+            assert!(i <= 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    #[allow(clippy::reversed_empty_ranges)]
+    fn reversed_unsigned_range_panics() {
+        let mut rng = Counter(7);
+        let _ = rng.gen_range(20u32..10);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    #[allow(clippy::reversed_empty_ranges)]
+    fn reversed_signed_range_panics() {
+        let mut rng = Counter(7);
+        let _ = rng.gen_range(5i32..3);
+    }
+
+    #[test]
+    fn signed_ranges_stay_in_bounds() {
+        let mut rng = Counter(9);
+        for _ in 0..1000 {
+            let v: i32 = rng.gen_range(-5i32..7);
+            assert!((-5..7).contains(&v));
+            let w: i64 = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_unit_interval() {
+        let mut rng = Counter(1);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}
