@@ -12,20 +12,12 @@ use odflow::flow::{
     netflow, FlowAggregator, FlowKey, OdBinner, PacketObs, PacketSampler, Protocol,
 };
 use odflow::gen::{Scenario, ScenarioConfig};
-use odflow::linalg::{eigen_symmetric, thin_svd, Matrix};
+use odflow::linalg::{eigen_symmetric, thin_svd};
 use odflow::net::IpAddr;
 use odflow::stats::{q_threshold, t2_threshold};
 use odflow::subspace::{SubspaceConfig, SubspaceDetector, SubspaceModel};
 
-/// Synthetic OD matrix shaped like the paper's data: n bins x 121 pairs.
-fn traffic_matrix(n: usize, p: usize) -> Matrix {
-    Matrix::from_fn(n, p, |i, j| {
-        let t = i as f64 / 288.0 * std::f64::consts::TAU;
-        let phase = 0.8 * (j % 4) as f64;
-        (20.0 + j as f64) * (2.0 + (t + phase).sin() + 0.8 * (2.0 * t + 1.1 * (j % 3) as f64).sin())
-            + ((i * 31 + j * 17) % 101) as f64 / 101.0
-    })
-}
+use odflow_bench::traffic_matrix;
 
 fn bench_linalg(c: &mut Criterion) {
     let mut g = c.benchmark_group("linalg");
@@ -38,6 +30,57 @@ fn bench_linalg(c: &mut Criterion) {
     }
     let x = traffic_matrix(2016, 121);
     g.bench_function("thin_svd_2016x121", |b| b.iter(|| thin_svd(black_box(&x), 0.0).unwrap()));
+    g.finish();
+}
+
+/// The blocked/parallel Gram and covariance kernels at the paper's mesh
+/// (p = 121) and at the larger meshes the parallel core targets, each with a
+/// single-thread serial baseline for regression tracking.
+fn bench_gram_covariance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gram");
+    g.sample_size(20);
+    for &p in &[121usize, 256, 512] {
+        let x = traffic_matrix(4 * p, p);
+        g.bench_with_input(BenchmarkId::new("scatter", p), &x, |b, x| {
+            b.iter(|| odflow::linalg::scatter(black_box(x)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("scatter_serial", p), &x, |b, x| {
+            b.iter(|| {
+                odflow::par::with_thread_limit(1, || odflow::linalg::scatter(black_box(x)).unwrap())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("covariance", p), &x, |b, x| {
+            b.iter(|| odflow::linalg::covariance(black_box(x)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Week-scale scenario materialization: all 2016 five-minute bins of one
+/// paper week, rendered through the parallel `records_for_bins` fan-out and
+/// through the single-thread fallback.
+fn bench_week_materialization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generator_week");
+    g.sample_size(10);
+    // A lighter demand keeps one iteration sub-second while preserving the
+    // per-bin fan-out shape of the full workload.
+    let config = ScenarioConfig {
+        num_bins: odflow::gen::BINS_PER_WEEK,
+        total_demand: 500.0,
+        ..Default::default()
+    };
+    let scenario = Scenario::new(config, vec![]).unwrap();
+    let generator = scenario.generator();
+    g.bench_function("records_for_week", |b| {
+        b.iter(|| black_box(generator.records_for_bins(0..odflow::gen::BINS_PER_WEEK)).len())
+    });
+    g.bench_function("records_for_week_serial", |b| {
+        b.iter(|| {
+            odflow::par::with_thread_limit(1, || {
+                black_box(generator.records_for_bins(0..odflow::gen::BINS_PER_WEEK)).len()
+            })
+        })
+    });
     g.finish();
 }
 
@@ -167,9 +210,11 @@ fn bench_generator(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_linalg,
+    bench_gram_covariance,
     bench_subspace,
     bench_thresholds,
     bench_measurement,
-    bench_generator
+    bench_generator,
+    bench_week_materialization
 );
 criterion_main!(benches);

@@ -1,0 +1,224 @@
+//! `perf_report` — fixed-workload wall-clock harness for the parallel
+//! numerics core.
+//!
+//! Times every hot stage of the reproduction (Gram matrix, Jacobi
+//! eigendecomposition, blocked matmul, subspace model fit, batch detection,
+//! scenario materialization, and the end-to-end pipeline) twice: once with
+//! the pool pinned to a single thread (the serial baseline) and once with
+//! the full pool. Emits a machine-readable `BENCH_pipeline.json` so the
+//! perf trajectory of the repo is tracked from one fixed workload set —
+//! every future perf PR diffs against this file's numbers.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_report [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks the workloads for CI (seconds, not minutes); `--out`
+//! overrides the default `BENCH_pipeline.json` output path. The pool obeys
+//! `ODFLOW_THREADS` as everywhere else, so `ODFLOW_THREADS=4 perf_report`
+//! measures a four-thread pool against the same serial baseline.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use odflow::gen::{Scenario, ScenarioConfig};
+use odflow::linalg::{eigen_symmetric, scatter};
+use odflow::subspace::{SubspaceDetector, SubspaceModel};
+use odflow_bench::traffic_matrix;
+
+/// One timed stage: serial baseline vs full-pool wall clock.
+struct StageResult {
+    name: &'static str,
+    workload: String,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+impl StageResult {
+    fn speedup(&self) -> f64 {
+        if self.parallel_ms > 0.0 {
+            self.serial_ms / self.parallel_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Best-of-`reps` wall-clock milliseconds for `f`.
+fn time_best_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Runs one stage serially (pool pinned to 1 thread) and in parallel.
+fn run_stage<R>(
+    name: &'static str,
+    workload: String,
+    reps: usize,
+    mut f: impl FnMut() -> R,
+) -> StageResult {
+    let serial_ms = odflow_par::with_thread_limit(1, || time_best_ms(reps, &mut f));
+    let parallel_ms = time_best_ms(reps, &mut f);
+    let result = StageResult { name, workload, serial_ms, parallel_ms };
+    println!(
+        "  {:<10} {:<28} serial {:>9.2} ms   parallel {:>9.2} ms   speedup {:>5.2}x",
+        result.name,
+        result.workload,
+        result.serial_ms,
+        result.parallel_ms,
+        result.speedup()
+    );
+    result
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(path: &str, quick: bool, stages: &[StageResult]) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"odflow-perf-report/v1\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"hardware_threads\": {},\n", odflow_par::hardware_threads()));
+    out.push_str(&format!("  \"pool_threads\": {},\n", odflow_par::default_threads()));
+    out.push_str("  \"stages\": [\n");
+    for (i, s) in stages.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"workload\": \"{}\", \"serial_ms\": {:.3}, \
+             \"parallel_ms\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            json_escape(s.name),
+            json_escape(&s.workload),
+            s.serial_ms,
+            s.parallel_ms,
+            s.speedup(),
+            if i + 1 < stages.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("usage: perf_report [--quick] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_pipeline.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(path) if !path.starts_with("--") => out_path = path,
+                Some(path) => usage_error(&format!("--out expects a path, got flag {path}")),
+                None => usage_error("--out expects a path"),
+            },
+            other => usage_error(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let reps = if quick { 2 } else { 3 };
+    println!(
+        "perf_report: {} mode, {} hardware threads, pool of {}",
+        if quick { "quick" } else { "full" },
+        odflow_par::hardware_threads(),
+        odflow_par::default_threads()
+    );
+
+    let mut stages = Vec::new();
+
+    // Gram matrix X^T X at the paper's scale and at a 512-pair mesh.
+    {
+        let x = traffic_matrix(2016, 121);
+        stages.push(run_stage("gram", "n=2016 p=121".into(), reps, || scatter(&x).unwrap()));
+    }
+    {
+        let (n, p) = if quick { (1024, 512) } else { (2048, 512) };
+        let x = traffic_matrix(n, p);
+        stages.push(run_stage("gram", format!("n={n} p={p}"), reps, || scatter(&x).unwrap()));
+    }
+
+    // Dense blocked matmul.
+    {
+        let d = if quick { 384 } else { 512 };
+        let a = traffic_matrix(d, d);
+        let b = traffic_matrix(d, d).transpose();
+        stages.push(run_stage("matmul", format!("{d}x{d} * {d}x{d}"), reps, || {
+            a.matmul(&b).unwrap()
+        }));
+    }
+
+    // Jacobi eigendecomposition on a covariance-sized mesh big enough for
+    // the round-robin parallel ordering.
+    {
+        let d = if quick { 256 } else { 384 };
+        let x = traffic_matrix(2 * d, d);
+        let cov = odflow::linalg::covariance(&x).unwrap();
+        stages.push(run_stage("eigen", format!("p={d} jacobi"), reps, || {
+            eigen_symmetric(&cov).unwrap()
+        }));
+    }
+
+    // Subspace model fit and batch detection at the paper's week scale.
+    {
+        let x = traffic_matrix(2016, 121);
+        stages.push(run_stage("model_fit", "n=2016 p=121".into(), reps, || {
+            SubspaceModel::fit_default(&x).unwrap()
+        }));
+        stages.push(run_stage("detector", "n=2016 p=121 analyze".into(), reps, || {
+            SubspaceDetector::default().analyze(&x).unwrap()
+        }));
+    }
+
+    // Scenario materialization: every 5-minute bin of sampled flow records.
+    {
+        let num_bins = if quick { 288 } else { odflow::gen::BINS_PER_WEEK };
+        let config = ScenarioConfig { num_bins, ..Default::default() };
+        let scenario = Scenario::new(config, vec![]).unwrap();
+        let generator = scenario.generator();
+        let label = if quick { "1 day (288 bins)" } else { "1 week (2016 bins)" };
+        stages.push(run_stage("generator", label.into(), reps.min(2), || {
+            generator.records_for_bins(0..num_bins).len()
+        }));
+    }
+
+    // End-to-end pipeline: generate -> measure -> detect -> classify.
+    {
+        let num_bins = if quick { 144 } else { 288 };
+        let config = ScenarioConfig { num_bins, total_demand: 800.0, ..Default::default() };
+        let scenario = Scenario::new(config, vec![]).unwrap();
+        stages.push(run_stage(
+            "pipeline",
+            format!("{num_bins} bins end-to-end"),
+            reps.min(2),
+            || {
+                odflow::experiment::run_scenario(
+                    &scenario,
+                    &odflow::experiment::ExperimentConfig::default(),
+                )
+                .unwrap()
+                .classified
+                .len()
+            },
+        ));
+    }
+
+    match write_json(&out_path, quick, &stages) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -56,6 +56,20 @@ pub fn run_week(seed: u64, week: u64, config: &ExperimentConfig) -> (Scenario, S
 /// are reproducible with `cargo run -p odflow-bench --bin <name>`.
 pub const HARNESS_SEED: u64 = 20040519; // the tech report's date
 
+/// Synthetic OD matrix shaped like the paper's data (two diurnal harmonics
+/// with per-column phases, plus deterministic noise): `n` bins × `p` pairs.
+///
+/// Shared by the criterion `pipeline` benches and the `perf_report`
+/// trajectory harness so both always measure the same workload.
+pub fn traffic_matrix(n: usize, p: usize) -> odflow::linalg::Matrix {
+    odflow::linalg::Matrix::from_fn(n, p, |i, j| {
+        let t = i as f64 / 288.0 * std::f64::consts::TAU;
+        let phase = 0.8 * (j % 4) as f64;
+        (20.0 + j as f64) * (2.0 + (t + phase).sin() + 0.8 * (2.0 * t + 1.1 * (j % 3) as f64).sin())
+            + ((i * 31 + j * 17) % 101) as f64 / 101.0
+    })
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

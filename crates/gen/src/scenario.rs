@@ -226,6 +226,28 @@ impl<'a> TraceGenerator<'a> {
         out
     }
 
+    /// Renders a contiguous range of bins, fanning the per-bin work across
+    /// the [`odflow_par`] pool. Returns one `Vec<FlowRecord>` per bin, in
+    /// bin order.
+    ///
+    /// Every bin is rendered by the same deterministic
+    /// [`records_for_bin`](Self::records_for_bin) seeded from
+    /// `(scenario seed, bin)`, so the output is identical for any thread
+    /// count — this is what makes week-scale (2016-bin) materialization
+    /// scale with cores without giving up reproducibility.
+    pub fn records_for_bins(&self, bins: std::ops::Range<usize>) -> Vec<Vec<FlowRecord>> {
+        let lo = bins.start;
+        let count = bins.len();
+        // A few bins per task amortizes fan-out while keeping ~500 tasks
+        // per week for load balance across heterogeneous bins.
+        odflow_par::map_chunks(count, 4, |chunk| {
+            chunk.map(|i| self.records_for_bin(lo + i)).collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
     /// Renders only the records an anomaly contributes to a bin (for
     /// focused inspection in the classification stage).
     pub fn anomaly_records_for_bin(
@@ -583,6 +605,20 @@ mod tests {
         let b = g.records_for_bin(17);
         assert_eq!(a, b);
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn records_for_bins_matches_serial_per_bin_rendering() {
+        let s = small_scenario(vec![]);
+        let g = s.generator();
+        let batch = odflow_par::with_thread_limit(8, || g.records_for_bins(20..30));
+        assert_eq!(batch.len(), 10);
+        for (i, records) in batch.iter().enumerate() {
+            assert_eq!(records, &g.records_for_bin(20 + i), "bin {}", 20 + i);
+        }
+        // Thread-count invariance: the serial fallback renders the same bytes.
+        let serial = odflow_par::with_thread_limit(1, || g.records_for_bins(20..30));
+        assert_eq!(batch, serial);
     }
 
     #[test]

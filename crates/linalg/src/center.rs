@@ -70,15 +70,17 @@ pub fn center_columns(x: &Matrix) -> Result<(Matrix, Centering)> {
     if x.nrows() == 0 {
         return Err(LinalgError::Empty { op: "center_columns" });
     }
+    let p = x.ncols();
     let means = column_means(x);
     let mut out = x.clone();
-    for i in 0..out.nrows() {
-        let row = out.row_mut(i)?;
-        for (v, &m) in row.iter_mut().zip(&means) {
-            *v -= m;
+    odflow_par::parallel_chunks(out.as_mut_slice(), CENTER_ROW_BLOCK * p.max(1), |_, rows| {
+        for row in rows.chunks_exact_mut(p.max(1)) {
+            for (v, &m) in row.iter_mut().zip(&means) {
+                *v -= m;
+            }
         }
-    }
-    let scales = vec![1.0; x.ncols()];
+    });
+    let scales = vec![1.0; p];
     Ok((out, Centering { means, scales }))
 }
 
@@ -90,35 +92,70 @@ pub fn standardize_columns(x: &Matrix) -> Result<(Matrix, Centering)> {
     if x.nrows() == 0 {
         return Err(LinalgError::Empty { op: "standardize_columns" });
     }
+    let p = x.ncols();
     let means = column_means(x);
-    let mut scales = Vec::with_capacity(x.ncols());
-    for j in 0..x.ncols() {
-        let col = x.col(j)?;
-        let sd = vecops::std_dev(&col);
-        scales.push(if sd > 1e-12 { sd } else { 1.0 });
-    }
+    // Per-column standard deviations, computed over parallel column blocks
+    // (each block walks its own strided columns; blocks never overlap).
+    let scales: Vec<f64> = odflow_par::map_chunks(p, 16, |cols| {
+        cols.map(|j| {
+            let col = x.col(j).expect("column index within bounds");
+            let sd = vecops::std_dev(&col);
+            if sd > 1e-12 {
+                sd
+            } else {
+                1.0
+            }
+        })
+        .collect::<Vec<f64>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let mut out = x.clone();
-    for i in 0..out.nrows() {
-        let row = out.row_mut(i)?;
-        for ((v, &m), &s) in row.iter_mut().zip(&means).zip(&scales) {
-            *v = (*v - m) / s;
+    odflow_par::parallel_chunks(out.as_mut_slice(), CENTER_ROW_BLOCK * p.max(1), |_, rows| {
+        for row in rows.chunks_exact_mut(p.max(1)) {
+            for ((v, &m), &s) in row.iter_mut().zip(&means).zip(&scales) {
+                *v = (*v - m) / s;
+            }
         }
-    }
+    });
     Ok((out, Centering { means, scales }))
 }
 
+/// Rows per parallel block for centering passes. Fixed so the block-ordered
+/// reduction in [`column_means`] is deterministic for any thread count.
+const CENTER_ROW_BLOCK: usize = 256;
+
 /// Per-column arithmetic means of a matrix.
+///
+/// Row blocks are summed in parallel and combined in block order, so the
+/// result is identical for every thread count.
 pub fn column_means(x: &Matrix) -> Vec<f64> {
     let (n, p) = x.shape();
-    let mut means = vec![0.0; p];
-    if n == 0 {
-        return means;
+    if n == 0 || p == 0 {
+        return vec![0.0; p];
     }
-    for row in x.rows_iter() {
-        for (m, &v) in means.iter_mut().zip(row) {
-            *m += v;
-        }
-    }
+    let data = x.as_slice();
+    let mut means = odflow_par::map_reduce(
+        n,
+        CENTER_ROW_BLOCK,
+        |rows| {
+            let mut sums = vec![0.0f64; p];
+            for row in data[rows.start * p..rows.end * p].chunks_exact(p) {
+                for (m, &v) in sums.iter_mut().zip(row) {
+                    *m += v;
+                }
+            }
+            sums
+        },
+        |mut acc, block| {
+            for (a, b) in acc.iter_mut().zip(&block) {
+                *a += b;
+            }
+            acc
+        },
+    )
+    .expect("n > 0 checked above");
     for m in &mut means {
         *m /= n as f64;
     }

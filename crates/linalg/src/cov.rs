@@ -59,28 +59,63 @@ pub fn correlation(x: &Matrix) -> Result<Matrix> {
     Ok(out)
 }
 
-/// Computes `X^T X` exploiting symmetry (only the upper triangle is formed).
+/// Rows per parallel block in [`gram_txx`]. Fixed (never derived from the
+/// thread count) so the block-ordered reduction is deterministic for any
+/// pool size.
+const GRAM_ROW_BLOCK: usize = 128;
+
+/// Computes `X^T X` exploiting symmetry — a `syrk`-style rank-n update.
+///
+/// Each row block accumulates `S += r^T r` into a packed upper-triangle
+/// buffer with contiguous slice arithmetic (no per-element `Index` calls in
+/// the inner loop); blocks run in parallel and partial triangles are summed
+/// in block order, so the result is identical for every thread count.
 fn gram_txx(x: &Matrix) -> Result<Matrix> {
     let (n, p) = x.shape();
-    let mut s = Matrix::zeros(p, p);
-    // Row-major friendly accumulation: for each observation row r,
-    // S += r^T r, touching only the upper triangle.
-    for i in 0..n {
-        let row = x.row(i)?;
-        for a in 0..p {
-            let ra = row[a];
-            if ra == 0.0 {
-                continue;
-            }
-            for b in a..p {
-                s[(a, b)] += ra * row[b];
-            }
-        }
+    if p == 0 {
+        return Ok(Matrix::zeros(0, 0));
     }
+    let tri_len = p * (p + 1) / 2;
+    let data = x.as_slice();
+    let upper = odflow_par::map_reduce(
+        n,
+        GRAM_ROW_BLOCK,
+        |rows| {
+            let mut buf = vec![0.0f64; tri_len];
+            for i in rows {
+                let row = &data[i * p..(i + 1) * p];
+                let mut base = 0;
+                for a in 0..p {
+                    let ra = row[a];
+                    let dst = &mut buf[base..base + p - a];
+                    for (d, &rb) in dst.iter_mut().zip(&row[a..]) {
+                        *d += ra * rb;
+                    }
+                    base += p - a;
+                }
+            }
+            buf
+        },
+        |mut acc, block| {
+            for (a, b) in acc.iter_mut().zip(&block) {
+                *a += b;
+            }
+            acc
+        },
+    )
+    .unwrap_or_else(|| vec![0.0; tri_len]);
+
+    // Unpack the triangle and mirror it.
+    let mut s = Matrix::zeros(p, p);
+    let out = s.as_mut_slice();
+    let mut base = 0;
     for a in 0..p {
-        for b in (a + 1)..p {
-            s[(b, a)] = s[(a, b)];
+        for (off, v) in upper[base..base + p - a].iter().enumerate() {
+            let b = a + off;
+            out[a * p + b] = *v;
+            out[b * p + a] = *v;
         }
+        base += p - a;
     }
     Ok(s)
 }

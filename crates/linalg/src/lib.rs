@@ -39,7 +39,10 @@ pub mod vecops;
 
 pub use center::{center_columns, column_means, standardize_columns, Centering};
 pub use cov::{correlation, covariance, scatter};
-pub use eigen::{eigen_symmetric, eigen_symmetric_with, EigenDecomposition, JacobiOptions};
+pub use eigen::{
+    eigen_symmetric, eigen_symmetric_with, EigenDecomposition, JacobiOptions,
+    JACOBI_PARALLEL_MIN_DIM,
+};
 pub use error::{LinalgError, Result};
 pub use matrix::Matrix;
 pub use solve::solve;

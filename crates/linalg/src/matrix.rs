@@ -4,8 +4,10 @@
 //! traffic timeseries `X` (n timebins x p OD pairs) from the paper is stored
 //! as one `Matrix` per traffic type. The type deliberately stays simple —
 //! contiguous `Vec<f64>` storage, explicit shape checks, no views or
-//! expression templates — favouring robustness over micro-optimization, in
-//! the spirit of the substrate crates this workspace is modeled on.
+//! expression templates — but the hot kernels (notably [`Matrix::matmul`])
+//! are blocked for cache reuse and parallelized over row blocks via
+//! [`odflow_par`], with accumulation orders fixed so results do not depend
+//! on the thread count.
 
 use crate::error::{LinalgError, Result};
 
@@ -233,7 +235,11 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Uses a cache-friendly i-k-j loop order. Returns
+    /// Blocked i-k-j kernel: output rows are computed in independent row
+    /// blocks (parallelized across the [`odflow_par`] pool) and the k loop
+    /// is tiled so the active slice of `rhs` stays cache-resident. The
+    /// branchless inner loop runs the same dense accumulation in every row,
+    /// so results are bit-identical for every thread count. Returns
     /// [`LinalgError::ShapeMismatch`] when `self.ncols() != rhs.nrows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
@@ -243,20 +249,37 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ik * b_kj;
+        let (n, inner, m) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(n, m);
+        if n == 0 || inner == 0 || m == 0 {
+            return Ok(out);
+        }
+        // k-tiling re-walks each output row once per tile, so it only pays
+        // when rhs is too big to stay cache-resident across a full k pass.
+        // Per-element accumulation stays in ascending-k order either way, so
+        // the tile choice never changes results.
+        let kb = if inner * m <= (1 << 19) { inner } else { 64 };
+        // Row block: small matrices run in one inline chunk (no spawn cost);
+        // the split affects scheduling only, never accumulation order.
+        let flops = n * inner * m;
+        let row_block = if flops < (1 << 20) { n } else { 16 };
+        let a = &self.data;
+        let b = &rhs.data;
+        odflow_par::parallel_chunks(&mut out.data, row_block * m, |blk, out_rows| {
+            let i0 = blk * row_block;
+            for k0 in (0..inner).step_by(kb) {
+                let k1 = (k0 + kb).min(inner);
+                for (ii, out_row) in out_rows.chunks_exact_mut(m).enumerate() {
+                    let a_row = &a[(i0 + ii) * inner..(i0 + ii + 1) * inner];
+                    for (k, &a_ik) in a_row[k0..k1].iter().enumerate() {
+                        let b_row = &b[(k0 + k) * m..(k0 + k + 1) * m];
+                        for (o, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
+                            *o += a_ik * b_kj;
+                        }
+                    }
                 }
             }
-        }
+        });
         Ok(out)
     }
 

@@ -1,0 +1,405 @@
+//! # odflow-par — scoped fork/join parallelism for the numerics core
+//!
+//! A dependency-free data-parallel substrate built on [`std::thread::scope`].
+//! The hot paths of the subspace method — `X^T X` at week scale, blocked
+//! matmul, Jacobi sweeps, scenario materialization, batch SPE/T² scoring —
+//! are all embarrassingly parallel over row blocks, bins, or chunk ranges;
+//! this crate gives them one shared fan-out primitive instead of ad-hoc
+//! threading per crate.
+//!
+//! ## Determinism contract
+//!
+//! Every combinator here decomposes its input into chunks whose boundaries
+//! depend **only on the input size and the chunk grain — never on the thread
+//! count** — and combines per-chunk results in chunk order. Floating-point
+//! reductions therefore produce **bit-identical results for every thread
+//! count**, including the serial fallback: with one thread the same chunked
+//! code runs inline on the caller. Tests can pin `ODFLOW_THREADS=1` (or use
+//! [`with_thread_limit`]) and compare against a many-thread run exactly.
+//!
+//! ## Sizing the pool
+//!
+//! The effective thread count is, in priority order:
+//!
+//! 1. the innermost active [`with_thread_limit`] scope on this thread,
+//! 2. the `ODFLOW_THREADS` environment variable (read once per process),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Threads are spawned per parallel region (scoped, so borrows of caller
+//! state are safe) and capped at the number of chunks, so oversubscription
+//! (`threads > items`) degrades gracefully to one chunk per thread.
+//!
+//! ```
+//! // Sum of squares over fixed-size blocks: identical for any thread count.
+//! let v: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+//! let total = odflow_par::map_reduce(v.len(), 1024, |r| v[r].iter().map(|x| x * x).sum::<f64>(),
+//!     |a, b| a + b).unwrap_or(0.0);
+//! let serial: f64 = odflow_par::with_thread_limit(1, || {
+//!     odflow_par::map_reduce(v.len(), 1024, |r| v[r].iter().map(|x| x * x).sum::<f64>(),
+//!         |a, b| a + b).unwrap_or(0.0)
+//! });
+//! assert_eq!(total.to_bits(), serial.to_bits());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Environment variable overriding the global pool size.
+pub const THREADS_ENV: &str = "ODFLOW_THREADS";
+
+thread_local! {
+    /// Innermost `with_thread_limit` override for this thread, if any.
+    static THREAD_LIMIT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Parses a thread-count override; `None` for absent/invalid/zero values.
+fn parse_threads(value: &str) -> Option<usize> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
+    }
+}
+
+/// Number of hardware threads reported by the OS (at least 1).
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The process-wide default pool size: `ODFLOW_THREADS` if set to a positive
+/// integer, otherwise [`hardware_threads`]. Read once and cached.
+pub fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var(THREADS_ENV)
+            .ok()
+            .as_deref()
+            .and_then(parse_threads)
+            .unwrap_or_else(hardware_threads)
+    })
+}
+
+/// The effective thread limit for parallel regions started by the current
+/// thread: the innermost [`with_thread_limit`] scope, or [`default_threads`].
+pub fn max_threads() -> usize {
+    THREAD_LIMIT.with(|l| l.get()).unwrap_or_else(default_threads)
+}
+
+/// Runs `f` with parallel regions started *by the calling thread* capped at
+/// `limit` threads (at least 1), restoring the previous limit afterwards —
+/// including on panic.
+///
+/// The override is thread-local, so concurrent tests (or nested scopes) with
+/// different limits do not interfere. `with_thread_limit(1, ..)` is the
+/// bit-identical serial fallback used by the equivalence tests and by the
+/// `perf_report` serial baselines.
+///
+/// The limit is **not inherited by pool workers**: a parallel region opened
+/// from inside a task reads the process default again. The pool deliberately
+/// does not nest — keep task bodies single-threaded (as every kernel in this
+/// workspace does); a nested region would otherwise multiply thread counts
+/// past the cap.
+pub fn with_thread_limit<R>(limit: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_LIMIT.with(|l| l.set(self.0));
+        }
+    }
+    let prev = THREAD_LIMIT.with(|l| l.replace(Some(limit.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Chunk boundaries for `n` items at the given grain (grain clamped to 1).
+fn chunk_ranges(n: usize, grain: usize) -> (usize, usize) {
+    let grain = grain.max(1);
+    (n.div_ceil(grain), grain)
+}
+
+/// Runs task indices `0..num_tasks` across the pool. Tasks are claimed
+/// dynamically (atomic counter) for load balance; callers that need
+/// determinism must make each task's effect independent of claim order,
+/// which every combinator in this crate does by writing to per-task slots.
+fn fan_out(num_tasks: usize, run_task: &(impl Fn(usize) + Sync)) {
+    if num_tasks == 0 {
+        return;
+    }
+    let threads = max_threads().min(num_tasks);
+    if threads <= 1 {
+        for t in 0..num_tasks {
+            run_task(t);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let work = || loop {
+        let t = next.fetch_add(1, Ordering::Relaxed);
+        if t >= num_tasks {
+            break;
+        }
+        run_task(t);
+    };
+    std::thread::scope(|s| {
+        // Workers inherit no thread-local limit; nested parallel regions in
+        // a task would re-read the global default, so the pool deliberately
+        // does not nest — tasks should stay single-threaded.
+        for _ in 1..threads {
+            s.spawn(work);
+        }
+        work(); // the calling thread participates
+    });
+}
+
+/// Applies `f` to disjoint index ranges covering `0..n`, in parallel.
+///
+/// The range decomposition depends only on `(n, grain)`; `f` may run on any
+/// pool thread. Use this for side-effect work that is independent per range;
+/// when each range should own a disjoint `&mut` region of one slice, reach
+/// for [`parallel_chunks`] instead of interior mutability.
+pub fn parallel_for(n: usize, grain: usize, f: impl Fn(Range<usize>) + Sync) {
+    let (tasks, grain) = chunk_ranges(n, grain);
+    fan_out(tasks, &|t| {
+        let lo = t * grain;
+        f(lo..((lo + grain).min(n)));
+    });
+}
+
+/// Splits `data` into consecutive chunks of `chunk_len` elements (the last
+/// may be shorter) and applies `f(chunk_index, chunk)` to each in parallel.
+///
+/// This is the mutation-friendly primitive: each chunk is a disjoint
+/// `&mut [T]`, so row-blocked kernels (matmul output rows, column centering,
+/// Jacobi row updates) parallelize without interior mutability.
+pub fn parallel_chunks<T: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    /// One claimable chunk: its index and the disjoint mutable slice.
+    type ChunkSlot<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
+    let chunk_len = chunk_len.max(1);
+    if data.is_empty() {
+        return;
+    }
+    let slots: Vec<ChunkSlot<'_, T>> =
+        data.chunks_mut(chunk_len).enumerate().map(|c| Mutex::new(Some(c))).collect();
+    fan_out(slots.len(), &|t| {
+        let (idx, chunk) =
+            slots[t].lock().expect("chunk slot poisoned").take().expect("chunk claimed twice");
+        f(idx, chunk);
+    });
+}
+
+/// Maps disjoint index ranges covering `0..n` to values, returning them in
+/// chunk order.
+///
+/// The decomposition depends only on `(n, grain)`, and results are collected
+/// by chunk index, so the output is identical for every thread count.
+pub fn map_chunks<A: Send>(
+    n: usize,
+    grain: usize,
+    map: impl Fn(Range<usize>) -> A + Sync,
+) -> Vec<A> {
+    let (tasks, grain) = chunk_ranges(n, grain);
+    let slots: Vec<Mutex<Option<A>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+    fan_out(tasks, &|t| {
+        let lo = t * grain;
+        let value = map(lo..((lo + grain).min(n)));
+        *slots[t].lock().expect("result slot poisoned") = Some(value);
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("result slot poisoned").expect("task skipped"))
+        .collect()
+}
+
+/// Maps disjoint index ranges covering `0..n` and folds the per-chunk
+/// results **in chunk order** with `reduce`. Returns `None` when `n == 0`.
+///
+/// Because the fold order is the chunk order (not completion order),
+/// floating-point reductions are deterministic for every thread count.
+pub fn map_reduce<A: Send>(
+    n: usize,
+    grain: usize,
+    map: impl Fn(Range<usize>) -> A + Sync,
+    reduce: impl Fn(A, A) -> A,
+) -> Option<A> {
+    map_chunks(n, grain, map).into_iter().reduce(reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 16 "), Some(16));
+        assert_eq!(parse_threads("1"), Some(1));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads("-2"), None);
+        assert_eq!(parse_threads("abc"), None);
+        assert_eq!(parse_threads(""), None);
+    }
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        for &threads in &[1usize, 2, 7, 64] {
+            with_thread_limit(threads, || {
+                let hits: Vec<AtomicUsize> = (0..103).map(|_| AtomicUsize::new(0)).collect();
+                parallel_for(hits.len(), 10, |r| {
+                    for i in r {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            });
+        }
+    }
+
+    #[test]
+    fn parallel_chunks_partitions_disjointly() {
+        let mut data = vec![0u32; 1000];
+        with_thread_limit(8, || {
+            parallel_chunks(&mut data, 64, |idx, chunk| {
+                for v in chunk.iter_mut() {
+                    *v += 1 + idx as u32;
+                }
+            });
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, 1 + (i / 64) as u32, "element {i}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_preserves_chunk_order() {
+        for &threads in &[1usize, 3, 32] {
+            let out = with_thread_limit(threads, || map_chunks(25, 4, |r| (r.start, r.end)));
+            assert_eq!(out.len(), 7);
+            assert_eq!(out[0], (0, 4));
+            assert_eq!(out[6], (24, 25));
+            for (i, (lo, hi)) in out.iter().enumerate() {
+                assert_eq!(*lo, i * 4);
+                assert!(*hi <= 25);
+            }
+        }
+    }
+
+    #[test]
+    fn map_reduce_is_bit_identical_across_thread_counts() {
+        // Non-associative float reduction: only a fixed fold order keeps
+        // this stable across pool sizes.
+        let v: Vec<f64> = (0..9973).map(|i| ((i * 37) % 1009) as f64 * 1e-3 + 1e-9).collect();
+        let run = |threads| {
+            with_thread_limit(threads, || {
+                map_reduce(v.len(), 128, |r| v[r].iter().sum::<f64>(), |a, b| a + b).unwrap()
+            })
+        };
+        let serial = run(1);
+        for &threads in &[2usize, 5, 16, 10_000] {
+            assert_eq!(run(threads).to_bits(), serial.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_reduce_empty_is_none() {
+        assert!(map_reduce(0, 8, |_| 1u32, |a, b| a + b).is_none());
+    }
+
+    #[test]
+    fn oversubscription_threads_exceed_items() {
+        // More threads than chunks: the pool caps at one chunk per thread.
+        with_thread_limit(64, || {
+            let sum = map_reduce(3, 1, |r| r.sum::<usize>(), |a, b| a + b).unwrap();
+            assert_eq!(sum, 3);
+        });
+    }
+
+    #[test]
+    fn with_thread_limit_restores_previous() {
+        let outer = max_threads();
+        with_thread_limit(3, || {
+            assert_eq!(max_threads(), 3);
+            with_thread_limit(1, || assert_eq!(max_threads(), 1));
+            assert_eq!(max_threads(), 3);
+        });
+        assert_eq!(max_threads(), outer);
+    }
+
+    #[test]
+    fn with_thread_limit_clamps_zero_to_one() {
+        with_thread_limit(0, || assert_eq!(max_threads(), 1));
+    }
+
+    #[test]
+    fn pool_actually_uses_multiple_threads_when_allowed() {
+        use std::collections::HashSet;
+        let ids = Mutex::new(HashSet::new());
+        with_thread_limit(4, || {
+            parallel_for(64, 1, |_| {
+                // Slow each task slightly so several workers get a claim.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                ids.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        // The limit permits 4 workers and there are 64 slow tasks, so the
+        // scoped workers must claim work alongside the calling thread even
+        // on a single-core host (they are OS threads).
+        assert!(
+            ids.lock().unwrap().len() > 1,
+            "fan_out never left the calling thread despite a limit of 4"
+        );
+    }
+
+    #[test]
+    fn panics_propagate_from_workers() {
+        let result = std::panic::catch_unwind(|| {
+            with_thread_limit(4, || {
+                parallel_for(16, 1, |r| {
+                    if r.start == 7 {
+                        panic!("task failure");
+                    }
+                });
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn hardware_and_default_threads_positive() {
+        assert!(hardware_threads() >= 1);
+        assert!(default_threads() >= 1);
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn map_reduce_sums_match_closed_form() {
+        let n = 12_345usize;
+        let total = map_reduce(n, 97, |r| r.map(|i| i as u64).sum::<u64>(), |a, b| a + b).unwrap();
+        assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
+    }
+
+    #[test]
+    fn chunk_grain_zero_is_clamped() {
+        let out = map_chunks(5, 0, |r| r.len());
+        assert_eq!(out, vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn counters_see_all_work_under_contention() {
+        let hits = AtomicU64::new(0);
+        with_thread_limit(16, || {
+            parallel_for(10_000, 3, |r| {
+                hits.fetch_add(r.len() as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10_000);
+    }
+}

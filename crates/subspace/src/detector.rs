@@ -82,6 +82,11 @@ impl Analysis {
     }
 }
 
+/// Bins per scoring task in [`SubspaceDetector::analyze`]; fixed so the
+/// chunk decomposition (and hence the merged output order) never depends on
+/// the thread count.
+const SCORE_CHUNK_BINS: usize = 64;
+
 /// Detector facade: fit + score + flag in one call.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SubspaceDetector {
@@ -98,40 +103,72 @@ impl SubspaceDetector {
     /// Fits the subspace model to `x` (rows = timebins, columns = OD pairs)
     /// and evaluates both statistics on every row.
     ///
+    /// Scoring is batched over row chunks across the [`odflow_par`] pool:
+    /// each bin's SPE/T² is an independent projection, so a week of bins
+    /// scores on all cores. Chunks are merged in bin order and each bin runs
+    /// the exact serial per-row arithmetic, so the output is identical for
+    /// every thread count.
+    ///
     /// # Errors
     ///
     /// Propagates model-fitting errors (shape, degeneracy).
     pub fn analyze(&self, x: &Matrix) -> Result<Analysis> {
         let model = SubspaceModel::fit(x, self.config)?;
         let n = x.nrows();
+
+        /// Scores for one chunk of rows, in row order.
+        struct ChunkScores {
+            state_norm_sq: Vec<f64>,
+            spe: Vec<f64>,
+            t2: Vec<f64>,
+            detections: Vec<Detection>,
+        }
+
+        let score_chunk = |bins: std::ops::Range<usize>| -> Result<ChunkScores> {
+            let mut out = ChunkScores {
+                state_norm_sq: Vec::with_capacity(bins.len()),
+                spe: Vec::with_capacity(bins.len()),
+                t2: Vec::with_capacity(bins.len()),
+                detections: Vec::new(),
+            };
+            for bin in bins {
+                let row = x.row(bin)?;
+                out.state_norm_sq.push(vecops::norm_sq(row));
+                let split = model.split(row)?;
+                let s = vecops::norm_sq(&split.residual);
+                let t = model.t2_of_centered(&split.centered)?;
+                if s > model.spe_threshold() {
+                    out.detections.push(Detection {
+                        bin,
+                        kind: StatisticKind::Spe,
+                        value: s,
+                        threshold: model.spe_threshold(),
+                    });
+                }
+                if t > model.t2_threshold() {
+                    out.detections.push(Detection {
+                        bin,
+                        kind: StatisticKind::T2,
+                        value: t,
+                        threshold: model.t2_threshold(),
+                    });
+                }
+                out.spe.push(s);
+                out.t2.push(t);
+            }
+            Ok(out)
+        };
+
         let mut state_norm_sq = Vec::with_capacity(n);
         let mut spe = Vec::with_capacity(n);
         let mut t2 = Vec::with_capacity(n);
         let mut detections = Vec::new();
-
-        for (bin, row) in x.rows_iter().enumerate() {
-            state_norm_sq.push(vecops::norm_sq(row));
-            let split = model.split(row)?;
-            let s = vecops::norm_sq(&split.residual);
-            let t = model.t2_of_centered(&split.centered)?;
-            if s > model.spe_threshold() {
-                detections.push(Detection {
-                    bin,
-                    kind: StatisticKind::Spe,
-                    value: s,
-                    threshold: model.spe_threshold(),
-                });
-            }
-            if t > model.t2_threshold() {
-                detections.push(Detection {
-                    bin,
-                    kind: StatisticKind::T2,
-                    value: t,
-                    threshold: model.t2_threshold(),
-                });
-            }
-            spe.push(s);
-            t2.push(t);
+        for chunk in odflow_par::map_chunks(n, SCORE_CHUNK_BINS, score_chunk) {
+            let chunk = chunk?;
+            state_norm_sq.extend(chunk.state_norm_sq);
+            spe.extend(chunk.spe);
+            t2.extend(chunk.t2);
+            detections.extend(chunk.detections);
         }
 
         Ok(Analysis { model, state_norm_sq, spe, t2, detections })

@@ -105,10 +105,22 @@ pub fn run_scenario(
     let ingress = IngressResolver::synthetic(&scenario.topology);
     let pipe_cfg = PipelineConfig::abilene(scenario.config.start_secs, scenario.config.num_bins);
     let mut pipeline = MeasurementPipeline::new(pipe_cfg, &scenario.topology, ingress, routes)?;
-    for bin in 0..generator.num_bins() {
-        for record in generator.records_for_bin(bin) {
-            pipeline.push_sampled_record(record)?;
+    // Render bins in parallel batches (generation dominates the wall clock),
+    // then feed the stateful measurement pipeline in bin order. Batching
+    // bounds peak memory to one batch of records while keeping every core
+    // busy on synthesis; record order — and thus the whole run — is
+    // identical to the serial bin-by-bin loop.
+    const GEN_BATCH_BINS: usize = 64;
+    let num_bins = generator.num_bins();
+    let mut batch_start = 0;
+    while batch_start < num_bins {
+        let batch_end = (batch_start + GEN_BATCH_BINS).min(num_bins);
+        for bin_records in generator.records_for_bins(batch_start..batch_end) {
+            for record in bin_records {
+                pipeline.push_sampled_record(record)?;
+            }
         }
+        batch_start = batch_end;
     }
     let (matrices, resolution) = pipeline.finalize()?;
 

@@ -43,6 +43,10 @@
 
 pub mod experiment;
 
+/// Re-export of the scoped thread-pool substrate (`ODFLOW_THREADS`,
+/// deterministic fork/join parallelism).
+pub use odflow_par as par;
+
 /// Re-export of the dense linear-algebra substrate.
 pub use odflow_linalg as linalg;
 
