@@ -207,6 +207,61 @@ fn bench_generator(c: &mut Criterion) {
     g.finish();
 }
 
+/// The fused generate→bin ingest path: one day of Abilene bins rendered
+/// straight into sharded OD binners, parallel vs the single-thread
+/// fallback — the workload `perf_report`'s `ingest` stage tracks.
+fn bench_sharded_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ingest");
+    g.sample_size(10);
+    let config = ScenarioConfig { num_bins: 288, total_demand: 500.0, ..Default::default() };
+    let scenario = Scenario::new(config, vec![]).unwrap();
+    let generator = scenario.generator();
+    let routes = scenario.plan.build_route_table(1.0).unwrap();
+    let ingress = odflow::net::IngressResolver::synthetic(&scenario.topology);
+    let pipe_cfg = odflow::flow::PipelineConfig::abilene(0, 288);
+    g.bench_function("bin_scenario_day", |b| {
+        b.iter(|| {
+            black_box(generator.bin_scenario(pipe_cfg, ingress.clone(), routes.clone()).unwrap())
+                .stats
+                .flows_resolved
+        })
+    });
+    g.bench_function("bin_scenario_day_serial", |b| {
+        b.iter(|| {
+            odflow::par::with_thread_limit(1, || {
+                black_box(
+                    generator.bin_scenario(pipe_cfg, ingress.clone(), routes.clone()).unwrap(),
+                )
+                .stats
+                .flows_resolved
+            })
+        })
+    });
+    g.finish();
+}
+
+/// The large-mesh workload at criterion scale: an hour of 90k-OD-pair
+/// bins through the fused sharded path.
+fn bench_large_mesh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("large_mesh");
+    g.sample_size(10);
+    let num_bins = 12;
+    let config = ScenarioConfig { num_bins, ..ScenarioConfig::large_mesh() };
+    let scenario = Scenario::large_mesh_with(config).unwrap();
+    let generator = scenario.generator();
+    let routes = scenario.plan.build_route_table(1.0).unwrap();
+    let ingress = odflow::net::IngressResolver::synthetic(&scenario.topology);
+    let pipe_cfg = odflow::flow::PipelineConfig::abilene(0, num_bins);
+    g.bench_function("bin_scenario_hour_p90000", |b| {
+        b.iter(|| {
+            black_box(generator.bin_scenario(pipe_cfg, ingress.clone(), routes.clone()).unwrap())
+                .stats
+                .flows_resolved
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_linalg,
@@ -215,6 +270,8 @@ criterion_group!(
     bench_thresholds,
     bench_measurement,
     bench_generator,
-    bench_week_materialization
+    bench_week_materialization,
+    bench_sharded_ingest,
+    bench_large_mesh
 );
 criterion_main!(benches);

@@ -1,0 +1,203 @@
+//! `perf_gate` — CI guard over the perf trajectory.
+//!
+//! Compares the current run's `BENCH_pipeline.json` against the previous
+//! CI run's artifact and fails (exit 1) when any stage's `serial_ms`
+//! regresses by more than the threshold. Serial regressions are as
+//! load-bearing as missing parallel speedup: they survive any pool size.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_gate --previous PATH --current PATH [--threshold PCT]
+//! ```
+//!
+//! A missing/unreadable *previous* report is not a failure (first run on a
+//! branch, expired artifact): the gate prints a notice and passes, so the
+//! workflow needs no special-casing. Stages are matched by
+//! `(name, workload)`; stages present on only one side (new or retired
+//! workloads) are reported but never fail the gate. Baselines recorded on
+//! a different machine shape are still compared — the override label in CI
+//! is the escape hatch for legitimate regressions and noisy runners.
+
+/// One stage parsed out of a perf report.
+#[derive(Debug, Clone, PartialEq)]
+struct Stage {
+    name: String,
+    workload: String,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+/// Extracts the string value of `"key": "..."` from a JSON object line.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    // Values are produced by our own writer: no escaped quotes beyond \".
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                if let Some(n) = chars.next() {
+                    out.push(n);
+                }
+            }
+            '"' => return Some(out),
+            _ => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts the numeric value of `"key": 12.3` from a JSON object line.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+        .collect();
+    rest.parse().ok()
+}
+
+/// Parses the stage array of a perf report. The format is this repo's own
+/// `perf_report` writer (one stage object per line), so a hand-rolled
+/// parser keeps the gate dependency-free, matching the vendored-only
+/// crate policy.
+fn parse_stages(json: &str) -> Vec<Stage> {
+    json.lines()
+        .filter_map(|line| {
+            Some(Stage {
+                name: str_field(line, "name")?,
+                workload: str_field(line, "workload")?,
+                serial_ms: num_field(line, "serial_ms")?,
+                parallel_ms: num_field(line, "parallel_ms")?,
+            })
+        })
+        .collect()
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("usage: perf_gate --previous PATH --current PATH [--threshold PCT]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut previous = None;
+    let mut current = None;
+    let mut threshold_pct = 15.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--previous" => previous = args.next(),
+            "--current" => current = args.next(),
+            "--threshold" => {
+                threshold_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage_error("--threshold expects a number"));
+            }
+            other => usage_error(&format!("unknown argument: {other}")),
+        }
+    }
+    let previous = previous.unwrap_or_else(|| usage_error("--previous is required"));
+    let current = current.unwrap_or_else(|| usage_error("--current is required"));
+
+    let Ok(prev_json) = std::fs::read_to_string(&previous) else {
+        println!("perf_gate: no previous report at {previous} — first run, gate passes");
+        return;
+    };
+    let curr_json = match std::fs::read_to_string(&current) {
+        Ok(s) => s,
+        Err(e) => usage_error(&format!("cannot read current report {current}: {e}")),
+    };
+
+    let prev = parse_stages(&prev_json);
+    let curr = parse_stages(&curr_json);
+    if curr.is_empty() {
+        usage_error(&format!("current report {current} contains no stages"));
+    }
+
+    let mut regressions = Vec::new();
+    for c in &curr {
+        let Some(p) = prev.iter().find(|p| p.name == c.name && p.workload == c.workload) else {
+            println!(
+                "  new stage       {:<22} {:<34} serial {:>9.2} ms",
+                c.name, c.workload, c.serial_ms
+            );
+            continue;
+        };
+        let ratio = if p.serial_ms > 0.0 { c.serial_ms / p.serial_ms } else { 1.0 };
+        let verdict = if ratio > 1.0 + threshold_pct / 100.0 {
+            regressions.push(format!(
+                "{} [{}]: serial {:.2} ms -> {:.2} ms (+{:.1}%)",
+                c.name,
+                c.workload,
+                p.serial_ms,
+                c.serial_ms,
+                (ratio - 1.0) * 100.0
+            ));
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {verdict:<15} {:<22} {:<34} serial {:>9.2} -> {:>9.2} ms ({:+.1}%)",
+            c.name,
+            c.workload,
+            p.serial_ms,
+            c.serial_ms,
+            (ratio - 1.0) * 100.0
+        );
+    }
+    for p in &prev {
+        if !curr.iter().any(|c| c.name == p.name && c.workload == p.workload) {
+            println!("  retired stage   {:<22} {:<34}", p.name, p.workload);
+        }
+    }
+
+    if regressions.is_empty() {
+        println!("perf_gate: no serial regression beyond {threshold_pct}%");
+    } else {
+        eprintln!("perf_gate: {} stage(s) regressed beyond {threshold_pct}%:", regressions.len());
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        eprintln!("(apply the perf-regression-ok label to override a justified regression)");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "schema": "odflow-perf-report/v1",
+  "stages": [
+    {"name": "gram", "workload": "n=2016 p=121", "serial_ms": 10.000, "parallel_ms": 3.000, "speedup": 3.333},
+    {"name": "ingest", "workload": "288 bins p=121 (18 shards)", "serial_ms": 50.500, "parallel_ms": 20.000, "speedup": 2.525}
+  ]
+}"#;
+
+    #[test]
+    fn parses_own_report_format() {
+        let stages = parse_stages(SAMPLE);
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].name, "gram");
+        assert_eq!(stages[0].workload, "n=2016 p=121");
+        assert!((stages[0].serial_ms - 10.0).abs() < 1e-9);
+        assert!((stages[1].parallel_ms - 20.0).abs() < 1e-9);
+        assert_eq!(stages[1].workload, "288 bins p=121 (18 shards)");
+    }
+
+    #[test]
+    fn field_extractors_handle_escapes_and_absence() {
+        assert_eq!(str_field(r#"{"name": "a\"b"}"#, "name").unwrap(), "a\"b");
+        assert_eq!(str_field("{}", "name"), None);
+        assert_eq!(num_field(r#"{"serial_ms": 1.5e2}"#, "serial_ms"), Some(150.0));
+        assert_eq!(num_field("{}", "serial_ms"), None);
+    }
+}

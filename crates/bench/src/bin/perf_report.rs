@@ -3,11 +3,14 @@
 //!
 //! Times every hot stage of the reproduction (Gram matrix, Jacobi
 //! eigendecomposition, blocked matmul, subspace model fit, batch detection,
-//! scenario materialization, and the end-to-end pipeline) twice: once with
+//! scenario materialization, the fused sharded ingest, the 90k-OD-pair
+//! large-mesh pipeline, and the end-to-end pipeline) twice: once with
 //! the pool pinned to a single thread (the serial baseline) and once with
-//! the full pool. Emits a machine-readable `BENCH_pipeline.json` so the
-//! perf trajectory of the repo is tracked from one fixed workload set —
-//! every future perf PR diffs against this file's numbers.
+//! the full pool. Emits a machine-readable `BENCH_pipeline.json` — stamped
+//! with the pool size, raw `ODFLOW_THREADS`, ingest shard grain, and peak
+//! RSS, so CI artifacts are self-describing — and the perf trajectory of
+//! the repo is tracked from one fixed workload set: `perf_gate` diffs every
+//! PR's report against the previous run's artifact.
 //!
 //! Usage:
 //!
@@ -23,8 +26,10 @@
 use std::hint::black_box;
 use std::time::Instant;
 
+use odflow::flow::PipelineConfig;
 use odflow::gen::{Scenario, ScenarioConfig};
 use odflow::linalg::{eigen_symmetric, scatter};
+use odflow::net::IngressResolver;
 use odflow::subspace::{SubspaceDetector, SubspaceModel};
 use odflow_bench::traffic_matrix;
 
@@ -82,6 +87,20 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Peak resident set size of this process in kB, from `/proc/self/status`
+/// (`VmHWM`). Returns 0 on platforms without procfs — the field is
+/// advisory CI metadata, not a measurement the gate acts on.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1).and_then(|v| v.parse().ok()))
+        })
+        .unwrap_or(0)
+}
+
 fn write_json(path: &str, quick: bool, stages: &[StageResult]) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
@@ -89,6 +108,14 @@ fn write_json(path: &str, quick: bool, stages: &[StageResult]) -> std::io::Resul
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!("  \"hardware_threads\": {},\n", odflow_par::hardware_threads()));
     out.push_str(&format!("  \"pool_threads\": {},\n", odflow_par::default_threads()));
+    // Self-describing multi-core CI artifacts: the raw env override (if
+    // any), the ingest shard grain, and this run's high-water memory mark.
+    match std::env::var(odflow_par::THREADS_ENV) {
+        Ok(v) => out.push_str(&format!("  \"odflow_threads_env\": \"{}\",\n", json_escape(&v))),
+        Err(_) => out.push_str("  \"odflow_threads_env\": null,\n"),
+    }
+    out.push_str(&format!("  \"ingest_shard_bins\": {},\n", odflow::flow::DEFAULT_SHARD_BINS));
+    out.push_str(&format!("  \"peak_rss_kb\": {},\n", peak_rss_kb()));
     out.push_str("  \"stages\": [\n");
     for (i, s) in stages.iter().enumerate() {
         out.push_str(&format!(
@@ -190,6 +217,49 @@ fn main() {
         let label = if quick { "1 day (288 bins)" } else { "1 week (2016 bins)" };
         stages.push(run_stage("generator", label.into(), reps.min(2), || {
             generator.records_for_bins(0..num_bins).len()
+        }));
+    }
+
+    // Sharded measurement ingest: the fused generate→bin path rendering a
+    // scenario straight into per-thread OD binners (no record batches).
+    {
+        let num_bins = if quick { 288 } else { odflow::gen::BINS_PER_WEEK };
+        let config = ScenarioConfig { num_bins, ..Default::default() };
+        let scenario = Scenario::new(config, vec![]).unwrap();
+        let generator = scenario.generator();
+        let routes = scenario.plan.build_route_table(1.0).unwrap();
+        let ingress = IngressResolver::synthetic(&scenario.topology);
+        let pipe_cfg = PipelineConfig::abilene(0, num_bins);
+        let shards = num_bins.div_ceil(odflow::flow::DEFAULT_SHARD_BINS);
+        let label = format!("{num_bins} bins p=121 ({shards} shards)",);
+        stages.push(run_stage("ingest", label, reps.min(2), || {
+            generator
+                .bin_scenario(pipe_cfg, ingress.clone(), routes.clone())
+                .unwrap()
+                .stats
+                .flows_resolved
+        }));
+    }
+
+    // Large-mesh workload: ~300 PoPs / 90k OD pairs, generate→ingest end
+    // to end — the regime where sharded binning has to carry the load.
+    {
+        let num_bins = if quick { 24 } else { 96 };
+        let config = ScenarioConfig { num_bins, ..ScenarioConfig::large_mesh() };
+        let scenario = Scenario::large_mesh_with(config).unwrap();
+        let generator = scenario.generator();
+        let routes = scenario.plan.build_route_table(1.0).unwrap();
+        let ingress = IngressResolver::synthetic(&scenario.topology);
+        let mut pipe_cfg = PipelineConfig::abilene(0, num_bins);
+        pipe_cfg.bin_secs = scenario.config.bin_secs;
+        let shards = num_bins.div_ceil(odflow::flow::DEFAULT_SHARD_BINS);
+        let label = format!("{num_bins} bins p=90000 ({shards} shards)");
+        stages.push(run_stage("large_mesh_pipeline", label, 1, || {
+            generator
+                .bin_scenario(pipe_cfg, ingress.clone(), routes.clone())
+                .unwrap()
+                .stats
+                .flows_resolved
         }));
     }
 

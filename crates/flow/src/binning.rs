@@ -111,6 +111,19 @@ impl OdBinner {
         self.records_accepted
     }
 
+    /// Number of bins in this binner's window.
+    pub fn num_bins(&self) -> usize {
+        self.num_bins
+    }
+
+    /// Consumes the binner into its raw `(bytes, packets, flows)` cell
+    /// vectors (row-major `bin x od`), without the non-empty check of
+    /// [`Self::finalize`] — the sharded merge concatenates shard rows and
+    /// applies the emptiness check to the whole window instead.
+    pub(crate) fn into_cells(self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        (self.bytes, self.packets, self.flows)
+    }
+
     /// Finalizes into the three aligned traffic matrices.
     ///
     /// # Errors

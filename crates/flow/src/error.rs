@@ -40,6 +40,21 @@ pub enum FlowError {
     AlreadyFinalized,
     /// No data was collected before finalization.
     NoData,
+    /// A sharded merge received shards that do not tile the window: the
+    /// next shard starts at `got_bin` where `expected_bin` was required.
+    ShardGap {
+        /// First bin the merge still needed.
+        expected_bin: usize,
+        /// First bin of the offending (or missing) shard.
+        got_bin: usize,
+    },
+    /// A record source's window does not align with the ingest engine's
+    /// (start or bin width mismatch), so bin-range shard routing would
+    /// misroute records.
+    WindowMisaligned {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -60,6 +75,15 @@ impl fmt::Display for FlowError {
             }
             FlowError::AlreadyFinalized => write!(f, "measurement pipeline already finalized"),
             FlowError::NoData => write!(f, "no flow data collected"),
+            FlowError::ShardGap { expected_bin, got_bin } => {
+                write!(
+                    f,
+                    "shards do not tile the window: expected bin {expected_bin}, got {got_bin}"
+                )
+            }
+            FlowError::WindowMisaligned { reason } => {
+                write!(f, "ingest window misaligned with record source: {reason}")
+            }
         }
     }
 }
@@ -84,5 +108,9 @@ mod tests {
         assert!(FlowError::BadOdIndex { index: 121, count: 121 }.to_string().contains("121"));
         assert!(FlowError::AlreadyFinalized.to_string().contains("finalized"));
         assert!(FlowError::NoData.to_string().contains("no flow data"));
+        assert!(FlowError::ShardGap { expected_bin: 4, got_bin: 8 }.to_string().contains("tile"));
+        assert!(FlowError::WindowMisaligned { reason: "bin width 60 vs 300".into() }
+            .to_string()
+            .contains("misaligned"));
     }
 }

@@ -15,8 +15,11 @@
 //! 5. [`OdBinner`] — 5-minute binning into the three traffic views:
 //!    **#bytes, #packets, #IP-flows** ([`TrafficMatrixSet`]).
 //!
-//! [`MeasurementPipeline`] wires the stages together; [`AttributeDigest`]
-//! summarizes the raw flows behind a detection for the classification stage.
+//! [`MeasurementPipeline`] wires the stages together serially;
+//! [`ShardedIngest`] splits the resolve→bin backend into per-bin-range
+//! [`BinShard`]s so record batches bin across threads with results
+//! bit-identical to the serial path. [`AttributeDigest`] summarizes the raw
+//! flows behind a detection for the classification stage.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +36,7 @@ mod packet;
 mod pipeline;
 mod record;
 mod sampler;
+mod shard;
 
 pub use aggregate::{FlowAggregator, MINUTE_SECS};
 pub use binning::OdBinner;
@@ -45,3 +49,4 @@ pub use packet::PacketObs;
 pub use pipeline::{MeasurementPipeline, PipelineConfig};
 pub use record::FlowRecord;
 pub use sampler::{sample_packet_count, PacketSampler, ABILENE_SAMPLING_RATE};
+pub use shard::{BinShard, IngestOutcome, ShardedIngest, DEFAULT_SHARD_BINS};

@@ -63,6 +63,17 @@ impl ResolutionStats {
             self.bytes_resolved as f64 / self.bytes_total as f64
         }
     }
+
+    /// Accumulates another shard's statistics into this one. All fields are
+    /// integral counters, so the sum is exact and order-independent — the
+    /// property the sharded ingest engine's determinism rests on.
+    pub fn merge(&mut self, other: &ResolutionStats) {
+        self.flows_total += other.flows_total;
+        self.flows_resolved += other.flows_resolved;
+        self.bytes_total += other.bytes_total;
+        self.bytes_resolved += other.bytes_resolved;
+        self.transit_skipped += other.transit_skipped;
+    }
 }
 
 /// Resolves flow records to OD pairs using ingress configuration and the

@@ -21,13 +21,13 @@
 //!   shortcut for multi-week traces; see `odflow-flow::sampler`).
 
 use crate::aggregate::{FlowAggregator, MINUTE_SECS};
-use crate::binning::OdBinner;
-use crate::error::{FlowError, Result};
+use crate::error::Result;
 use crate::matrix::{TrafficMatrixSet, BIN_SECS};
-use crate::od::{OdResolution, OdResolver, ResolutionStats};
+use crate::od::ResolutionStats;
 use crate::packet::PacketObs;
 use crate::record::FlowRecord;
 use crate::sampler::PacketSampler;
+use crate::shard::{BinShard, ShardedIngest};
 
 /// Configuration for the measurement pipeline.
 #[derive(Debug, Clone, Copy)]
@@ -66,14 +66,16 @@ impl PipelineConfig {
 
 /// The full measurement pipeline from packets (or pre-sampled records) to
 /// OD traffic matrices.
+///
+/// The resolve→bin backend is a single full-window [`BinShard`] — the
+/// degenerate case of the sharded ingest engine ([`ShardedIngest`]), which
+/// is what guarantees the parallel sharded path and this serial pipeline
+/// agree bit-for-bit: they run the same per-record code.
 #[derive(Debug)]
 pub struct MeasurementPipeline {
     sampler: PacketSampler,
     aggregator: FlowAggregator,
-    resolver: OdResolver,
-    binner: OdBinner,
-    anonymize: bool,
-    dropped_out_of_window: u64,
+    shard: BinShard,
 }
 
 impl MeasurementPipeline {
@@ -92,21 +94,9 @@ impl MeasurementPipeline {
         // One aggregation window of reorder slack absorbs cross-router
         // export jitter.
         let aggregator = FlowAggregator::new(config.aggregation_secs, config.aggregation_secs)?;
-        let resolver = OdResolver::new(topology, ingress, routes, config.anonymize);
-        let binner = OdBinner::new(
-            config.start_secs,
-            config.bin_secs,
-            config.num_bins,
-            topology.num_od_pairs(),
-        )?;
-        Ok(MeasurementPipeline {
-            sampler,
-            aggregator,
-            resolver,
-            binner,
-            anonymize: config.anonymize,
-            dropped_out_of_window: 0,
-        })
+        let engine = ShardedIngest::new(config, topology, ingress, routes)?;
+        let shard = engine.make_shard(0..config.num_bins)?;
+        Ok(MeasurementPipeline { sampler, aggregator, shard })
     }
 
     /// Offers one packet to the pipeline (sampling decides whether it is
@@ -137,33 +127,20 @@ impl MeasurementPipeline {
         self.route_record(record)
     }
 
-    fn route_record(&mut self, mut record: FlowRecord) -> Result<()> {
-        if self.anonymize {
-            record.key = record.key.with_anonymized_dst();
-        }
-        match self.resolver.resolve(&record) {
-            OdResolution::Resolved { od_index } => match self.binner.push(od_index, &record) {
-                Ok(()) => Ok(()),
-                Err(FlowError::TimestampOutOfRange { .. }) => {
-                    self.dropped_out_of_window += 1;
-                    Ok(())
-                }
-                Err(e) => Err(e),
-            },
-            // Unresolvable and transit traffic is excluded from OD matrices
-            // — exactly the paper's ~7% resolution loss.
-            _ => Ok(()),
-        }
+    fn route_record(&mut self, record: FlowRecord) -> Result<()> {
+        // A full-window shard cannot misroute: every out-of-sub-window
+        // timestamp is out of the global window and counted as a drop.
+        self.shard.push_sampled_record(record)
     }
 
     /// Resolution statistics accumulated so far.
     pub fn resolution_stats(&self) -> ResolutionStats {
-        self.resolver.stats()
+        self.shard.resolution_stats()
     }
 
     /// Records that fell outside the observation window.
     pub fn dropped_out_of_window(&self) -> u64 {
-        self.dropped_out_of_window
+        self.shard.dropped_out_of_window()
     }
 
     /// `(observed, sampled)` packet counters.
@@ -182,15 +159,14 @@ impl MeasurementPipeline {
         for r in tail {
             self.route_record(r)?;
         }
-        let stats = self.resolver.stats();
-        let set = self.binner.finalize()?;
-        Ok((set, stats))
+        self.shard.finalize()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::FlowError;
     use crate::key::{FlowKey, Protocol};
     use odflow_net::{AddressPlan, IngressResolver, Topology};
 

@@ -1,0 +1,571 @@
+//! Sharded measurement ingest.
+//!
+//! [`MeasurementPipeline`](crate::MeasurementPipeline) resolves and bins one
+//! record at a time — fine for packet-path integration tests, but the last
+//! serial stage of a week-scale scenario run. This module splits the
+//! resolve→bin backend into independent [`BinShard`]s, each owning a
+//! **contiguous range of analysis bins**: its own [`OdResolver`] (and thus
+//! its own [`ResolutionStats`]), its own [`OdBinner`] over the sub-window,
+//! and its own out-of-window drop counter. Shards share no state, so record
+//! batches bin across threads with no locks.
+//!
+//! ## Determinism
+//!
+//! The merged result is **bit-identical to the serial pipeline for any
+//! thread count and any shard grain**, by construction rather than by
+//! tolerance:
+//!
+//! * Every record of bin `b` lands in the one shard owning `b`, in the same
+//!   relative order as the serial stream, so each `(bin, od)` cell
+//!   accumulates its `f64` sums in exactly the serial order.
+//! * Merging concatenates shard rows — contiguous bin ranges in ascending
+//!   order — without touching cell values. No floating-point reassociation
+//!   ever happens across shards.
+//! * All cross-shard accounting ([`ResolutionStats`], dropped-record
+//!   counters) is integral, and integer sums are order-independent.
+//!
+//! The shard *grain* (bins per shard) is fixed by the engine, never derived
+//! from the thread count; oversubscribed pools simply leave shards queued.
+
+use crate::binning::OdBinner;
+use crate::error::{FlowError, Result};
+use crate::matrix::{TrafficMatrix, TrafficMatrixSet, TrafficType};
+use crate::od::{OdResolution, OdResolver, ResolutionStats};
+use crate::pipeline::PipelineConfig;
+use crate::record::FlowRecord;
+use odflow_linalg::Matrix;
+use std::ops::Range;
+
+/// Default number of analysis bins per shard: small enough that a paper
+/// week (2016 bins) splits into ~126 shards for load balance across
+/// heterogeneous (diurnal) bins, large enough to amortize per-shard setup.
+pub const DEFAULT_SHARD_BINS: usize = 16;
+
+/// One independent slice of the ingest backend: resolves and bins records
+/// whose timestamps fall into its contiguous bin range.
+///
+/// A shard covering the *full* window is exactly the serial pipeline's
+/// backend — [`crate::MeasurementPipeline`] is implemented as that
+/// degenerate single-shard case, which is what makes the sharded and serial
+/// paths equivalent by construction.
+#[derive(Debug)]
+pub struct BinShard {
+    /// Global index of the first bin this shard owns.
+    first_bin: usize,
+    resolver: OdResolver,
+    binner: OdBinner,
+    anonymize: bool,
+    /// Global observation window (trace-epoch seconds, end exclusive) —
+    /// records outside it are *dropped and counted*, records inside it but
+    /// outside the shard's own sub-window are routing errors.
+    window: Range<u64>,
+    dropped_out_of_window: u64,
+}
+
+impl BinShard {
+    /// Offers one pre-sampled flow record.
+    ///
+    /// Mirrors the serial pipeline's record path exactly: anonymize (when
+    /// configured), resolve (updating this shard's statistics), then bin.
+    /// Records outside the **global** observation window are counted in
+    /// [`Self::dropped_out_of_window`] and accepted quietly, matching the
+    /// serial pipeline's trace-edge behavior.
+    ///
+    /// # Errors
+    ///
+    /// * [`FlowError::TimestampOutOfRange`] for a record inside the global
+    ///   window but outside this shard's bin range — a routing bug in the
+    ///   caller, never silently absorbed.
+    /// * [`FlowError::BadOdIndex`] for an OD index outside the matrix.
+    pub fn push_sampled_record(&mut self, mut record: FlowRecord) -> Result<()> {
+        if self.anonymize {
+            record.key = record.key.with_anonymized_dst();
+        }
+        match self.resolver.resolve(&record) {
+            OdResolution::Resolved { od_index } => match self.binner.push(od_index, &record) {
+                Ok(()) => Ok(()),
+                Err(FlowError::TimestampOutOfRange { ts, .. }) if !self.window.contains(&ts) => {
+                    self.dropped_out_of_window += 1;
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            },
+            // Unresolvable and transit traffic is excluded from OD matrices
+            // — the paper's ~7% resolution loss.
+            _ => Ok(()),
+        }
+    }
+
+    /// The contiguous global bin range this shard owns.
+    pub fn bins(&self) -> Range<usize> {
+        self.first_bin..self.first_bin + self.binner.num_bins()
+    }
+
+    /// Resolution statistics accumulated by this shard alone.
+    pub fn resolution_stats(&self) -> ResolutionStats {
+        self.resolver.stats()
+    }
+
+    /// Records this shard dropped as outside the global window.
+    pub fn dropped_out_of_window(&self) -> u64 {
+        self.dropped_out_of_window
+    }
+
+    /// Records this shard accepted into cells.
+    pub fn records_accepted(&self) -> u64 {
+        self.binner.records_accepted()
+    }
+
+    /// Finalizes a *full-window* shard into the traffic matrices — the
+    /// serial pipeline's endgame. Multi-shard engines use
+    /// [`ShardedIngest::merge`] instead, which concatenates without
+    /// per-shard emptiness checks.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::NoData`] if the shard never accepted a record.
+    pub fn finalize(self) -> Result<(TrafficMatrixSet, ResolutionStats)> {
+        let stats = self.resolver.stats();
+        Ok((self.binner.finalize()?, stats))
+    }
+}
+
+/// Everything merged out of a sharded ingest run.
+#[derive(Debug)]
+pub struct IngestOutcome {
+    /// The three OD traffic matrices over the full window.
+    pub matrices: TrafficMatrixSet,
+    /// Resolution statistics summed across shards (exact integer sums).
+    pub stats: ResolutionStats,
+    /// Out-of-window records dropped, summed across shards.
+    pub dropped_out_of_window: u64,
+}
+
+/// Factory and merge point for a deterministic set of [`BinShard`]s
+/// covering one observation window.
+///
+/// The engine itself holds no traffic state: callers mint shards with
+/// [`Self::make_shard`], fill them on any threads they like (the fused
+/// generate→bin path in `odflow-gen` renders each shard's bins straight
+/// into it), and hand them back to [`Self::merge`]. For pre-materialized
+/// record batches, [`Self::ingest_records`] does the partition → parallel
+/// fill → merge dance in one call.
+#[derive(Debug, Clone)]
+pub struct ShardedIngest {
+    start_secs: u64,
+    bin_secs: u64,
+    num_bins: usize,
+    num_od: usize,
+    anonymize: bool,
+    /// Stat-free resolver prototype cloned into every shard.
+    resolver: OdResolver,
+    shard_bins: usize,
+}
+
+impl ShardedIngest {
+    /// Builds an engine over the given routing state. The sampler fields of
+    /// `config` are ignored: sharded ingest consumes *pre-sampled* records
+    /// (the scenario generator's multi-week shortcut); the per-packet path
+    /// stays on [`crate::MeasurementPipeline`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates window/OD-space validation errors from the binner
+    /// configuration.
+    pub fn new(
+        config: PipelineConfig,
+        topology: &odflow_net::Topology,
+        ingress: odflow_net::IngressResolver,
+        routes: odflow_net::RouteTable,
+    ) -> Result<Self> {
+        if config.bin_secs == 0 {
+            return Err(FlowError::InvalidBinWidth { width_secs: 0 });
+        }
+        if config.num_bins == 0 || topology.num_od_pairs() == 0 {
+            return Err(FlowError::NoData);
+        }
+        Ok(ShardedIngest {
+            start_secs: config.start_secs,
+            bin_secs: config.bin_secs,
+            num_bins: config.num_bins,
+            num_od: topology.num_od_pairs(),
+            anonymize: config.anonymize,
+            resolver: OdResolver::new(topology, ingress, routes, config.anonymize),
+            shard_bins: DEFAULT_SHARD_BINS,
+        })
+    }
+
+    /// Overrides the shard grain (bins per shard, clamped to at least 1).
+    /// The grain affects load balance only — merged results are identical
+    /// for every grain.
+    #[must_use]
+    pub fn with_shard_bins(mut self, shard_bins: usize) -> Self {
+        self.shard_bins = shard_bins.max(1);
+        self
+    }
+
+    /// Number of shards the window splits into.
+    pub fn num_shards(&self) -> usize {
+        self.num_bins.div_ceil(self.shard_bins)
+    }
+
+    /// The contiguous bin range of shard `i`.
+    pub fn shard_range(&self, i: usize) -> Range<usize> {
+        let lo = i * self.shard_bins;
+        lo..((lo + self.shard_bins).min(self.num_bins))
+    }
+
+    /// The global observation window in trace-epoch seconds.
+    pub fn window(&self) -> Range<u64> {
+        self.start_secs..self.start_secs + self.num_bins as u64 * self.bin_secs
+    }
+
+    /// Number of analysis bins in the window.
+    pub fn num_bins(&self) -> usize {
+        self.num_bins
+    }
+
+    /// Mints an empty shard over a contiguous sub-range of global bins.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::NoData`] for an empty or out-of-window range.
+    pub fn make_shard(&self, bins: Range<usize>) -> Result<BinShard> {
+        if bins.is_empty() || bins.end > self.num_bins {
+            return Err(FlowError::NoData);
+        }
+        let binner = OdBinner::new(
+            self.start_secs + bins.start as u64 * self.bin_secs,
+            self.bin_secs,
+            bins.len(),
+            self.num_od,
+        )?;
+        Ok(BinShard {
+            first_bin: bins.start,
+            resolver: self.resolver.clone(),
+            binner,
+            anonymize: self.anonymize,
+            window: self.window(),
+            dropped_out_of_window: 0,
+        })
+    }
+
+    /// The shard responsible for timestamp `ts`: the owner of its bin, or —
+    /// for out-of-window timestamps — the nearest edge shard, which counts
+    /// the drop.
+    fn shard_for_ts(&self, ts: u64) -> usize {
+        if ts < self.start_secs {
+            return 0;
+        }
+        let bin = ((ts - self.start_secs) / self.bin_secs) as usize;
+        bin.min(self.num_bins - 1) / self.shard_bins
+    }
+
+    /// Merges filled shards back into the full-window result.
+    ///
+    /// `shards` must be exactly the engine's shards in ascending bin order
+    /// (the natural result of filling `(0..num_shards()).map(shard_range)`);
+    /// rows concatenate, statistics and drop counters sum.
+    ///
+    /// # Errors
+    ///
+    /// * [`FlowError::ShardGap`] if the shard set does not tile the
+    ///   window contiguously.
+    /// * [`FlowError::NoData`] if no shard accepted any record (matching
+    ///   the serial pipeline's finalize).
+    pub fn merge(&self, shards: Vec<BinShard>) -> Result<IngestOutcome> {
+        let mut next_bin = 0usize;
+        for s in &shards {
+            if s.bins().start != next_bin {
+                return Err(FlowError::ShardGap {
+                    expected_bin: next_bin,
+                    got_bin: s.bins().start,
+                });
+            }
+            next_bin = s.bins().end;
+        }
+        // Cover must reach the window end; `got_bin` is where it stopped.
+        if next_bin != self.num_bins {
+            return Err(FlowError::ShardGap { expected_bin: self.num_bins, got_bin: next_bin });
+        }
+
+        let cells = self.num_bins * self.num_od;
+        let mut bytes = Vec::with_capacity(cells);
+        let mut packets = Vec::with_capacity(cells);
+        let mut flows = Vec::with_capacity(cells);
+        let mut stats = ResolutionStats::default();
+        let mut dropped = 0u64;
+        let mut accepted = 0u64;
+        for shard in shards {
+            stats.merge(&shard.resolver.stats());
+            dropped += shard.dropped_out_of_window;
+            accepted += shard.binner.records_accepted();
+            let (b, p, f) = shard.binner.into_cells();
+            bytes.extend_from_slice(&b);
+            packets.extend_from_slice(&p);
+            flows.extend_from_slice(&f);
+        }
+        if accepted == 0 {
+            return Err(FlowError::NoData);
+        }
+
+        let build = |t: TrafficType, data: Vec<f64>| -> TrafficMatrix {
+            TrafficMatrix {
+                traffic_type: t,
+                start_secs: self.start_secs,
+                bin_secs: self.bin_secs,
+                data: Matrix::from_vec(self.num_bins, self.num_od, data)
+                    .expect("shards tile the window"),
+            }
+        };
+        Ok(IngestOutcome {
+            matrices: TrafficMatrixSet {
+                bytes: build(TrafficType::Bytes, bytes),
+                packets: build(TrafficType::Packets, packets),
+                flows: build(TrafficType::Flows, flows),
+            },
+            stats,
+            dropped_out_of_window: dropped,
+        })
+    }
+
+    /// One-shot ingest of a pre-materialized record batch: partitions the
+    /// stream by owning shard (stable, preserving per-bin record order),
+    /// fills every shard across the [`odflow_par`] pool, and merges.
+    ///
+    /// Bit-identical to pushing the same records through the serial
+    /// pipeline, for any `ODFLOW_THREADS`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BinShard::push_sampled_record`] and [`Self::merge`].
+    pub fn ingest_records(&self, records: &[FlowRecord]) -> Result<IngestOutcome> {
+        let num_shards = self.num_shards();
+        let mut partitions: Vec<Vec<&FlowRecord>> = vec![Vec::new(); num_shards];
+        for r in records {
+            partitions[self.shard_for_ts(r.window_start)].push(r);
+        }
+        let shards = odflow_par::map_chunks(num_shards, 1, |range| {
+            let i = range.start;
+            let mut shard = self.make_shard(self.shard_range(i))?;
+            for &r in &partitions[i] {
+                shard.push_sampled_record(*r)?;
+            }
+            Ok(shard)
+        })
+        .into_iter()
+        .collect::<Result<Vec<BinShard>>>()?;
+        self.merge(shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::{FlowKey, Protocol};
+    use crate::pipeline::MeasurementPipeline;
+    use odflow_net::{AddressPlan, IngressResolver, Topology};
+
+    fn setup(num_bins: usize) -> (Topology, AddressPlan, ShardedIngest, MeasurementPipeline) {
+        let t = Topology::abilene();
+        let plan = AddressPlan::synthetic(&t);
+        let routes = plan.build_route_table(1.0).unwrap();
+        let ingress = IngressResolver::synthetic(&t);
+        let cfg = PipelineConfig::abilene(0, num_bins);
+        let engine = ShardedIngest::new(cfg, &t, ingress.clone(), routes.clone())
+            .unwrap()
+            .with_shard_bins(4);
+        let serial = MeasurementPipeline::new(cfg, &t, ingress, routes).unwrap();
+        (t, plan, engine, serial)
+    }
+
+    fn record(plan: &AddressPlan, src: usize, dst: usize, ts: u64, salt: u32) -> FlowRecord {
+        FlowRecord {
+            key: FlowKey::new(
+                plan.customer_addr(src, 0, 0x100 + salt),
+                plan.customer_addr(dst, 0, 0x200 + salt),
+                (2048 + salt % 1000) as u16,
+                80,
+                Protocol::Tcp,
+            ),
+            router: src,
+            interface: 0,
+            window_start: ts,
+            packets: 2 + salt as u64 % 5,
+            bytes: 100 + salt as u64 * 7,
+        }
+    }
+
+    /// A mixed stream: resolvable, unresolvable, transit, and deliberately
+    /// out-of-window records.
+    fn mixed_stream(plan: &AddressPlan, num_bins: usize) -> Vec<FlowRecord> {
+        let window_end = num_bins as u64 * 300;
+        let mut out = Vec::new();
+        for i in 0..600u32 {
+            let ts = (i as u64 * 97) % window_end;
+            out.push(record(plan, (i % 11) as usize, ((i + 3) % 11) as usize, ts, i));
+        }
+        // Unresolvable destinations still count toward resolution stats.
+        for i in 0..40u32 {
+            let mut r = record(plan, (i % 11) as usize, 0, (i as u64 * 53) % window_end, i);
+            r.key = FlowKey::new(
+                plan.customer_addr((i % 11) as usize, 0, i),
+                plan.unannounced_addr((i % 11) as usize, i),
+                4000,
+                80,
+                Protocol::Tcp,
+            );
+            out.push(r);
+        }
+        // Transit records (backbone interface) are skipped, not failed.
+        for i in 0..25u32 {
+            let mut r = record(plan, (i % 11) as usize, ((i + 5) % 11) as usize, 600, i);
+            r.interface = 100;
+            out.push(r);
+        }
+        // Deliberate out-of-window records on both edges.
+        for i in 0..17u32 {
+            out.push(record(plan, 1, 6, window_end + 10_000 + i as u64 * 60, i));
+        }
+        out.push(record(plan, 2, 7, window_end + 1, 999));
+        out
+    }
+
+    #[test]
+    fn shard_accounting_sums_to_serial_pipeline() {
+        // Satellite: dropped_out_of_window, resolution stats, and sampler
+        // counters must sum exactly across shards to the serial pipeline's
+        // values, on a stream with deliberate out-of-window records.
+        let num_bins = 13; // not a multiple of the shard grain
+        let (_, plan, engine, mut serial) = setup(num_bins);
+        let stream = mixed_stream(&plan, num_bins);
+
+        for r in &stream {
+            serial.push_sampled_record(*r).unwrap();
+        }
+        let serial_dropped = serial.dropped_out_of_window();
+        let serial_sampler = serial.sampler_counters();
+        let (serial_set, serial_stats) = serial.finalize().unwrap();
+
+        // Fill shards by hand so per-shard accounting is visible.
+        let mut shards: Vec<BinShard> = (0..engine.num_shards())
+            .map(|i| engine.make_shard(engine.shard_range(i)).unwrap())
+            .collect();
+        for r in &stream {
+            let idx = engine.shard_for_ts(r.window_start);
+            shards[idx].push_sampled_record(*r).unwrap();
+        }
+
+        let sum_dropped: u64 = shards.iter().map(|s| s.dropped_out_of_window()).sum();
+        let mut sum_stats = ResolutionStats::default();
+        for s in &shards {
+            sum_stats.merge(&s.resolution_stats());
+        }
+        assert_eq!(sum_dropped, serial_dropped, "dropped records must sum across shards");
+        assert!(sum_dropped >= 18, "the stream carries deliberate out-of-window records");
+        assert_eq!(sum_stats, serial_stats, "resolution stats must sum across shards");
+        // The record path never consults the packet sampler; the refactored
+        // serial pipeline must preserve that.
+        assert_eq!(serial_sampler, (0, 0));
+
+        let merged = engine.merge(shards).unwrap();
+        assert_eq!(merged.dropped_out_of_window, serial_dropped);
+        assert_eq!(merged.stats, serial_stats);
+        assert_eq!(merged.matrices.bytes.data.as_slice(), serial_set.bytes.data.as_slice());
+        assert_eq!(merged.matrices.packets.data.as_slice(), serial_set.packets.data.as_slice());
+        assert_eq!(merged.matrices.flows.data.as_slice(), serial_set.flows.data.as_slice());
+    }
+
+    #[test]
+    fn ingest_records_matches_serial_for_any_thread_count() {
+        let num_bins = 9;
+        let (_, plan, engine, mut serial) = setup(num_bins);
+        let stream = mixed_stream(&plan, num_bins);
+        for r in &stream {
+            serial.push_sampled_record(*r).unwrap();
+        }
+        let (serial_set, serial_stats) = serial.finalize().unwrap();
+        for &threads in &[1usize, 4, 64] {
+            let merged =
+                odflow_par::with_thread_limit(threads, || engine.ingest_records(&stream).unwrap());
+            assert_eq!(merged.stats, serial_stats, "threads={threads}");
+            assert_eq!(
+                merged.matrices.bytes.data.as_slice(),
+                serial_set.bytes.data.as_slice(),
+                "threads={threads}"
+            );
+            assert_eq!(merged.matrices.flows.data.as_slice(), serial_set.flows.data.as_slice());
+        }
+    }
+
+    #[test]
+    fn misrouted_in_window_record_is_an_error() {
+        let (_, plan, engine, _) = setup(12);
+        // Shard 0 owns bins 0..4; a bin-10 record is a routing bug.
+        let mut shard = engine.make_shard(engine.shard_range(0)).unwrap();
+        let r = record(&plan, 0, 5, 10 * 300, 1);
+        assert!(matches!(shard.push_sampled_record(r), Err(FlowError::TimestampOutOfRange { .. })));
+        assert_eq!(shard.dropped_out_of_window(), 0, "misroutes must not count as drops");
+    }
+
+    #[test]
+    fn merge_rejects_gaps_and_empty_ingest() {
+        let (_, _, engine, _) = setup(12);
+        // Missing middle shard -> gap.
+        let shards = vec![
+            engine.make_shard(engine.shard_range(0)).unwrap(),
+            engine.make_shard(engine.shard_range(2)).unwrap(),
+        ];
+        assert!(engine.merge(shards).is_err());
+        // Complete but empty cover -> NoData, as in the serial pipeline.
+        let empty: Vec<BinShard> = (0..engine.num_shards())
+            .map(|i| engine.make_shard(engine.shard_range(i)).unwrap())
+            .collect();
+        assert!(matches!(engine.merge(empty), Err(FlowError::NoData)));
+    }
+
+    #[test]
+    fn shard_grain_does_not_change_results() {
+        let num_bins = 11;
+        let (t, plan, _, _) = setup(num_bins);
+        let stream = mixed_stream(&plan, num_bins);
+        let routes = plan.build_route_table(1.0).unwrap();
+        let ingress = IngressResolver::synthetic(&t);
+        let cfg = PipelineConfig::abilene(0, num_bins);
+        let mut reference: Option<IngestOutcome> = None;
+        for &grain in &[1usize, 3, 5, 64] {
+            let engine = ShardedIngest::new(cfg, &t, ingress.clone(), routes.clone())
+                .unwrap()
+                .with_shard_bins(grain);
+            let merged = engine.ingest_records(&stream).unwrap();
+            if let Some(prev) = &reference {
+                assert_eq!(merged.stats, prev.stats, "grain={grain}");
+                assert_eq!(
+                    merged.matrices.bytes.data.as_slice(),
+                    prev.matrices.bytes.data.as_slice(),
+                    "grain={grain}"
+                );
+                assert_eq!(merged.dropped_out_of_window, prev.dropped_out_of_window);
+            } else {
+                reference = Some(merged);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_construction_rejected() {
+        let t = Topology::abilene();
+        let plan = AddressPlan::synthetic(&t);
+        let routes = plan.build_route_table(1.0).unwrap();
+        let ingress = IngressResolver::synthetic(&t);
+        let mut cfg = PipelineConfig::abilene(0, 0);
+        assert!(ShardedIngest::new(cfg, &t, ingress.clone(), routes.clone()).is_err());
+        cfg = PipelineConfig::abilene(0, 4);
+        cfg.bin_secs = 0;
+        assert!(ShardedIngest::new(cfg, &t, ingress.clone(), routes.clone()).is_err());
+        cfg = PipelineConfig::abilene(0, 4);
+        let engine = ShardedIngest::new(cfg, &t, ingress, routes).unwrap();
+        assert!(engine.make_shard(2..2).is_err());
+        assert!(engine.make_shard(2..9).is_err());
+    }
+}

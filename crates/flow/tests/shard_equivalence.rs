@@ -1,0 +1,198 @@
+//! Sharded/serial ingest equivalence.
+//!
+//! The sharded ingest engine must reproduce the serial
+//! `MeasurementPipeline` **bitwise** — `TrafficMatrixSet` cell-for-cell,
+//! resolution statistics and drop counters exactly — for any
+//! `ODFLOW_THREADS` (pinned here via `with_thread_limit` at 1 / typical /
+//! oversubscribed, mirroring the `par_equivalence` suites in
+//! `crates/linalg` and `crates/subspace`) and for any shard grain.
+
+use odflow_flow::{
+    FlowKey, FlowRecord, MeasurementPipeline, PipelineConfig, Protocol, ResolutionStats,
+    ShardedIngest, TrafficMatrixSet,
+};
+use odflow_net::{AddressPlan, IngressResolver, Topology};
+use odflow_par::with_thread_limit;
+use proptest::prelude::*;
+
+/// A compact record spec the strategy shrinks well on: everything needed
+/// to build one `FlowRecord` over the synthetic Abilene plan.
+#[derive(Debug, Clone)]
+struct RecSpec {
+    src_pop: usize,
+    dst_pop: usize,
+    /// 0 = resolvable customer dst, 1 = unannounced dst, 2 = transit iface.
+    flavor: u8,
+    /// Timestamp as a fraction of an *extended* window: values past 1.0
+    /// land records beyond the observation window (counted drops).
+    ts_frac: f64,
+    salt: u32,
+    packets: u64,
+    bytes: u64,
+}
+
+fn spec_strategy() -> impl Strategy<Value = RecSpec> {
+    (0usize..11, 0usize..11, 0u8..=2, 0.0f64..1.25, 0u32..5000, 1u64..40, 40u64..60_000).prop_map(
+        |(src_pop, dst_pop, flavor, ts_frac, salt, packets, bytes)| RecSpec {
+            src_pop,
+            dst_pop,
+            flavor,
+            ts_frac,
+            salt,
+            packets,
+            bytes,
+        },
+    )
+}
+
+fn build_record(plan: &AddressPlan, spec: &RecSpec, window_secs: u64) -> FlowRecord {
+    let dst = match spec.flavor {
+        1 => plan.unannounced_addr(spec.dst_pop, spec.salt),
+        _ => plan.customer_addr(spec.dst_pop, (spec.salt % 4) as usize, spec.salt),
+    };
+    FlowRecord {
+        key: FlowKey::new(
+            plan.customer_addr(spec.src_pop, 0, 0x9000 + spec.salt),
+            dst,
+            (1024 + spec.salt % 10_000) as u16,
+            if spec.salt.is_multiple_of(3) { 80 } else { 443 },
+            Protocol::Tcp,
+        ),
+        router: spec.src_pop,
+        interface: if spec.flavor == 2 { 100 } else { 0 },
+        // Minute-aligned, possibly past the window end (ts_frac > 1.0).
+        window_start: ((spec.ts_frac * window_secs as f64) as u64) / 60 * 60,
+        packets: spec.packets,
+        bytes: spec.bytes,
+    }
+}
+
+fn run_serial(
+    cfg: PipelineConfig,
+    t: &Topology,
+    plan: &AddressPlan,
+    records: &[FlowRecord],
+) -> (TrafficMatrixSet, ResolutionStats, u64, (u64, u64)) {
+    let routes = plan.build_route_table(1.0).unwrap();
+    let ingress = IngressResolver::synthetic(t);
+    let mut pipe = MeasurementPipeline::new(cfg, t, ingress, routes).unwrap();
+    for r in records {
+        pipe.push_sampled_record(*r).unwrap();
+    }
+    let dropped = pipe.dropped_out_of_window();
+    let sampler = pipe.sampler_counters();
+    let (set, stats) = pipe.finalize().unwrap();
+    (set, stats, dropped, sampler)
+}
+
+fn assert_bitwise_equal(a: &TrafficMatrixSet, b: &TrafficMatrixSet) {
+    assert_eq!(a.bytes.data.as_slice(), b.bytes.data.as_slice(), "bytes view diverged");
+    assert_eq!(a.packets.data.as_slice(), b.packets.data.as_slice(), "packets view diverged");
+    assert_eq!(a.flows.data.as_slice(), b.flows.data.as_slice(), "flows view diverged");
+    assert_eq!(a.bytes.start_secs, b.bytes.start_secs);
+    assert_eq!(a.bytes.bin_secs, b.bytes.bin_secs);
+}
+
+#[test]
+fn sharded_ingest_equivalence_fixed_stream() {
+    let t = Topology::abilene();
+    let plan = AddressPlan::synthetic(&t);
+    let num_bins = 29;
+    let cfg = PipelineConfig::abilene(0, num_bins);
+    let window_secs = num_bins as u64 * 300;
+    let records: Vec<FlowRecord> = (0..4000u32)
+        .map(|i| {
+            let spec = RecSpec {
+                src_pop: (i % 11) as usize,
+                dst_pop: ((i / 7) % 11) as usize,
+                flavor: (i % 17 == 0) as u8 + 2 * u8::from(i % 23 == 0),
+                ts_frac: (i % 1000) as f64 / 950.0, // some past the window
+                salt: i,
+                packets: 1 + (i % 9) as u64,
+                bytes: 40 + (i * 13 % 9000) as u64,
+            };
+            build_record(&plan, &spec, window_secs)
+        })
+        .collect();
+    let (set, stats, dropped, sampler) = run_serial(cfg, &t, &plan, &records);
+    assert!(dropped > 0, "fixture must exercise the out-of-window path");
+    assert_eq!(sampler, (0, 0), "the record path never consults the sampler");
+
+    let routes = plan.build_route_table(1.0).unwrap();
+    let ingress = IngressResolver::synthetic(&t);
+    for &threads in &[1usize, 4, num_bins + 20] {
+        let engine = ShardedIngest::new(cfg, &t, ingress.clone(), routes.clone())
+            .unwrap()
+            .with_shard_bins(4);
+        let outcome = with_thread_limit(threads, || engine.ingest_records(&records).unwrap());
+        assert_eq!(outcome.stats, stats, "threads={threads}");
+        assert_eq!(outcome.dropped_out_of_window, dropped, "threads={threads}");
+        assert_bitwise_equal(&outcome.matrices, &set);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn sharded_ingest_equivalence_randomized(
+        specs in proptest::collection::vec(spec_strategy(), 50..400),
+        num_bins in 3usize..40,
+        shard_bins in 1usize..12,
+        threads in 2usize..24,
+        start_secs in 0u64..100_000,
+    ) {
+        let t = Topology::abilene();
+        let plan = AddressPlan::synthetic(&t);
+        let mut cfg = PipelineConfig::abilene(start_secs / 300 * 300, num_bins);
+        cfg.anonymize = num_bins % 2 == 0; // exercise both resolver modes
+        let window_secs = num_bins as u64 * 300;
+        let records: Vec<FlowRecord> = specs
+            .iter()
+            .map(|s| {
+                let mut r = build_record(&plan, s, window_secs);
+                r.window_start += cfg.start_secs;
+                r
+            })
+            .collect();
+
+        // The serial pipeline may legitimately see zero accepted records
+        // (all unresolvable/out-of-window); both paths must agree then too.
+        let routes = plan.build_route_table(1.0).unwrap();
+        let ingress = IngressResolver::synthetic(&t);
+        let mut pipe =
+            MeasurementPipeline::new(cfg, &t, ingress.clone(), routes.clone()).unwrap();
+        for r in &records {
+            pipe.push_sampled_record(*r).unwrap();
+        }
+        let dropped = pipe.dropped_out_of_window();
+        let serial = pipe.finalize();
+
+        let engine = ShardedIngest::new(cfg, &t, ingress, routes)
+            .unwrap()
+            .with_shard_bins(shard_bins);
+        for &limit in &[1usize, threads, num_bins + 31] {
+            let outcome = with_thread_limit(limit, || engine.ingest_records(&records));
+            match (&serial, outcome) {
+                (Ok((set, stats)), Ok(merged)) => {
+                    prop_assert_eq!(&merged.stats, stats);
+                    prop_assert_eq!(merged.dropped_out_of_window, dropped);
+                    prop_assert_eq!(
+                        merged.matrices.bytes.data.as_slice(),
+                        set.bytes.data.as_slice()
+                    );
+                    prop_assert_eq!(
+                        merged.matrices.packets.data.as_slice(),
+                        set.packets.data.as_slice()
+                    );
+                    prop_assert_eq!(
+                        merged.matrices.flows.data.as_slice(),
+                        set.flows.data.as_slice()
+                    );
+                }
+                (Err(se), Err(pe)) => prop_assert_eq!(se.clone(), pe),
+                (s, p) => prop_assert!(false, "serial {:?} vs sharded {:?} diverged", s, p),
+            }
+        }
+    }
+}

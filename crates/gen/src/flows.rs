@@ -152,10 +152,41 @@ pub fn synthesize_cell(
     bin_secs: u64,
     rng: &mut impl Rng,
 ) -> Vec<FlowRecord> {
+    let mut records = Vec::new();
+    synthesize_cell_into(
+        params,
+        plan,
+        origin,
+        destination,
+        mean_flows,
+        bin_start,
+        bin_secs,
+        rng,
+        &mut |r| records.push(r),
+    );
+    records
+}
+
+/// Streaming variant of [`synthesize_cell`]: emits each record through
+/// `sink` instead of materializing a vector. The fused generate→bin path
+/// renders whole bins straight into ingest shards this way, so a scenario
+/// run never allocates per-cell record buffers. Draws the exact same RNG
+/// sequence as [`synthesize_cell`] — the two are bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn synthesize_cell_into(
+    params: &BaselineParams,
+    plan: &AddressPlan,
+    origin: PopId,
+    destination: PopId,
+    mean_flows: f64,
+    bin_start: u64,
+    bin_secs: u64,
+    rng: &mut impl Rng,
+    sink: &mut impl FnMut(FlowRecord),
+) {
     let noisy_mean = mean_flows * lognormal_noise(params.noise_sigma, rng);
     let count = poisson(noisy_mean, rng);
     let minutes = (bin_secs / 60).max(1);
-    let mut records = Vec::with_capacity(count as usize);
     for _ in 0..count {
         let src_ip = plan.customer_addr(
             origin,
@@ -195,7 +226,7 @@ pub fn synthesize_cell(
             draw_dst_port(rng),
             protocol,
         );
-        records.push(FlowRecord {
+        sink(FlowRecord {
             key,
             router: origin,
             interface: 0,
@@ -204,7 +235,6 @@ pub fn synthesize_cell(
             bytes,
         });
     }
-    records
 }
 
 #[cfg(test)]

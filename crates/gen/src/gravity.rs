@@ -17,6 +17,10 @@ pub struct GravityModel {
     /// Total network demand to distribute (mean observed flows per bin,
     /// summed over all OD pairs).
     total_demand: f64,
+    /// `Σw`, cached at construction — [`Self::od_mean`] sits on the
+    /// per-cell hot path of trace rendering, and re-summing hundreds of
+    /// weights per cell would dominate large-mesh generation.
+    weight_sum: f64,
 }
 
 impl GravityModel {
@@ -39,7 +43,8 @@ impl GravityModel {
         if !(total_demand > 0.0 && total_demand.is_finite()) {
             return Err(GenError::InvalidParameter { what: "total_demand", value: total_demand });
         }
-        Ok(GravityModel { weights, total_demand })
+        let weight_sum = weights.iter().sum();
+        Ok(GravityModel { weights, total_demand, weight_sum })
     }
 
     /// Weights resembling the 2003 Abilene PoP sizes (alphabetical PoP
@@ -68,7 +73,7 @@ impl GravityModel {
     /// Mean demand for the `(origin, destination)` pair; the fraction
     /// `w_o w_d / (Σw)²` of total demand.
     pub fn od_mean(&self, origin: usize, destination: usize) -> f64 {
-        let sum: f64 = self.weights.iter().sum();
+        let sum = self.weight_sum;
         self.total_demand * self.weights[origin] * self.weights[destination] / (sum * sum)
     }
 

@@ -42,4 +42,4 @@ pub use faults::{FaultConfig, FaultInjector, FaultStats};
 pub use flows::{draw_dst_port, draw_packet_bytes, synthesize_cell, BaselineParams};
 pub use gravity::GravityModel;
 pub use rng::{cell_rng, lognormal_noise, poisson, Stream};
-pub use scenario::{Scenario, ScenarioConfig, TraceGenerator, BINS_PER_WEEK};
+pub use scenario::{Scenario, ScenarioConfig, TraceGenerator, BINS_PER_WEEK, LARGE_MESH_POPS};

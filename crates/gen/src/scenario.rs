@@ -15,7 +15,7 @@
 use crate::anomaly::{AnomalyKind, InjectedAnomaly, ScanMode};
 use crate::diurnal::{DiurnalModel, ABILENE_TZ_OFFSET_HOURS};
 use crate::error::{GenError, Result};
-use crate::flows::{synthesize_cell, BaselineParams};
+use crate::flows::{synthesize_cell_into, BaselineParams};
 use crate::gravity::GravityModel;
 use crate::rng::{cell_rng, Stream};
 use odflow_flow::FlowRecord;
@@ -65,6 +65,27 @@ impl Default for ScenarioConfig {
     }
 }
 
+impl ScenarioConfig {
+    /// Configuration for the large-mesh workload
+    /// ([`Scenario::large_mesh`]): one day of 5-minute bins over
+    /// [`LARGE_MESH_POPS`]² ≈ 90k OD pairs. Total demand keeps the *mean*
+    /// per-cell flow count sparse (~0.5), as real hundreds-of-PoP meshes
+    /// are — the network-wide record volume per bin is still ~9x the
+    /// Abilene default, which is what stresses the sharded ingest engine.
+    pub fn large_mesh() -> ScenarioConfig {
+        ScenarioConfig {
+            seed: 0x01A4_6EAB,
+            num_bins: 288,
+            total_demand: 45_000.0,
+            ..Default::default()
+        }
+    }
+}
+
+/// Number of PoPs in the synthetic large-mesh workload (`p = 90_000` OD
+/// pairs — the "bigger than Abilene" regime the sharded ingest targets).
+pub const LARGE_MESH_POPS: usize = 300;
+
 /// A fully specified synthetic trace.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -74,6 +95,9 @@ pub struct Scenario {
     pub topology: Topology,
     /// The address plan (defines endpoint addresses and resolvability).
     pub plan: AddressPlan,
+    /// Per-PoP gravity weights splitting `total_demand` across OD pairs
+    /// (length = `topology.num_pops()`).
+    pub gravity_weights: Vec<f64>,
     /// The anomaly schedule with ground-truth labels.
     pub schedule: Vec<InjectedAnomaly>,
 }
@@ -89,13 +113,40 @@ impl Scenario {
     ///   PoPs outside the scenario, or has no OD pairs.
     /// * Parameter validation errors from the baseline/diurnal models.
     pub fn new(config: ScenarioConfig, schedule: Vec<InjectedAnomaly>) -> Result<Scenario> {
+        let topology = Topology::abilene();
+        let plan = AddressPlan::synthetic(&topology);
+        Scenario::with_network(config, topology, plan, GravityModel::abilene_weights(), schedule)
+    }
+
+    /// Builds a scenario over an arbitrary topology / address plan /
+    /// gravity-weight triple — the constructor behind both the Abilene
+    /// default and the large-mesh workload.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Scenario::new`], plus
+    /// [`GenError::InvalidParameter`] when the weight vector's length does
+    /// not match the topology.
+    pub fn with_network(
+        config: ScenarioConfig,
+        topology: Topology,
+        plan: AddressPlan,
+        gravity_weights: Vec<f64>,
+        schedule: Vec<InjectedAnomaly>,
+    ) -> Result<Scenario> {
         if config.num_bins == 0 {
             return Err(GenError::EmptyScenario);
         }
         config.baseline.validate()?;
         config.diurnal.validate()?;
-        let topology = Topology::abilene();
-        let plan = AddressPlan::synthetic(&topology);
+        if gravity_weights.len() != topology.num_pops() {
+            return Err(GenError::InvalidParameter {
+                what: "gravity weights (length != num_pops)",
+                value: gravity_weights.len() as f64,
+            });
+        }
+        // Validates weight positivity up front so `generator()` can't panic.
+        GravityModel::new(gravity_weights.clone(), config.total_demand)?;
         let n = topology.num_pops();
         for a in &schedule {
             if a.od_pairs.is_empty() {
@@ -126,7 +177,7 @@ impl Scenario {
                 }
             }
         }
-        Ok(Scenario { config, topology, plan, schedule })
+        Ok(Scenario { config, topology, plan, gravity_weights, schedule })
     }
 
     /// One week calibrated to the paper's Table 3 anomaly mix. `week`
@@ -135,7 +186,7 @@ impl Scenario {
     pub fn paper_week(seed: u64, week: u64) -> Result<Scenario> {
         let config =
             ScenarioConfig { seed: seed ^ (week.wrapping_mul(0x9E37_79B9)), ..Default::default() };
-        let schedule = paper_schedule(config.seed, config.num_bins, week);
+        let schedule = schedule_for(config.seed, config.num_bins, week, 11, 1);
         Scenario::new(config, schedule)
     }
 
@@ -144,14 +195,54 @@ impl Scenario {
         (0..4).map(|w| Scenario::paper_week(seed, w)).collect()
     }
 
+    /// The synthetic large-mesh workload: [`LARGE_MESH_POPS`] PoPs
+    /// (ring+chord backbone, /21 address plan), heterogeneous gravity
+    /// weights, and a 3x-scaled Table 3 anomaly mix spread across the
+    /// mesh. The window comes from [`ScenarioConfig::large_mesh`] with the
+    /// given seed.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Scenario::with_network`].
+    pub fn large_mesh(seed: u64) -> Result<Scenario> {
+        Scenario::large_mesh_with(ScenarioConfig { seed, ..ScenarioConfig::large_mesh() })
+    }
+
+    /// [`Scenario::large_mesh`] with an explicit configuration (the perf
+    /// harness shrinks the window for quick CI runs).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Scenario::with_network`].
+    pub fn large_mesh_with(config: ScenarioConfig) -> Result<Scenario> {
+        let topology = Topology::synthetic_mesh(LARGE_MESH_POPS).expect("mesh topology is valid");
+        let plan = AddressPlan::synthetic_large(&topology);
+        let weights = mesh_gravity_weights(LARGE_MESH_POPS);
+        let schedule = schedule_for(config.seed, config.num_bins, 0, LARGE_MESH_POPS, 3);
+        Scenario::with_network(config, topology, plan, weights, schedule)
+    }
+
     /// Builds the generator for this scenario.
     pub fn generator(&self) -> TraceGenerator<'_> {
         TraceGenerator {
             scenario: self,
-            gravity: GravityModel::new(GravityModel::abilene_weights(), self.config.total_demand)
-                .expect("abilene gravity weights are valid"),
+            gravity: GravityModel::new(self.gravity_weights.clone(), self.config.total_demand)
+                .expect("weights validated at scenario construction"),
         }
     }
+}
+
+/// Deterministic heterogeneous gravity weights for the synthetic mesh: a
+/// hash-spread in `[0.35, 2.15)`, giving a few heavy hubs and a long tail
+/// of small PoPs, as in real backbones.
+fn mesh_gravity_weights(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64 ^ 0x5EED).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+            0.35 + 1.8 * frac
+        })
+        .collect()
 }
 
 /// Renders a [`Scenario`] bin by bin.
@@ -187,8 +278,23 @@ impl<'a> TraceGenerator<'a> {
 
     /// The effective mean after OUTAGE / INGRESS-SHIFT modifiers.
     pub fn effective_mean(&self, bin: usize, origin: PopId, destination: PopId) -> f64 {
+        self.perturbed_mean(bin, origin, destination, self.scenario.schedule.iter())
+    }
+
+    /// Folds anomaly modifiers over the baseline mean. The one
+    /// implementation behind both [`effective_mean`](Self::effective_mean)
+    /// (full schedule) and the rendering hot path (per-bin active subset —
+    /// bit-identical, since inactive modifiers multiply by exactly 1.0 and
+    /// add exactly 0.0).
+    fn perturbed_mean<'b>(
+        &self,
+        bin: usize,
+        origin: PopId,
+        destination: PopId,
+        anomalies: impl Iterator<Item = &'b InjectedAnomaly>,
+    ) -> f64 {
         let mut mean = self.base_mean(bin, origin, destination);
-        for a in &self.scenario.schedule {
+        for a in anomalies {
             mean *= a.baseline_factor(bin, origin, destination);
             mean += a.shifted_in_mean(bin, origin, destination, |o, d| self.base_mean(bin, o, d));
         }
@@ -199,16 +305,31 @@ impl<'a> TraceGenerator<'a> {
     /// cell plus every active anomaly's injected records. Deterministic in
     /// `(scenario seed, bin)`.
     pub fn records_for_bin(&self, bin: usize) -> Vec<FlowRecord> {
+        let mut out = Vec::new();
+        self.records_for_bin_into(bin, &mut |r| out.push(r));
+        out
+    }
+
+    /// Streaming variant of [`records_for_bin`](Self::records_for_bin):
+    /// emits every record of the bin through `sink`, in the exact order
+    /// [`records_for_bin`](Self::records_for_bin) would list them, without
+    /// materializing the bin. The fused generate→bin path renders whole
+    /// shards of bins straight into the ingest engine this way.
+    pub fn records_for_bin_into(&self, bin: usize, sink: &mut impl FnMut(FlowRecord)) {
         let cfg = &self.scenario.config;
         let n = self.scenario.topology.num_pops();
         let bin_start = self.bin_start(bin);
-        let mut out = Vec::new();
+        // Only anomalies active in this bin can perturb a mean, so the
+        // prefilter skips the O(|schedule|) scan per cell without changing
+        // a bit of the result (see `perturbed_mean`).
+        let active: Vec<&InjectedAnomaly> =
+            self.scenario.schedule.iter().filter(|a| a.active_in(bin)).collect();
         for origin in 0..n {
             for destination in 0..n {
                 let od = origin * n + destination;
-                let mean = self.effective_mean(bin, origin, destination);
+                let mean = self.perturbed_mean(bin, origin, destination, active.iter().copied());
                 let mut rng = cell_rng(cfg.seed, bin as u64, od as u64, Stream::Baseline);
-                out.extend(synthesize_cell(
+                synthesize_cell_into(
                     &cfg.baseline,
                     &self.scenario.plan,
                     origin,
@@ -217,13 +338,15 @@ impl<'a> TraceGenerator<'a> {
                     bin_start,
                     cfg.bin_secs,
                     &mut rng,
-                ));
+                    sink,
+                );
             }
         }
-        for a in &self.scenario.schedule {
-            out.extend(a.synthesize(cfg.seed, bin, bin_start, cfg.bin_secs, &self.scenario.plan));
+        for a in &active {
+            for r in a.synthesize(cfg.seed, bin, bin_start, cfg.bin_secs, &self.scenario.plan) {
+                sink(r);
+            }
         }
-        out
     }
 
     /// Renders a contiguous range of bins, fanning the per-bin work across
@@ -235,6 +358,10 @@ impl<'a> TraceGenerator<'a> {
     /// `(scenario seed, bin)`, so the output is identical for any thread
     /// count — this is what makes week-scale (2016-bin) materialization
     /// scale with cores without giving up reproducibility.
+    ///
+    /// Prefer [`bin_scenario`](Self::bin_scenario) when the records are
+    /// destined for OD matrices: it skips this method's per-bin vectors
+    /// entirely.
     pub fn records_for_bins(&self, bins: std::ops::Range<usize>) -> Vec<Vec<FlowRecord>> {
         let lo = bins.start;
         let count = bins.len();
@@ -246,6 +373,87 @@ impl<'a> TraceGenerator<'a> {
         .into_iter()
         .flatten()
         .collect()
+    }
+
+    /// The fused generate→bin path: renders every bin of the scenario
+    /// **directly into** a sharded ingest engine and merges, producing the
+    /// OD traffic matrices without ever materializing a record batch.
+    ///
+    /// Each [`BinShard`](odflow_flow::BinShard) owns a contiguous bin
+    /// range; the pool renders shard ranges concurrently, and since a
+    /// bin's records never leave its shard, the merged result is
+    /// bit-identical to pushing [`records_for_bin`](Self::records_for_bin)
+    /// output through the serial [`odflow_flow::MeasurementPipeline`] —
+    /// for any `ODFLOW_THREADS`.
+    ///
+    /// `config` must share the scenario's bin grid (same `start_secs` and
+    /// `bin_secs` — bin-range shard routing relies on scenario bin `b`
+    /// being engine bin `b`); its `num_bins` may differ freely. A shorter
+    /// engine window counts the scenario's trailing bins as out-of-window
+    /// drops, a longer one leaves the extra bins empty — exactly as the
+    /// serial pipeline treats them.
+    ///
+    /// # Errors
+    ///
+    /// * [`odflow_flow::FlowError::WindowMisaligned`] when the bin grids
+    ///   disagree.
+    /// * Propagates engine construction/merge errors from `odflow_flow`.
+    pub fn bin_scenario(
+        &self,
+        config: odflow_flow::PipelineConfig,
+        ingress: odflow_net::IngressResolver,
+        routes: odflow_net::RouteTable,
+    ) -> odflow_flow::Result<odflow_flow::IngestOutcome> {
+        let cfg = &self.scenario.config;
+        if config.start_secs != cfg.start_secs || config.bin_secs != cfg.bin_secs {
+            return Err(odflow_flow::FlowError::WindowMisaligned {
+                reason: format!(
+                    "pipeline window (start {} s, bins of {} s) vs scenario grid \
+                     (start {} s, bins of {} s)",
+                    config.start_secs, config.bin_secs, cfg.start_secs, cfg.bin_secs
+                ),
+            });
+        }
+        let engine =
+            odflow_flow::ShardedIngest::new(config, &self.scenario.topology, ingress, routes)?;
+        let num_shards = engine.num_shards();
+        let gen_bins = self.num_bins();
+        let shards = odflow_par::map_chunks(num_shards, 1, |task| {
+            let i = task.start;
+            let range = engine.shard_range(i);
+            let mut shard = engine.make_shard(range.clone())?;
+            let mut err = None;
+            let render = |bin: usize, shard: &mut odflow_flow::BinShard, err: &mut Option<_>| {
+                self.records_for_bin_into(bin, &mut |record| {
+                    if err.is_none() {
+                        if let Err(e) = shard.push_sampled_record(record) {
+                            *err = Some(e);
+                        }
+                    }
+                });
+            };
+            for bin in range.start..range.end.min(gen_bins) {
+                render(bin, &mut shard, &mut err);
+                if let Some(e) = err.take() {
+                    return Err(e);
+                }
+            }
+            // Scenario bins beyond the engine window (if any) still reach
+            // the pipeline in the serial path — as counted drops. The last
+            // shard absorbs them so the accounting matches exactly.
+            if i + 1 == num_shards {
+                for bin in engine.num_bins()..gen_bins {
+                    render(bin, &mut shard, &mut err);
+                    if let Some(e) = err.take() {
+                        return Err(e);
+                    }
+                }
+            }
+            Ok(shard)
+        })
+        .into_iter()
+        .collect::<odflow_flow::Result<Vec<_>>>()?;
+        engine.merge(shards)
     }
 
     /// Renders only the records an anomaly contributes to a bin (for
@@ -265,23 +473,44 @@ impl<'a> TraceGenerator<'a> {
     }
 }
 
-/// Builds one week's anomaly schedule with the paper's Table 3 mix.
+/// Builds an anomaly schedule with the paper's Table 3 mix, generalized
+/// over the PoP count and an overall intensity `scale`.
 ///
-/// Per week (approximating 4-week totals of ALPHA 137, FLASH 64, SCAN 56,
+/// At `n_pops = 11, scale = 1` this is exactly the paper-week schedule
+/// (per week, approximating 4-week totals of ALPHA 137, FLASH 64, SCAN 56,
 /// DOS 44, INGRESS-SHIFT 4, OUTAGE 3, PTMP 3, WORM 2): 34 ALPHA, 16 flash
 /// crowds, 14 scans, 9 DOS + 2 DDOS, 1 ingress shift, and on rotating weeks
-/// an outage / point-multipoint / worm event.
-fn paper_schedule(seed: u64, num_bins: usize, week: u64) -> Vec<InjectedAnomaly> {
+/// an outage / point-multipoint / worm event. Larger meshes pass a larger
+/// `scale` so anomaly density grows with the OD space. Anomalies that do
+/// not fit a short window (sub-day perf profiles) are filtered out at the
+/// end rather than truncated, keeping the RNG stream — and therefore every
+/// surviving anomaly — independent of the window length.
+fn schedule_for(
+    seed: u64,
+    num_bins: usize,
+    week: u64,
+    n_pops: usize,
+    scale: usize,
+) -> Vec<InjectedAnomaly> {
     let mut rng = cell_rng(seed, week, 0, Stream::Anomaly(0x5C_4E_D0));
     let mut schedule = Vec::new();
     let mut id = week * 1000;
-    let n_pops = 11usize;
 
     // Keep anomalies clear of the first bins so detection has warm-up data,
-    // and clear of the end so durations fit.
-    let margin = 24usize;
+    // and clear of the end so durations fit. Short windows shrink the
+    // margin; placement degrades to the window edge when nothing fits —
+    // drawing unconditionally either way, so the RNG stream consumes one
+    // value per placement (the vendored `gen_range` is a single widening
+    // multiply) regardless of the window length.
+    let margin = (num_bins / 12).min(24);
     let place = |rng: &mut rand_chacha::ChaCha8Rng, duration: usize| -> usize {
-        rng.gen_range(margin..num_bins.saturating_sub(duration + margin))
+        let hi = num_bins.saturating_sub(duration + margin);
+        if hi <= margin {
+            let _ = rng.gen_range(0..num_bins.max(1));
+            margin.min(num_bins.saturating_sub(duration))
+        } else {
+            rng.gen_range(margin..hi)
+        }
     };
     let rand_pair = |rng: &mut rand_chacha::ChaCha8Rng| -> (usize, usize) {
         let o = rng.gen_range(0..n_pops);
@@ -297,7 +526,7 @@ fn paper_schedule(seed: u64, num_bins: usize, week: u64) -> Vec<InjectedAnomaly>
     // log-spread intensity makes small transfers surface in one view only
     // (B or P) while big ones appear as BP — reproducing Table 3's ALPHA
     // row (B 59, P 54, BP 19).
-    for i in 0..34 {
+    for i in 0..34 * scale {
         let duration = 1 + rng.gen_range(0..2);
         let start = place(&mut rng, duration);
         let port =
@@ -338,7 +567,7 @@ fn paper_schedule(seed: u64, num_bins: usize, week: u64) -> Vec<InjectedAnomaly>
     // 130-200 flow band sits above the F floor of ~120 but under the
     // packet floor), with a quarter big enough to cross into FP
     // (Table 3: F 50, FP 10).
-    for i in 0..16 {
+    for i in 0..16 * scale {
         let duration = 1 + rng.gen_range(0..3);
         let start = place(&mut rng, duration);
         let intensity = if i % 4 == 0 {
@@ -368,7 +597,7 @@ fn paper_schedule(seed: u64, num_bins: usize, week: u64) -> Vec<InjectedAnomaly>
     // above the flow-view noise floor but only marginally above the
     // packet-view floor, so scans surface mostly as F anomalies with an
     // occasional FP — the mixture Table 3 reports.
-    for i in 0..14 {
+    for i in 0..14 * scale {
         let duration = 1 + rng.gen_range(0..2);
         let start = place(&mut rng, duration);
         schedule.push(InjectedAnomaly {
@@ -393,7 +622,7 @@ fn paper_schedule(seed: u64, num_bins: usize, week: u64) -> Vec<InjectedAnomaly>
     // paper's Table 3 (DOS detected in F 19 and P 18 nearly evenly):
     // flow-dense floods (many spoofed 5-tuples, 1-3 packets each) spike F;
     // packet-dense floods (fewer 5-tuples, tens of packets each) spike P.
-    for i in 0..9 {
+    for i in 0..9 * scale {
         let duration = 1 + rng.gen_range(0..4);
         let start = place(&mut rng, duration);
         let port = *[0u16, 110, 113].get(rng.gen_range(0..3)).expect("static list");
@@ -421,7 +650,7 @@ fn paper_schedule(seed: u64, num_bins: usize, week: u64) -> Vec<InjectedAnomaly>
     }
 
     // DDOS: several origins, one victim.
-    for _ in 0..2 {
+    for _ in 0..2 * scale {
         let duration = 2 + rng.gen_range(0..3);
         let start = place(&mut rng, duration);
         let victim = rng.gen_range(0..n_pops);
@@ -450,7 +679,7 @@ fn paper_schedule(seed: u64, num_bins: usize, week: u64) -> Vec<InjectedAnomaly>
     }
 
     // One ingress shift per week (multihomed customer, LOSA -> SNVA style).
-    {
+    for _ in 0..scale {
         let from = rng.gen_range(0..n_pops);
         let to = (from + 1 + rng.gen_range(0..(n_pops - 1))) % n_pops;
         let duration = 6 + rng.gen_range(0..18);
@@ -475,86 +704,90 @@ fn paper_schedule(seed: u64, num_bins: usize, week: u64) -> Vec<InjectedAnomaly>
     }
 
     // Rotating rare events across weeks: outage, point-multipoint, worm.
-    match week % 4 {
-        0 | 3 => {
-            // Scheduled maintenance outage at one PoP (affects its pairs).
-            let pop = rng.gen_range(0..n_pops);
-            let duration = 12 + rng.gen_range(0..24); // 1-3 hours
-            let start = place(&mut rng, duration);
-            let mut pairs = Vec::new();
-            for other in 0..n_pops {
-                if other != pop {
-                    pairs.push((pop, other));
-                    pairs.push((other, pop));
+    for _ in 0..scale {
+        match week % 4 {
+            0 | 3 => {
+                // Scheduled maintenance outage at one PoP (affects its pairs).
+                let pop = rng.gen_range(0..n_pops);
+                let duration = 12 + rng.gen_range(0..24); // 1-3 hours
+                let start = place(&mut rng, duration);
+                let mut pairs = Vec::new();
+                for other in 0..n_pops {
+                    if other != pop {
+                        pairs.push((pop, other));
+                        pairs.push((other, pop));
+                    }
                 }
+                // A PoP outage silences every pair touching the PoP; keeping
+                // the full footprint makes the dip strong enough in all three
+                // views that the event's typeset stays stable for its whole
+                // (hours-long) duration — the paper's Figure 2 duration tail.
+                pairs.truncate(16);
+                schedule.push(InjectedAnomaly {
+                    id: {
+                        id += 1;
+                        id
+                    },
+                    kind: AnomalyKind::Outage,
+                    start_bin: start,
+                    duration_bins: duration,
+                    od_pairs: pairs,
+                    intensity: 0.0,
+                    port: 0,
+                    scan_mode: ScanMode::Network,
+                    shift_to: None,
+                    packets_per_flow: 0.0,
+                    packet_bytes: 0,
+                });
             }
-            // A PoP outage silences every pair touching the PoP; keeping
-            // the full footprint makes the dip strong enough in all three
-            // views that the event's typeset stays stable for its whole
-            // (hours-long) duration — the paper's Figure 2 duration tail.
-            pairs.truncate(16);
-            schedule.push(InjectedAnomaly {
-                id: {
-                    id += 1;
-                    id
-                },
-                kind: AnomalyKind::Outage,
-                start_bin: start,
-                duration_bins: duration,
-                od_pairs: pairs,
-                intensity: 0.0,
-                port: 0,
-                scan_mode: ScanMode::Network,
-                shift_to: None,
-                packets_per_flow: 0.0,
-                packet_bytes: 0,
-            });
-        }
-        1 => {
-            // News server broadcast (nntp 119).
-            let duration = 2 + rng.gen_range(0..3);
-            let start = place(&mut rng, duration);
-            schedule.push(InjectedAnomaly {
-                id: {
-                    id += 1;
-                    id
-                },
-                kind: AnomalyKind::PointMultipoint,
-                start_bin: start,
-                duration_bins: duration,
-                od_pairs: vec![rand_pair(&mut rng)],
-                intensity: 7000.0,
-                port: 119,
-                scan_mode: ScanMode::Network,
-                shift_to: None,
-                packets_per_flow: 0.0,
-                packet_bytes: 0,
-            });
-        }
-        _ => {
-            // Worm remnants on 1433 (SQL-Snake) across several pairs.
-            let duration = 2 + rng.gen_range(0..4);
-            let start = place(&mut rng, duration);
-            let pairs: Vec<(usize, usize)> = (0..3).map(|_| rand_pair(&mut rng)).collect();
-            schedule.push(InjectedAnomaly {
-                id: {
-                    id += 1;
-                    id
-                },
-                kind: AnomalyKind::Worm,
-                start_bin: start,
-                duration_bins: duration,
-                od_pairs: pairs,
-                intensity: 800.0,
-                port: 1433,
-                scan_mode: ScanMode::Network,
-                shift_to: None,
-                packets_per_flow: 0.0,
-                packet_bytes: 0,
-            });
+            1 => {
+                // News server broadcast (nntp 119).
+                let duration = 2 + rng.gen_range(0..3);
+                let start = place(&mut rng, duration);
+                schedule.push(InjectedAnomaly {
+                    id: {
+                        id += 1;
+                        id
+                    },
+                    kind: AnomalyKind::PointMultipoint,
+                    start_bin: start,
+                    duration_bins: duration,
+                    od_pairs: vec![rand_pair(&mut rng)],
+                    intensity: 7000.0,
+                    port: 119,
+                    scan_mode: ScanMode::Network,
+                    shift_to: None,
+                    packets_per_flow: 0.0,
+                    packet_bytes: 0,
+                });
+            }
+            _ => {
+                // Worm remnants on 1433 (SQL-Snake) across several pairs.
+                let duration = 2 + rng.gen_range(0..4);
+                let start = place(&mut rng, duration);
+                let pairs: Vec<(usize, usize)> = (0..3).map(|_| rand_pair(&mut rng)).collect();
+                schedule.push(InjectedAnomaly {
+                    id: {
+                        id += 1;
+                        id
+                    },
+                    kind: AnomalyKind::Worm,
+                    start_bin: start,
+                    duration_bins: duration,
+                    od_pairs: pairs,
+                    intensity: 800.0,
+                    port: 1433,
+                    scan_mode: ScanMode::Network,
+                    shift_to: None,
+                    packets_per_flow: 0.0,
+                    packet_bytes: 0,
+                });
+            }
         }
     }
 
+    // Drop anomalies that cannot fit the window (short perf profiles).
+    schedule.retain(|a| a.end_bin() < num_bins);
     schedule.sort_by_key(|a| a.start_bin);
     schedule
 }
@@ -605,6 +838,128 @@ mod tests {
         let b = g.records_for_bin(17);
         assert_eq!(a, b);
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn streaming_render_matches_collected_render() {
+        let s = Scenario::paper_week(3, 0).unwrap();
+        let g = s.generator();
+        // A bin inside an anomaly window, if any starts early enough.
+        for bin in [30usize, 100, 500] {
+            let collected = g.records_for_bin(bin);
+            let mut streamed = Vec::new();
+            g.records_for_bin_into(bin, &mut |r| streamed.push(r));
+            assert_eq!(collected, streamed, "bin {bin}");
+        }
+    }
+
+    #[test]
+    fn bin_scenario_matches_serial_pipeline_for_any_thread_count() {
+        use odflow_flow::{MeasurementPipeline, PipelineConfig};
+        use odflow_net::IngressResolver;
+        let s = small_scenario(vec![]);
+        let g = s.generator();
+        let routes = s.plan.build_route_table(1.0).unwrap();
+        let ingress = IngressResolver::synthetic(&s.topology);
+        let cfg = PipelineConfig::abilene(s.config.start_secs, s.config.num_bins);
+
+        let mut serial =
+            MeasurementPipeline::new(cfg, &s.topology, ingress.clone(), routes.clone()).unwrap();
+        for bin in 0..g.num_bins() {
+            for r in g.records_for_bin(bin) {
+                serial.push_sampled_record(r).unwrap();
+            }
+        }
+        let (serial_set, serial_stats) = serial.finalize().unwrap();
+
+        for &threads in &[1usize, 4, 32] {
+            let outcome = odflow_par::with_thread_limit(threads, || {
+                g.bin_scenario(cfg, ingress.clone(), routes.clone()).unwrap()
+            });
+            assert_eq!(outcome.stats, serial_stats, "threads={threads}");
+            assert_eq!(outcome.dropped_out_of_window, 0);
+            assert_eq!(
+                outcome.matrices.bytes.data.as_slice(),
+                serial_set.bytes.data.as_slice(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                outcome.matrices.packets.data.as_slice(),
+                serial_set.packets.data.as_slice()
+            );
+            assert_eq!(outcome.matrices.flows.data.as_slice(), serial_set.flows.data.as_slice());
+        }
+    }
+
+    #[test]
+    fn bin_scenario_counts_out_of_window_bins_as_drops() {
+        use odflow_flow::PipelineConfig;
+        use odflow_net::IngressResolver;
+        // Scenario renders 288 bins but the engine window only covers 280:
+        // the last 8 bins' resolvable records must be counted as drops,
+        // exactly as the serial pipeline would.
+        let s = small_scenario(vec![]);
+        let g = s.generator();
+        let routes = s.plan.build_route_table(1.0).unwrap();
+        let ingress = IngressResolver::synthetic(&s.topology);
+        let cfg = PipelineConfig::abilene(0, 280);
+        let outcome = g.bin_scenario(cfg, ingress, routes).unwrap();
+        assert_eq!(outcome.matrices.num_bins(), 280);
+        assert!(outcome.dropped_out_of_window > 0, "trailing bins must be counted");
+    }
+
+    #[test]
+    fn bin_scenario_rejects_misaligned_window() {
+        use odflow_flow::{FlowError, PipelineConfig};
+        use odflow_net::IngressResolver;
+        let s = small_scenario(vec![]);
+        let g = s.generator();
+        let routes = s.plan.build_route_table(1.0).unwrap();
+        let ingress = IngressResolver::synthetic(&s.topology);
+        // Offset start: scenario bin b is no longer engine bin b.
+        let shifted = PipelineConfig::abilene(300, s.config.num_bins);
+        assert!(matches!(
+            g.bin_scenario(shifted, ingress.clone(), routes.clone()),
+            Err(FlowError::WindowMisaligned { .. })
+        ));
+        let mut coarse = PipelineConfig::abilene(0, s.config.num_bins);
+        coarse.bin_secs = 600;
+        assert!(matches!(
+            g.bin_scenario(coarse, ingress, routes),
+            Err(FlowError::WindowMisaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn large_mesh_scenario_shape() {
+        let s = Scenario::large_mesh(9).unwrap();
+        assert_eq!(s.topology.num_pops(), LARGE_MESH_POPS);
+        assert_eq!(s.topology.num_od_pairs(), 90_000);
+        assert_eq!(s.gravity_weights.len(), LARGE_MESH_POPS);
+        assert_eq!(s.config.num_bins, 288);
+        // 3x-scaled mix: 102 ALPHA etc., all inside the window and mesh.
+        let count = |k: AnomalyKind| s.schedule.iter().filter(|a| a.kind == k).count();
+        assert_eq!(count(AnomalyKind::Alpha), 102);
+        assert_eq!(count(AnomalyKind::IngressShift), 3);
+        for a in &s.schedule {
+            assert!(a.end_bin() < s.config.num_bins);
+            for &(o, d) in &a.od_pairs {
+                assert!(o < LARGE_MESH_POPS && d < LARGE_MESH_POPS);
+            }
+        }
+        // The gravity split remains a proper distribution at mesh scale.
+        let g = s.generator();
+        assert!(g.base_mean(0, 0, 1) > 0.0);
+    }
+
+    #[test]
+    fn large_mesh_short_window_filters_unfit_anomalies() {
+        let cfg = ScenarioConfig { num_bins: 24, ..ScenarioConfig::large_mesh() };
+        let s = Scenario::large_mesh_with(cfg).unwrap();
+        assert_eq!(s.config.num_bins, 24);
+        for a in &s.schedule {
+            assert!(a.end_bin() < 24);
+        }
     }
 
     #[test]

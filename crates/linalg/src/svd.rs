@@ -75,6 +75,22 @@ fn scale_cols(m: &Matrix, s: &[f64]) -> Matrix {
 /// Computes the thin SVD of `x`, dropping singular values below
 /// `rel_cutoff * σ_max` (pass `0.0` to keep all `min(n, p)` triplets).
 ///
+/// The `U = X V Σ⁻¹` column assembly fans out over the [`odflow_par`]
+/// pool; each column is extracted, rescaled, and re-normalized by exactly
+/// the serial arithmetic, so parallelism is fully transparent — same API,
+/// and bit-identical results for every thread count:
+///
+/// ```
+/// use odflow_linalg::{thin_svd, Matrix};
+///
+/// let x = Matrix::from_fn(48, 12, |i, j| ((i * 7 + j * 13) % 23) as f64 + (i + j) as f64);
+/// let parallel = thin_svd(&x, 0.0).unwrap();
+/// let serial = odflow_par::with_thread_limit(1, || thin_svd(&x, 0.0).unwrap());
+/// assert_eq!(parallel.sigma, serial.sigma);
+/// assert_eq!(parallel.u.as_slice(), serial.u.as_slice());
+/// assert_eq!(parallel.v.as_slice(), serial.v.as_slice());
+/// ```
+///
 /// # Errors
 ///
 /// * [`LinalgError::Empty`] for matrices with zero rows or columns.
@@ -115,17 +131,27 @@ pub fn thin_svd(x: &Matrix, rel_cutoff: f64) -> Result<Svd> {
 
     let v = eig.eigenvectors.select_cols(&keep)?;
 
-    // U = X V Σ^{-1}, column by column, re-normalized for numerical hygiene.
+    // U = X V Σ^{-1}: extract/rescale/renormalize columns across the pool.
+    // Columns are independent and each runs the exact serial arithmetic,
+    // so the assembly is bit-identical for any thread count (the doctest
+    // above pins this); writing the columns back happens serially in
+    // column order.
     let xv = x.matmul(&v)?;
-    let mut u = Matrix::zeros(x.nrows(), keep.len());
-    for (jj, &s) in sigma.iter().enumerate() {
+    let rank = keep.len();
+    let mut u = Matrix::zeros(x.nrows(), rank);
+    let columns = odflow_par::map_chunks(rank, 1, |task| -> Result<Vec<f64>> {
+        let jj = task.start;
         let mut col = xv.col(jj)?;
+        let s = sigma[jj];
         if s > 1e-300 {
             vecops::scale(&mut col, 1.0 / s);
         }
         // Guard against drift for tiny singular values.
         vecops::normalize(&mut col);
-        u.set_col(jj, &col)?;
+        Ok(col)
+    });
+    for (jj, col) in columns.into_iter().enumerate() {
+        u.set_col(jj, &col?)?;
     }
 
     Ok(Svd { u, sigma, v })
@@ -215,6 +241,18 @@ mod tests {
         assert!(svd.energy_captured(0) == 0.0);
         assert!((svd.energy_captured(svd.rank()) - 1.0).abs() < 1e-12);
         assert!(svd.energy_captured(2) <= 1.0);
+    }
+
+    #[test]
+    fn u_assembly_thread_invariant() {
+        let x = data_matrix(64, 10);
+        let serial = odflow_par::with_thread_limit(1, || thin_svd(&x, 0.0).unwrap());
+        for &threads in &[2usize, 5, 16, 1000] {
+            let par = odflow_par::with_thread_limit(threads, || thin_svd(&x, 0.0).unwrap());
+            assert_eq!(par.sigma, serial.sigma, "threads={threads}");
+            assert_eq!(par.u.as_slice(), serial.u.as_slice(), "threads={threads}");
+            assert_eq!(par.v.as_slice(), serial.v.as_slice(), "threads={threads}");
+        }
     }
 
     #[test]

@@ -154,6 +154,44 @@ impl AddressPlan {
         AddressPlan { customer, peers, unannounced }
     }
 
+    /// The address plan for hundreds-of-PoP meshes
+    /// ([`crate::Topology::synthetic_mesh`]): the /16-per-block layout of
+    /// [`Self::synthetic`] runs out of `10.x/16` space past 15 PoPs, so
+    /// each PoP instead gets [`Self::BLOCKS_PER_POP`] customer **/21**
+    /// blocks carved from `10.0.0.0/8` and one unannounced /21 from
+    /// `172.16.0.0/12`. A /21 is the finest prefix the paper's 11-bit
+    /// destination anonymization preserves, so resolution still works on
+    /// anonymized records exactly as in the Abilene plan.
+    ///
+    /// Supports up to 512 PoPs (the unannounced /12 pool's /21 capacity);
+    /// no peer prefixes — mesh PoPs are all interior.
+    ///
+    /// # Panics
+    ///
+    /// If the topology has more than 512 PoPs.
+    pub fn synthetic_large(topology: &Topology) -> AddressPlan {
+        let n = topology.num_pops();
+        assert!(n <= 512, "large plan supports at most 512 PoPs (172.16/12 /21 blocks)");
+        let customer = (0..n)
+            .map(|p| {
+                (0..Self::BLOCKS_PER_POP)
+                    .map(|j| {
+                        let g = (p * Self::BLOCKS_PER_POP + j) as u32;
+                        Prefix::new(IpAddr(0x0A00_0000 | (g << 11)), 21)
+                            .expect("static prefix is valid")
+                    })
+                    .collect()
+            })
+            .collect();
+        let unannounced = (0..n)
+            .map(|p| {
+                Prefix::new(IpAddr(0xAC10_0000 | ((p as u32) << 11)), 21)
+                    .expect("static prefix is valid")
+            })
+            .collect();
+        AddressPlan { customer, peers: Vec::new(), unannounced }
+    }
+
     /// Customer prefixes of a PoP.
     pub fn customer_prefixes(&self, pop: PopId) -> &[Prefix] {
         &self.customer[pop]
@@ -178,13 +216,13 @@ impl AddressPlan {
     /// prefix with the given host suffix (wraps within the block).
     pub fn customer_addr(&self, pop: PopId, block: usize, host: u32) -> IpAddr {
         let p = self.customer[pop][block % self.customer[pop].len()];
-        IpAddr(p.network().0 | (host & 0x0000_FFFF))
+        IpAddr(p.network().0 | (host & p.host_mask()))
     }
 
     /// A representative address inside the `i`-th unannounced block.
     pub fn unannounced_addr(&self, i: usize, host: u32) -> IpAddr {
         let p = self.unannounced[i % self.unannounced.len()];
-        IpAddr(p.network().0 | (host & 0x0000_FFFF))
+        IpAddr(p.network().0 | (host & p.host_mask()))
     }
 
     /// Builds the routing table the measurement pipeline uses for egress
@@ -222,6 +260,41 @@ mod tests {
         let t = Topology::abilene();
         let p = AddressPlan::synthetic(&t);
         (t, p)
+    }
+
+    #[test]
+    fn large_plan_resolves_under_anonymization() {
+        use crate::anonymize::anonymize_dst;
+        let t = Topology::synthetic_mesh(300).unwrap();
+        let p = AddressPlan::synthetic_large(&t);
+        assert_eq!(p.num_pops(), 300);
+        let table = p.build_route_table(1.0).unwrap();
+        for pop in [0usize, 7, 150, 299] {
+            for block in 0..AddressPlan::BLOCKS_PER_POP {
+                let dst = p.customer_addr(pop, block, 0x07FF); // all host bits set
+                assert_eq!(table.egress(dst), Some(pop), "pop {pop} block {block}");
+                // /21 blocks survive the 11-bit anonymization exactly.
+                assert_eq!(table.egress(anonymize_dst(dst)), Some(pop));
+            }
+            assert_eq!(table.egress(p.unannounced_addr(pop, 0x123)), None);
+        }
+    }
+
+    #[test]
+    fn large_plan_blocks_are_disjoint() {
+        let t = Topology::synthetic_mesh(64).unwrap();
+        let p = AddressPlan::synthetic_large(&t);
+        let mut seen = std::collections::HashSet::new();
+        for pop in 0..64 {
+            for pre in p.customer_prefixes(pop) {
+                assert_eq!(pre.len(), 21);
+                assert!(seen.insert(pre.network()), "duplicate customer block");
+            }
+        }
+        for pre in p.unannounced_prefixes() {
+            assert!(seen.insert(pre.network()), "unannounced overlaps customer space");
+        }
+        assert!(p.peer_prefixes().is_empty(), "mesh PoPs are interior-only");
     }
 
     #[test]

@@ -91,6 +91,12 @@ impl Prefix {
         self.len
     }
 
+    /// Mask selecting the host bits of this prefix (the complement of the
+    /// netmask) — e.g. `0x0000_FFFF` for a /16, `0x0000_07FF` for a /21.
+    pub fn host_mask(&self) -> u32 {
+        !Self::mask(self.len)
+    }
+
     /// `true` only for the default route `0.0.0.0/0`.
     pub fn is_empty(&self) -> bool {
         self.len == 0

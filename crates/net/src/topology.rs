@@ -155,6 +155,39 @@ impl Topology {
         }
         b.build().expect("abilene topology is valid")
     }
+
+    /// A synthetic hundreds-of-PoP backbone for bigger-than-Abilene
+    /// studies: a ring for baseline connectivity plus deterministic chord
+    /// circuits (stride ≈ `n/8`) that keep the diameter low, all OC-192
+    /// with uniform metrics. PoP codes are `"M000"`, `"M001"`, … in id
+    /// order, so the layout is fully reproducible.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidTopology`] for `num_pops == 0`.
+    pub fn synthetic_mesh(num_pops: usize) -> Result<Topology> {
+        let mut b = TopologyBuilder::new();
+        for i in 0..num_pops {
+            b = b.pop(&format!("M{i:03}"), &format!("Mesh PoP {i}"));
+        }
+        const OC192: f64 = 9.953e9;
+        let mut seen = std::collections::HashSet::new();
+        let mut add = |b: TopologyBuilder, x: usize, y: usize| -> TopologyBuilder {
+            if x == y || !seen.insert((x.min(y), x.max(y))) {
+                return b;
+            }
+            b.link(x, y, 1.0, OC192)
+        };
+        for i in 0..num_pops {
+            b = add(b, i, (i + 1) % num_pops);
+        }
+        // Chords shrink the ring's O(n) diameter to a handful of hops.
+        let stride = (num_pops / 8).max(2);
+        for i in 0..num_pops {
+            b = add(b, i, (i + stride) % num_pops);
+        }
+        b.build()
+    }
 }
 
 /// Incremental builder for [`Topology`].
@@ -337,6 +370,41 @@ mod tests {
     fn builder_by_code_unknown_pop() {
         let r = TopologyBuilder::new().pop("A", "a").link_by_code("A", "NOPE", 1.0, 1.0);
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn synthetic_mesh_shape_and_connectivity() {
+        let t = Topology::synthetic_mesh(300).unwrap();
+        assert_eq!(t.num_pops(), 300);
+        assert_eq!(t.num_od_pairs(), 90_000);
+        // Ring + chords, deduplicated.
+        assert!(t.links().len() >= 300 && t.links().len() <= 600);
+        // BFS from PoP 0 must reach all 300, in few hops (chords at work).
+        let mut dist = vec![usize::MAX; t.num_pops()];
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        dist[0] = 0;
+        while let Some(p) = queue.pop_front() {
+            for &(nb, _) in t.neighbors(p).unwrap() {
+                if dist[nb] == usize::MAX {
+                    dist[nb] = dist[p] + 1;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        let diameter = *dist.iter().max().unwrap();
+        assert!(diameter < 300, "mesh must be connected");
+        assert!(diameter <= 24, "chords should keep the diameter low, got {diameter}");
+        assert_eq!(t.pop_by_code("M000"), Some(0));
+        assert_eq!(t.pop_by_code("M299"), Some(299));
+    }
+
+    #[test]
+    fn synthetic_mesh_small_sizes() {
+        for n in 1..8 {
+            let t = Topology::synthetic_mesh(n).unwrap();
+            assert_eq!(t.num_pops(), n);
+        }
+        assert!(Topology::synthetic_mesh(0).is_err());
     }
 
     #[test]

@@ -12,8 +12,8 @@ use odflow_classify::{
     classify, AnomalyClass, AnomalyObservation, RuleConfig, ScoredEvent, TruthLabel,
 };
 use odflow_flow::{
-    AttributeDigest, MeasurementPipeline, OdResolution, OdResolver, PipelineConfig,
-    ResolutionStats, TrafficMatrixSet, TrafficType,
+    AttributeDigest, OdResolution, OdResolver, PipelineConfig, ResolutionStats, TrafficMatrixSet,
+    TrafficType,
 };
 use odflow_gen::{Scenario, TraceGenerator};
 use odflow_net::IngressResolver;
@@ -100,29 +100,20 @@ pub fn run_scenario(
 ) -> Result<ScenarioRun, Box<dyn std::error::Error>> {
     let generator = scenario.generator();
 
-    // §2.1: the measurement path.
+    // §2.1: the measurement path — the fused generate→bin engine renders
+    // each shard's bin range straight into its per-thread OD binners (no
+    // intermediate record batches) and merges deterministically; the
+    // result is bit-identical to the serial record-by-record pipeline for
+    // any `ODFLOW_THREADS`.
     let routes = scenario.plan.build_route_table(1.0)?;
     let ingress = IngressResolver::synthetic(&scenario.topology);
-    let pipe_cfg = PipelineConfig::abilene(scenario.config.start_secs, scenario.config.num_bins);
-    let mut pipeline = MeasurementPipeline::new(pipe_cfg, &scenario.topology, ingress, routes)?;
-    // Render bins in parallel batches (generation dominates the wall clock),
-    // then feed the stateful measurement pipeline in bin order. Batching
-    // bounds peak memory to one batch of records while keeping every core
-    // busy on synthesis; record order — and thus the whole run — is
-    // identical to the serial bin-by-bin loop.
-    const GEN_BATCH_BINS: usize = 64;
-    let num_bins = generator.num_bins();
-    let mut batch_start = 0;
-    while batch_start < num_bins {
-        let batch_end = (batch_start + GEN_BATCH_BINS).min(num_bins);
-        for bin_records in generator.records_for_bins(batch_start..batch_end) {
-            for record in bin_records {
-                pipeline.push_sampled_record(record)?;
-            }
-        }
-        batch_start = batch_end;
-    }
-    let (matrices, resolution) = pipeline.finalize()?;
+    let mut pipe_cfg =
+        PipelineConfig::abilene(scenario.config.start_secs, scenario.config.num_bins);
+    // Honor the scenario's bin width (the abilene preset pins the paper's
+    // 300 s): a mismatched window would misroute shard-local records.
+    pipe_cfg.bin_secs = scenario.config.bin_secs;
+    let outcome = generator.bin_scenario(pipe_cfg, ingress, routes)?;
+    let (matrices, resolution) = (outcome.matrices, outcome.stats);
 
     // §2.2-§3: subspace detection on all three views; §4 step 1-2: merge.
     let diagnosis = diagnose(&matrices, config.subspace)?;
