@@ -20,8 +20,10 @@ fn main() {
     let mut best = (0usize, -1.0f64);
 
     for k in [1usize, 2, 3, 4, 6, 8, 12, 16] {
-        let config =
-            ExperimentConfig { subspace: SubspaceConfig { k, alpha: 0.001 }, ..Default::default() };
+        let config = ExperimentConfig {
+            subspace: SubspaceConfig { k, alpha: 0.001, ..Default::default() },
+            ..Default::default()
+        };
         let run = run_scenario(&scenario, &config).expect("run");
         let report = score_events(&run.truth, &run.scored_events(), config.match_slack);
         let f1 = {

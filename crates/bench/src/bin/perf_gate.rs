@@ -15,9 +15,18 @@
 //! branch, expired artifact): the gate prints a notice and passes, so the
 //! workflow needs no special-casing. Stages are matched by
 //! `(name, workload)`; stages present on only one side (new or retired
-//! workloads) are reported but never fail the gate. Baselines recorded on
-//! a different machine shape are still compared — the override label in CI
+//! workloads) are reported but never fail the gate. The *current* report,
+//! however, must contain every stage in the shared `PERF_STAGES` registry — a partial
+//! `--stage`-filtered run (or a silently dropped workload) must never
+//! become the CI baseline, because a stage absent from the baseline is a
+//! stage whose regressions go unnoticed. Baselines recorded on a
+//! different machine shape are still compared — the override label in CI
 //! is the escape hatch for legitimate regressions and noisy runners.
+
+/// Stage names every full `perf_report` run must produce — the shared
+/// registry in the `odflow_bench` lib, so registering a stage there gates
+/// it here with no second list to forget.
+use odflow_bench::PERF_STAGES as REQUIRED_STAGES;
 
 /// One stage parsed out of a perf report.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +87,11 @@ fn parse_stages(json: &str) -> Vec<Stage> {
         .collect()
 }
 
+/// Required stage names absent from a parsed report.
+fn missing_required(stages: &[Stage]) -> Vec<&'static str> {
+    REQUIRED_STAGES.iter().filter(|req| !stages.iter().any(|s| s.name == **req)).copied().collect()
+}
+
 fn usage_error(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!("usage: perf_gate --previous PATH --current PATH [--threshold PCT]");
@@ -118,6 +132,15 @@ fn main() {
     let curr = parse_stages(&curr_json);
     if curr.is_empty() {
         usage_error(&format!("current report {current} contains no stages"));
+    }
+    let missing = missing_required(&curr);
+    if !missing.is_empty() {
+        eprintln!(
+            "perf_gate: current report {current} is missing required stage(s): {} \
+             (a --stage-filtered report cannot be the CI baseline)",
+            missing.join(", ")
+        );
+        std::process::exit(1);
     }
 
     let mut regressions = Vec::new();
@@ -199,5 +222,32 @@ mod tests {
         assert_eq!(str_field("{}", "name"), None);
         assert_eq!(num_field(r#"{"serial_ms": 1.5e2}"#, "serial_ms"), Some(150.0));
         assert_eq!(num_field("{}", "serial_ms"), None);
+    }
+
+    #[test]
+    fn missing_required_flags_absent_stages() {
+        // The sample report only has gram + ingest: everything else —
+        // including the large_mesh_detect stage — must be reported missing.
+        let stages = parse_stages(SAMPLE);
+        let missing = missing_required(&stages);
+        assert!(missing.contains(&"large_mesh_detect"));
+        assert!(missing.contains(&"pipeline"));
+        assert!(!missing.contains(&"gram"));
+        assert!(!missing.contains(&"ingest"));
+        assert_eq!(missing.len(), REQUIRED_STAGES.len() - 2);
+    }
+
+    #[test]
+    fn full_stage_set_has_nothing_missing() {
+        let stages: Vec<Stage> = REQUIRED_STAGES
+            .iter()
+            .map(|name| Stage {
+                name: name.to_string(),
+                workload: "w".into(),
+                serial_ms: 1.0,
+                parallel_ms: 1.0,
+            })
+            .collect();
+        assert!(missing_required(&stages).is_empty());
     }
 }

@@ -15,23 +15,40 @@
 //! Usage:
 //!
 //! ```text
-//! perf_report [--quick] [--out PATH]
+//! perf_report [--quick] [--out PATH] [--stage NAME]...
 //! ```
 //!
 //! `--quick` shrinks the workloads for CI (seconds, not minutes); `--out`
-//! overrides the default `BENCH_pipeline.json` output path. The pool obeys
-//! `ODFLOW_THREADS` as everywhere else, so `ODFLOW_THREADS=4 perf_report`
-//! measures a four-thread pool against the same serial baseline.
+//! overrides the default `BENCH_pipeline.json` output path. `--stage NAME`
+//! (repeatable) restricts the run to the named stage(s) — e.g.
+//! `--stage large_mesh_detect` re-measures one stage without the full
+//! sweep; the resulting partial report is for local iteration, not for
+//! committing as a CI baseline (the gate requires every stage). The pool
+//! obeys `ODFLOW_THREADS` as everywhere else, so `ODFLOW_THREADS=4
+//! perf_report` measures a four-thread pool against the same serial
+//! baseline.
 
 use std::hint::black_box;
 use std::time::Instant;
 
 use odflow::flow::PipelineConfig;
 use odflow::gen::{Scenario, ScenarioConfig};
-use odflow::linalg::{eigen_symmetric, scatter};
+use odflow::linalg::{eigen_symmetric, scatter, EigenMethod};
 use odflow::net::IngressResolver;
-use odflow::subspace::{SubspaceDetector, SubspaceModel};
-use odflow_bench::traffic_matrix;
+use odflow::subspace::{SubspaceConfig, SubspaceDetector, SubspaceModel};
+use odflow_bench::{traffic_matrix, PERF_STAGES};
+
+/// Which stages this invocation measures: all of them, or the `--stage`
+/// selection.
+struct StageFilter {
+    only: Vec<String>,
+}
+
+impl StageFilter {
+    fn enabled(&self, name: &str) -> bool {
+        self.only.is_empty() || self.only.iter().any(|s| s == name)
+    }
+}
 
 /// One timed stage: serial baseline vs full-pool wall clock.
 struct StageResult {
@@ -135,13 +152,15 @@ fn write_json(path: &str, quick: bool, stages: &[StageResult]) -> std::io::Resul
 
 fn usage_error(message: &str) -> ! {
     eprintln!("{message}");
-    eprintln!("usage: perf_report [--quick] [--out PATH]");
+    eprintln!("usage: perf_report [--quick] [--out PATH] [--stage NAME]...");
+    eprintln!("stages: {}", PERF_STAGES.join(", "));
     std::process::exit(2);
 }
 
 fn main() {
     let mut quick = false;
     let mut out_path = "BENCH_pipeline.json".to_string();
+    let mut only_stages: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -151,9 +170,15 @@ fn main() {
                 Some(path) => usage_error(&format!("--out expects a path, got flag {path}")),
                 None => usage_error("--out expects a path"),
             },
+            "--stage" => match args.next() {
+                Some(name) if PERF_STAGES.contains(&name.as_str()) => only_stages.push(name),
+                Some(name) => usage_error(&format!("unknown stage: {name}")),
+                None => usage_error("--stage expects a stage name"),
+            },
             other => usage_error(&format!("unknown argument: {other}")),
         }
     }
+    let filter = StageFilter { only: only_stages };
 
     let reps = if quick { 2 } else { 3 };
     println!(
@@ -166,18 +191,17 @@ fn main() {
     let mut stages = Vec::new();
 
     // Gram matrix X^T X at the paper's scale and at a 512-pair mesh.
-    {
+    if filter.enabled("gram") {
         let x = traffic_matrix(2016, 121);
         stages.push(run_stage("gram", "n=2016 p=121".into(), reps, || scatter(&x).unwrap()));
-    }
-    {
+
         let (n, p) = if quick { (1024, 512) } else { (2048, 512) };
         let x = traffic_matrix(n, p);
         stages.push(run_stage("gram", format!("n={n} p={p}"), reps, || scatter(&x).unwrap()));
     }
 
     // Dense blocked matmul.
-    {
+    if filter.enabled("matmul") {
         let d = if quick { 384 } else { 512 };
         let a = traffic_matrix(d, d);
         let b = traffic_matrix(d, d).transpose();
@@ -188,7 +212,7 @@ fn main() {
 
     // Jacobi eigendecomposition on a covariance-sized mesh big enough for
     // the round-robin parallel ordering.
-    {
+    if filter.enabled("eigen") {
         let d = if quick { 256 } else { 384 };
         let x = traffic_matrix(2 * d, d);
         let cov = odflow::linalg::covariance(&x).unwrap();
@@ -198,18 +222,22 @@ fn main() {
     }
 
     // Subspace model fit and batch detection at the paper's week scale.
-    {
+    if filter.enabled("model_fit") || filter.enabled("detector") {
         let x = traffic_matrix(2016, 121);
-        stages.push(run_stage("model_fit", "n=2016 p=121".into(), reps, || {
-            SubspaceModel::fit_default(&x).unwrap()
-        }));
-        stages.push(run_stage("detector", "n=2016 p=121 analyze".into(), reps, || {
-            SubspaceDetector::default().analyze(&x).unwrap()
-        }));
+        if filter.enabled("model_fit") {
+            stages.push(run_stage("model_fit", "n=2016 p=121".into(), reps, || {
+                SubspaceModel::fit_default(&x).unwrap()
+            }));
+        }
+        if filter.enabled("detector") {
+            stages.push(run_stage("detector", "n=2016 p=121 analyze".into(), reps, || {
+                SubspaceDetector::default().analyze(&x).unwrap()
+            }));
+        }
     }
 
     // Scenario materialization: every 5-minute bin of sampled flow records.
-    {
+    if filter.enabled("generator") {
         let num_bins = if quick { 288 } else { odflow::gen::BINS_PER_WEEK };
         let config = ScenarioConfig { num_bins, ..Default::default() };
         let scenario = Scenario::new(config, vec![]).unwrap();
@@ -222,7 +250,7 @@ fn main() {
 
     // Sharded measurement ingest: the fused generate→bin path rendering a
     // scenario straight into per-thread OD binners (no record batches).
-    {
+    if filter.enabled("ingest") {
         let num_bins = if quick { 288 } else { odflow::gen::BINS_PER_WEEK };
         let config = ScenarioConfig { num_bins, ..Default::default() };
         let scenario = Scenario::new(config, vec![]).unwrap();
@@ -242,8 +270,11 @@ fn main() {
     }
 
     // Large-mesh workload: ~300 PoPs / 90k OD pairs, generate→ingest end
-    // to end — the regime where sharded binning has to carry the load.
-    {
+    // to end — the regime where sharded binning has to carry the load —
+    // then detection on the binned matrix via the randomized truncated
+    // eigen-backend (`Auto` at p=90000), which never materializes the
+    // 90k x 90k Gram matrix.
+    if filter.enabled("large_mesh_pipeline") || filter.enabled("large_mesh_detect") {
         let num_bins = if quick { 24 } else { 96 };
         let config = ScenarioConfig { num_bins, ..ScenarioConfig::large_mesh() };
         let scenario = Scenario::large_mesh_with(config).unwrap();
@@ -253,18 +284,33 @@ fn main() {
         let mut pipe_cfg = PipelineConfig::abilene(0, num_bins);
         pipe_cfg.bin_secs = scenario.config.bin_secs;
         let shards = num_bins.div_ceil(odflow::flow::DEFAULT_SHARD_BINS);
-        let label = format!("{num_bins} bins p=90000 ({shards} shards)");
-        stages.push(run_stage("large_mesh_pipeline", label, 1, || {
-            generator
-                .bin_scenario(pipe_cfg, ingress.clone(), routes.clone())
-                .unwrap()
-                .stats
-                .flows_resolved
-        }));
+        if filter.enabled("large_mesh_pipeline") {
+            let label = format!("{num_bins} bins p=90000 ({shards} shards)");
+            stages.push(run_stage("large_mesh_pipeline", label, 1, || {
+                generator
+                    .bin_scenario(pipe_cfg, ingress.clone(), routes.clone())
+                    .unwrap()
+                    .stats
+                    .flows_resolved
+            }));
+        }
+        if filter.enabled("large_mesh_detect") {
+            // Ingest once (untimed) to build the 90k-OD bytes matrix, then
+            // time fit + full scoring end to end.
+            let outcome = generator.bin_scenario(pipe_cfg, ingress, routes).unwrap();
+            let x = outcome.matrices.bytes.data;
+            let k = 10;
+            let detect_cfg =
+                SubspaceConfig { k, method: EigenMethod::Auto, ..SubspaceConfig::default() };
+            let label = format!("n={num_bins} p=90000 k={k}");
+            stages.push(run_stage("large_mesh_detect", label, 1, || {
+                odflow::experiment::detect_matrix(&x, detect_cfg).unwrap().anomalous_bins().len()
+            }));
+        }
     }
 
     // End-to-end pipeline: generate -> measure -> detect -> classify.
-    {
+    if filter.enabled("pipeline") {
         let num_bins = if quick { 144 } else { 288 };
         let config = ScenarioConfig { num_bins, total_demand: 800.0, ..Default::default() };
         let scenario = Scenario::new(config, vec![]).unwrap();

@@ -23,6 +23,23 @@
 
 pub mod plot;
 
+/// Every stage name `perf_report` measures, in report order — the single
+/// source of truth shared by `perf_report` (which validates `--stage`
+/// arguments against it) and `perf_gate` (which requires all of them in a
+/// full report, so a new stage is gated the moment it is registered here).
+pub const PERF_STAGES: &[&str] = &[
+    "gram",
+    "matmul",
+    "eigen",
+    "model_fit",
+    "detector",
+    "generator",
+    "ingest",
+    "large_mesh_pipeline",
+    "large_mesh_detect",
+    "pipeline",
+];
+
 use odflow::experiment::{run_scenario, ExperimentConfig, ScenarioRun};
 use odflow::gen::Scenario;
 

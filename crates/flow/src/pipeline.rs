@@ -153,7 +153,7 @@ impl MeasurementPipeline {
     ///
     /// # Errors
     ///
-    /// [`FlowError::NoData`] if nothing was ever binned.
+    /// [`FlowError::NoData`](crate::FlowError::NoData) if nothing was ever binned.
     pub fn finalize(mut self) -> Result<(TrafficMatrixSet, ResolutionStats)> {
         let tail = self.aggregator.flush();
         for r in tail {

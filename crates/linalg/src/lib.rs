@@ -28,15 +28,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod center;
 mod cov;
 mod eigen;
 mod error;
 mod matrix;
+mod randomized;
 mod solve;
 mod svd;
 pub mod vecops;
 
+pub use backend::{
+    truncated_svd, DenseJacobiBackend, EigenBackend, EigenMethod, RandomizedTruncatedBackend,
+    AUTO_DENSE_MAX_DIM,
+};
 pub use center::{center_columns, column_means, standardize_columns, Centering};
 pub use cov::{correlation, covariance, scatter};
 pub use eigen::{
@@ -45,5 +51,6 @@ pub use eigen::{
 };
 pub use error::{LinalgError, Result};
 pub use matrix::Matrix;
+pub use randomized::{randomized_thin_svd, RandomizedSvdOptions, DEFAULT_SKETCH_SEED};
 pub use solve::solve;
 pub use svd::{thin_svd, Svd};

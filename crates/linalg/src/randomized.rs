@@ -1,0 +1,433 @@
+//! Randomized truncated SVD via a Halko-style range finder.
+//!
+//! The dense path factors an `n x p` data matrix through the `p x p` Gram
+//! eigenproblem — out of reach by design once `p` hits the large-mesh scale
+//! (90 000 OD pairs would mean a 65 GB Gram matrix). But the subspace
+//! method only ever needs the top `k ≈ 5-10` eigenflows, and when the data
+//! is (numerically) low-rank a *randomized range finder* recovers them from
+//! a handful of tall-skinny products: sketch `Y = X Ω` with a seeded
+//! Gaussian `Ω`, tighten the range with a few power iterations, and solve a
+//! dense eigenproblem on the tiny `(k + oversample)²` projected matrix.
+//! Nothing `p x p` is ever materialized — the largest intermediates are
+//! `p x (k + oversample)` panels.
+//!
+//! Reference: Halko, Martinsson & Tropp, *Finding Structure with
+//! Randomness* (SIAM Rev. 2011), Algorithms 4.3-4.4 + 5.1. The sketching
+//! route into traffic anomography follows Mardani & Giannakis's low-rank
+//! tomography line: anomaly maps are recoverable from low-dimensional
+//! projections without dense factorizations.
+//!
+//! ## Determinism
+//!
+//! The Gaussian sketch is drawn from a `ChaCha8Rng` seeded explicitly by
+//! the caller and filled in one fixed row-major order, and every matrix
+//! product runs on the `odflow_par` kernels whose reductions are combined
+//! in chunk order. The whole factorization is therefore **bit-identical
+//! for every thread count and every run with the same seed** — the same
+//! contract as the dense Jacobi path.
+
+use crate::eigen::eigen_symmetric;
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::svd::Svd;
+use crate::vecops;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Options for [`randomized_thin_svd`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomizedSvdOptions {
+    /// Extra sketch columns beyond the requested rank. The projected
+    /// problem is `(rank + oversample)²`; 5-10 is the standard choice.
+    pub oversample: usize,
+    /// Power (subspace) iterations sharpening the range when the spectrum
+    /// decays slowly. Each costs two tall-skinny products; 1-2 suffice for
+    /// traffic matrices whose top eigenflows dominate.
+    pub power_iters: usize,
+    /// Seed of the ChaCha8 stream generating the Gaussian test matrix.
+    pub seed: u64,
+}
+
+impl Default for RandomizedSvdOptions {
+    fn default() -> Self {
+        RandomizedSvdOptions { oversample: 8, power_iters: 2, seed: DEFAULT_SKETCH_SEED }
+    }
+}
+
+/// Default seed of the Gaussian sketch stream (used by `Auto` backend
+/// selection so unconfigured runs are reproducible).
+pub const DEFAULT_SKETCH_SEED: u64 = 0x0DF1_0E16;
+
+/// Computes a truncated thin SVD `X ≈ U Σ V^T` of an `n x p` matrix,
+/// keeping (up to) the top `rank + oversample` triplets, without forming
+/// any `p x p` (or `n x n`) matrix.
+///
+/// The first `rank` triplets carry the range-finder's accuracy guarantee;
+/// the `oversample` extras are decreasingly accurate probes of the residual
+/// spectrum (useful as tail estimates, e.g. for detection thresholds).
+/// Triplets whose singular value falls below `1e-12 σ_max` are dropped —
+/// their right singular vectors would be numerically meaningless.
+///
+/// # Errors
+///
+/// * [`LinalgError::Empty`] for matrices with zero rows/columns or
+///   `rank == 0`.
+/// * [`LinalgError::NonFinite`] when `x` contains NaN/infinities.
+/// * Propagates eigensolver errors from the projected problem
+///   (practically unreachable for finite data).
+///
+/// # Examples
+///
+/// ```
+/// use odflow_linalg::{randomized_thin_svd, thin_svd, Matrix, RandomizedSvdOptions};
+///
+/// // Tall data with 3 dominant directions: the sketch recovers them.
+/// let x = Matrix::from_fn(40, 200, |i, j| {
+///     (1 + j % 3) as f64 * ((i * (1 + j % 3)) as f64 * 0.37).sin()
+/// });
+/// let rnd = randomized_thin_svd(&x, 3, RandomizedSvdOptions::default()).unwrap();
+/// let dense = thin_svd(&x, 0.0).unwrap();
+/// for i in 0..3 {
+///     assert!((rnd.sigma[i] - dense.sigma[i]).abs() < 1e-6 * dense.sigma[0]);
+/// }
+/// ```
+pub fn randomized_thin_svd(x: &Matrix, rank: usize, opts: RandomizedSvdOptions) -> Result<Svd> {
+    let (n, p) = x.shape();
+    if n == 0 || p == 0 || rank == 0 {
+        return Err(LinalgError::Empty { op: "randomized_thin_svd" });
+    }
+    if !x.all_finite() {
+        return Err(LinalgError::NonFinite { op: "randomized_thin_svd" });
+    }
+
+    // Sketch width: requested rank + oversampling, clamped to the exact
+    // rank bound where the randomized route degenerates gracefully.
+    let m = (rank + opts.oversample).clamp(1, n.min(p));
+
+    // Y = X Ω with Ω ~ N(0, 1)^{p x m}, drawn from one seeded stream in
+    // fixed row-major order (thread-count independent by construction).
+    let omega = gaussian_matrix(p, m, opts.seed);
+    let mut q = x.matmul(&omega)?;
+    orthonormalize_columns(&mut q);
+
+    // Power iterations Q <- orth(X orth(X^T Q)) tighten the captured range
+    // toward the true top singular subspace. X^T Q is computed as
+    // (Q^T X)^T so the only transposes materialized are m-wide panels.
+    for _ in 0..opts.power_iters {
+        let mut z = q.transpose().matmul(x)?.transpose(); // p x m
+        orthonormalize_columns(&mut z);
+        q = x.matmul(&z)?;
+        orthonormalize_columns(&mut q);
+    }
+
+    // Project: B = Q^T X (m x p), then solve the tiny m x m eigenproblem
+    // of B B^T. Eigenvalues are σ², eigenvectors rotate Q into U.
+    let b = q.transpose().matmul(x)?;
+    let small = b.matmul(&b.transpose())?;
+    let eig = eigen_symmetric(&small)?;
+
+    let sigma_max = eig.eigenvalues.first().copied().unwrap_or(0.0).max(0.0).sqrt();
+    if sigma_max == 0.0 {
+        // All-zero input (or a sketch that annihilated it): degenerate SVD,
+        // mirroring `thin_svd`'s convention.
+        return Ok(Svd { u: Matrix::zeros(n, 1), sigma: vec![0.0], v: Matrix::zeros(p, 1) });
+    }
+    let cutoff = 1e-12 * sigma_max;
+    let mut sigma = Vec::new();
+    let mut keep = Vec::new();
+    for (i, &l) in eig.eigenvalues.iter().enumerate() {
+        let s = l.max(0.0).sqrt();
+        if s > cutoff {
+            sigma.push(s);
+            keep.push(i);
+        }
+    }
+    let w = eig.eigenvectors.select_cols(&keep)?;
+
+    // U = Q W (n x r): rotate the orthonormal basis onto singular order.
+    let u = q.matmul(&w)?;
+
+    // V = B^T W Σ^{-1} (p x r), re-normalized per column to absorb rounding
+    // drift in the small singular values — the same guard `thin_svd` uses.
+    // Under the normalization the Σ^{-1} rescale cancels analytically
+    // (each raw column of B^T W has norm σ_j), so only the exact column
+    // norms are applied: two row-major passes over the panel — one
+    // map_reduce accumulating all r squared norms (per-column partials
+    // summed in chunk order, so the reduction is deterministic) and one
+    // parallel scale — instead of 2r strided per-column sweeps.
+    let mut v = b.transpose().matmul(&w)?;
+    let r = sigma.len();
+    let vp = v.nrows();
+    let data = v.as_mut_slice();
+    debug_assert_eq!(data.len(), vp * r);
+    let norms_sq = odflow_par::map_reduce(
+        vp,
+        V_COL_BLOCK,
+        |rows| {
+            let mut acc = vec![0.0f64; r];
+            for i in rows {
+                let row = &data[i * r..(i + 1) * r];
+                for (a, &val) in acc.iter_mut().zip(row) {
+                    *a += val * val;
+                }
+            }
+            acc
+        },
+        |mut acc, block| {
+            for (a, b) in acc.iter_mut().zip(&block) {
+                *a += b;
+            }
+            acc
+        },
+    )
+    .unwrap_or_else(|| vec![0.0; r]);
+    let inv_norms: Vec<f64> = norms_sq
+        .iter()
+        .map(|&ns| {
+            let norm = ns.sqrt();
+            if norm > 1e-300 {
+                1.0 / norm
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    odflow_par::parallel_chunks(data, V_COL_BLOCK * r, |_, rows| {
+        for row in rows.chunks_exact_mut(r) {
+            for (val, &inv) in row.iter_mut().zip(&inv_norms) {
+                *val *= inv;
+            }
+        }
+    });
+
+    Ok(Svd { u, sigma, v })
+}
+
+/// Rows per parallel block when rescaling/normalizing the `p x r` right
+/// singular panel; fixed so reductions are deterministic.
+const V_COL_BLOCK: usize = 4096;
+
+/// A `rows x cols` matrix of standard normal draws from one seeded ChaCha8
+/// stream, filled in row-major order. Box-Muller over the shim's 53-bit
+/// uniform doubles.
+fn gaussian_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = Matrix::zeros(rows, cols);
+    let data = out.as_mut_slice();
+    let mut i = 0;
+    while i < data.len() {
+        let (z0, z1) = box_muller(&mut rng);
+        data[i] = z0;
+        if i + 1 < data.len() {
+            data[i + 1] = z1;
+        }
+        i += 2;
+    }
+    out
+}
+
+/// One Box-Muller pair of independent standard normals.
+fn box_muller(rng: &mut impl RngCore) -> (f64, f64) {
+    // u1 ∈ (0, 1]: the shim's uniform is [0, 1), so flip it to keep ln
+    // finite. u2 ∈ [0, 1) is fine as an angle.
+    let u1 = 1.0 - uniform_f64(rng);
+    let u2 = uniform_f64(rng);
+    let radius = (-2.0 * u1.ln()).sqrt();
+    let angle = std::f64::consts::TAU * u2;
+    (radius * angle.cos(), radius * angle.sin())
+}
+
+/// Uniform draw in [0, 1) with 53 bits of precision.
+fn uniform_f64(rng: &mut impl RngCore) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Orthonormalizes the columns of `m` in place by modified Gram-Schmidt
+/// with one re-orthogonalization pass. Numerically dead columns (norm
+/// below `1e-12` of the largest seen) are zeroed: they contribute zero
+/// rows to the projected problem and are dropped by the σ cutoff later.
+fn orthonormalize_columns(m: &mut Matrix) {
+    let (n, k) = m.shape();
+    let mut cols: Vec<Vec<f64>> = (0..k).map(|j| m.col(j).expect("col in range")).collect();
+    let mut max_norm = 0.0f64;
+    for j in 0..k {
+        // Two MGS passes against the already-fixed columns keep the basis
+        // orthogonal to working precision even for ill-conditioned panels.
+        for _ in 0..2 {
+            for i in 0..j {
+                let (head, tail) = cols.split_at_mut(j);
+                let coeff = vecops::dot(&head[i], &tail[0]);
+                vecops::axpy(-coeff, &head[i], &mut tail[0]);
+            }
+        }
+        let norm = vecops::norm(&cols[j]);
+        max_norm = max_norm.max(norm);
+        if norm > 1e-12 * max_norm.max(1e-300) {
+            vecops::scale(&mut cols[j], 1.0 / norm);
+        } else {
+            cols[j].iter_mut().for_each(|v| *v = 0.0);
+        }
+    }
+    for (j, col) in cols.iter().enumerate() {
+        m.set_col(j, col).expect("col length matches");
+    }
+    debug_assert_eq!(m.nrows(), n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svd::thin_svd;
+
+    fn low_rank_plus_noise(n: usize, p: usize, rank: usize, noise: f64) -> Matrix {
+        Matrix::from_fn(n, p, |i, j| {
+            let mut v = 0.0;
+            for r in 0..rank {
+                let amp = 100.0 / (1.0 + r as f64);
+                v +=
+                    amp * ((i * (r + 1)) as f64 * 0.21).sin() * ((j * (r + 2)) as f64 * 0.13).cos();
+            }
+            let mut z = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (j as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            v + noise * ((z as f64 / u64::MAX as f64) - 0.5)
+        })
+    }
+
+    #[test]
+    fn matches_dense_on_low_rank_data() {
+        let x = low_rank_plus_noise(60, 300, 4, 1e-6);
+        let rnd = randomized_thin_svd(&x, 4, RandomizedSvdOptions::default()).unwrap();
+        let dense = thin_svd(&x, 0.0).unwrap();
+        for i in 0..4 {
+            let rel = (rnd.sigma[i] - dense.sigma[i]).abs() / dense.sigma[0];
+            assert!(rel < 1e-8, "σ_{i}: randomized {} vs dense {}", rnd.sigma[i], dense.sigma[i]);
+        }
+    }
+
+    #[test]
+    fn wide_matrix_never_materializes_p_square() {
+        // p >> n: the regime the backend exists for. Correctness is checked
+        // against the dense route (still feasible at this test size).
+        let x = low_rank_plus_noise(24, 900, 5, 1e-3);
+        let rnd = randomized_thin_svd(&x, 5, RandomizedSvdOptions::default()).unwrap();
+        let dense = thin_svd(&x, 0.0).unwrap();
+        for i in 0..5 {
+            let rel = (rnd.sigma[i] - dense.sigma[i]).abs() / dense.sigma[0];
+            assert!(rel < 1e-6, "σ_{i} rel err {rel}");
+        }
+        // Top right singular vectors agree up to sign.
+        for i in 0..3 {
+            let a = rnd.v.col(i).unwrap();
+            let b = dense.v.col(i).unwrap();
+            let cosine = vecops::dot(&a, &b).abs();
+            assert!(cosine > 1.0 - 1e-6, "v_{i} cosine {cosine}");
+        }
+    }
+
+    #[test]
+    fn u_v_orthonormal_and_sigma_sorted() {
+        let x = low_rank_plus_noise(50, 240, 6, 0.5);
+        let svd = randomized_thin_svd(&x, 6, RandomizedSvdOptions::default()).unwrap();
+        let r = svd.rank();
+        let utu = svd.u.transpose().matmul(&svd.u).unwrap();
+        let vtv = svd.v.transpose().matmul(&svd.v).unwrap();
+        assert!(utu.approx_eq(&Matrix::identity(r), 1e-8), "U^T U != I");
+        assert!(vtv.approx_eq(&Matrix::identity(r), 1e-8), "V^T V != I");
+        for w in svd.sigma.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn same_seed_bit_identical_different_seed_close() {
+        let x = low_rank_plus_noise(40, 200, 3, 1e-4);
+        let opts = RandomizedSvdOptions::default();
+        let a = randomized_thin_svd(&x, 3, opts).unwrap();
+        let b = randomized_thin_svd(&x, 3, opts).unwrap();
+        assert_eq!(a.sigma, b.sigma);
+        assert_eq!(a.u.as_slice(), b.u.as_slice());
+        assert_eq!(a.v.as_slice(), b.v.as_slice());
+
+        let c = randomized_thin_svd(&x, 3, RandomizedSvdOptions { seed: 99, ..opts }).unwrap();
+        for i in 0..3 {
+            assert!((a.sigma[i] - c.sigma[i]).abs() < 1e-8 * a.sigma[0]);
+        }
+    }
+
+    #[test]
+    fn thread_count_invariant() {
+        let x = low_rank_plus_noise(48, 400, 4, 0.1);
+        let opts = RandomizedSvdOptions::default();
+        let serial = odflow_par::with_thread_limit(1, || randomized_thin_svd(&x, 4, opts).unwrap());
+        for &threads in &[2usize, 8, 64] {
+            let par = odflow_par::with_thread_limit(threads, || {
+                randomized_thin_svd(&x, 4, opts).unwrap()
+            });
+            assert_eq!(par.sigma, serial.sigma, "threads={threads}");
+            assert_eq!(par.u.as_slice(), serial.u.as_slice(), "threads={threads}");
+            assert_eq!(par.v.as_slice(), serial.v.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn exact_low_rank_recovered() {
+        // Rank-2 exactly: the sketch captures the whole range, so the
+        // reconstruction is exact to rounding.
+        let x = Matrix::from_fn(30, 150, |i, j| {
+            (i as f64 + 1.0) * (j as f64 * 0.1).sin() + (i as f64 * 0.3).cos() * (j as f64 + 1.0)
+        });
+        let svd = randomized_thin_svd(&x, 2, RandomizedSvdOptions::default()).unwrap();
+        let xr = svd.reconstruct_rank(2).unwrap();
+        assert!(xr.approx_eq(&x, 1e-7 * x.max_abs()), "rank-2 reconstruction off");
+    }
+
+    #[test]
+    fn zero_matrix_degenerate() {
+        let x = Matrix::zeros(10, 50);
+        let svd = randomized_thin_svd(&x, 3, RandomizedSvdOptions::default()).unwrap();
+        assert_eq!(svd.sigma, vec![0.0]);
+    }
+
+    #[test]
+    fn rejects_empty_rank_zero_nonfinite() {
+        let opts = RandomizedSvdOptions::default();
+        assert!(randomized_thin_svd(&Matrix::zeros(0, 5), 2, opts).is_err());
+        assert!(randomized_thin_svd(&Matrix::zeros(5, 0), 2, opts).is_err());
+        assert!(randomized_thin_svd(&Matrix::identity(4), 0, opts).is_err());
+        let mut x = Matrix::identity(4);
+        x[(2, 2)] = f64::NAN;
+        assert!(randomized_thin_svd(&x, 2, opts).is_err());
+    }
+
+    #[test]
+    fn gaussian_sketch_has_sane_moments() {
+        let g = gaussian_matrix(200, 50, 7);
+        let data = g.as_slice();
+        let mean: f64 = data.iter().sum::<f64>() / data.len() as f64;
+        let var: f64 =
+            data.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / data.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+        assert!(data.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn orthonormalize_handles_dependent_columns() {
+        // Third column is the sum of the first two: it must be zeroed, not
+        // turned into NaNs.
+        let mut m = Matrix::from_fn(6, 3, |i, j| match j {
+            0 => (i as f64 + 1.0).sin(),
+            1 => (i as f64 + 1.0).cos(),
+            _ => (i as f64 + 1.0).sin() + (i as f64 + 1.0).cos(),
+        });
+        orthonormalize_columns(&mut m);
+        assert!(m.all_finite());
+        let c2 = m.col(2).unwrap();
+        assert!(vecops::norm(&c2) < 1e-9, "dependent column should be zeroed");
+        let c0 = m.col(0).unwrap();
+        let c1 = m.col(1).unwrap();
+        assert!(vecops::dot(&c0, &c1).abs() < 1e-10);
+        assert!((vecops::norm(&c0) - 1.0).abs() < 1e-10);
+    }
+}

@@ -8,7 +8,7 @@
 //! the flagged bins.
 
 use crate::error::Result;
-use crate::model::{SubspaceConfig, SubspaceModel};
+use crate::model::{StateSplit, SubspaceConfig, SubspaceModel};
 use odflow_linalg::{vecops, Matrix};
 
 /// Which statistic fired.
@@ -131,10 +131,12 @@ impl SubspaceDetector {
                 t2: Vec::with_capacity(bins.len()),
                 detections: Vec::new(),
             };
+            // One scratch split per chunk: scoring allocates nothing per bin.
+            let mut split = StateSplit::with_dimension(x.ncols());
             for bin in bins {
                 let row = x.row(bin)?;
                 out.state_norm_sq.push(vecops::norm_sq(row));
-                let split = model.split(row)?;
+                model.split_into(row, &mut split)?;
                 let s = vecops::norm_sq(&split.residual);
                 let t = model.t2_of_centered(&split.centered)?;
                 if s > model.spe_threshold() {

@@ -11,7 +11,7 @@
 //! flows".
 
 use crate::error::{Result, SubspaceError};
-use odflow_linalg::{center_columns, thin_svd, Centering, Matrix};
+use odflow_linalg::{center_columns, thin_svd, truncated_svd, Centering, EigenMethod, Matrix};
 
 /// The eigenflow decomposition of an `n x p` OD traffic matrix.
 #[derive(Debug, Clone)]
@@ -30,6 +30,14 @@ pub struct EigenflowDecomposition {
     pub centering: Centering,
     /// Number of timebins the decomposition was fit on.
     pub n: usize,
+    /// Total squared Frobenius energy of the centered training data — the
+    /// sum of σ² over the **full** spectrum, even when only the top
+    /// triplets were retained. Denominator of every variance fraction.
+    pub total_energy: f64,
+    /// `true` when the decomposition retains fewer triplets than the data
+    /// supports (a truncated backend); the unretained tail energy is
+    /// `total_energy - Σ σ_i²`.
+    pub truncated: bool,
 }
 
 impl EigenflowDecomposition {
@@ -38,24 +46,76 @@ impl EigenflowDecomposition {
     /// the paper requires ("the multivariate mean ... for eigenflows is
     /// equal to zero by construction").
     ///
+    /// This is the exact dense path (full spectrum). Use [`Self::fit_with`]
+    /// to select a backend — at large-mesh scale (`p ≈ 90 000`) the dense
+    /// Gram matrix is out of reach by design.
+    ///
     /// # Errors
     ///
     /// * [`SubspaceError::InsufficientData`] unless `n >= 2` and `p >= 2`.
     /// * [`SubspaceError::Numeric`] for non-finite input.
     pub fn fit(x: &Matrix) -> Result<Self> {
-        let (n, p) = x.shape();
-        if n < 2 || p < 2 {
-            return Err(SubspaceError::InsufficientData { n, p, need: "need n >= 2 and p >= 2" });
-        }
+        let (n, _) = Self::check_shape(x)?;
         let (centered, centering) = center_columns(x)?;
         let svd = thin_svd(&centered, 0.0)?;
+        let total_energy: f64 = svd.sigma.iter().map(|s| s * s).sum();
         Ok(EigenflowDecomposition {
             eigenflows: svd.u,
             loadings: svd.v,
             singular_values: svd.sigma,
             centering,
             n,
+            total_energy,
+            truncated: false,
         })
+    }
+
+    /// Computes the decomposition with an explicit eigen-backend,
+    /// retaining (at least) the top `rank` eigenflows.
+    ///
+    /// `EigenMethod::DenseJacobi` (or `Auto` at small `p`) takes exactly
+    /// the [`Self::fit`] path — full spectrum, bit-identical results. The
+    /// randomized backend keeps `rank + oversample` triplets and records
+    /// the unseen tail energy in [`Self::total_energy`] (computed from the
+    /// centered data's Frobenius norm, which costs one pass — never a
+    /// `p x p` matrix).
+    ///
+    /// # Errors
+    ///
+    /// * [`SubspaceError::InsufficientData`] unless `n >= 2` and `p >= 2`.
+    /// * Numeric errors from the selected backend.
+    pub fn fit_with(x: &Matrix, rank: usize, method: EigenMethod) -> Result<Self> {
+        let (n, p) = Self::check_shape(x)?;
+        match method.resolve(p) {
+            EigenMethod::DenseJacobi => Self::fit(x),
+            resolved => {
+                let (centered, centering) = center_columns(x)?;
+                let total_energy = {
+                    let f = centered.frobenius_norm();
+                    f * f
+                };
+                let svd = truncated_svd(&centered, rank.max(1), resolved)?;
+                let truncated = svd.rank() < n.min(p);
+                Ok(EigenflowDecomposition {
+                    eigenflows: svd.u,
+                    loadings: svd.v,
+                    singular_values: svd.sigma,
+                    centering,
+                    n,
+                    total_energy,
+                    truncated,
+                })
+            }
+        }
+    }
+
+    /// Shared shape validation for the fitting entry points.
+    fn check_shape(x: &Matrix) -> Result<(usize, usize)> {
+        let (n, p) = x.shape();
+        if n < 2 || p < 2 {
+            return Err(SubspaceError::InsufficientData { n, p, need: "need n >= 2 and p >= 2" });
+        }
+        Ok((n, p))
     }
 
     /// Number of eigenflows retained.
@@ -75,36 +135,55 @@ impl EigenflowDecomposition {
         s * s / (self.n as f64 - 1.0)
     }
 
-    /// All covariance eigenvalues, descending, padded with zeros to `p`
-    /// (rank-deficient data has fewer positive singular values than OD
-    /// pairs; the Q-statistic needs the full spectrum).
+    /// All covariance eigenvalues, descending, extended to length `p`.
+    ///
+    /// A full (dense) decomposition pads with zeros, exactly as before:
+    /// rank-deficient data has fewer positive singular values than OD
+    /// pairs, and the Q-statistic needs the full spectrum. A **truncated**
+    /// decomposition instead spreads the unretained tail energy
+    /// (`total_energy - Σ σ_i²`, known exactly from the centered data)
+    /// uniformly over the unseen `p - r` dimensions: the tail *sum* φ₁ is
+    /// then exact, while the power sums φ₂/φ₃ are the minimum consistent
+    /// with it (Jensen), making the resulting Jackson-Mudholkar threshold
+    /// slightly conservative rather than blind to unseen variance.
     pub fn eigenvalues_padded(&self, p: usize) -> Vec<f64> {
         let mut ev: Vec<f64> = (0..self.rank()).map(|i| self.eigenvalue(i)).collect();
-        ev.resize(p.max(ev.len()), 0.0);
+        if self.truncated && ev.len() < p {
+            let explained: f64 = ev.iter().sum();
+            let denom = (self.n as f64 - 1.0).max(1.0);
+            let missing = (self.total_energy / denom - explained).max(0.0);
+            let tail = p - ev.len();
+            ev.resize(p, missing / tail as f64);
+        } else {
+            ev.resize(p.max(ev.len()), 0.0);
+        }
         ev
     }
 
     /// Fraction of total variance captured by the top `k` eigenflows.
+    ///
+    /// The denominator is the full-spectrum energy even for truncated
+    /// decompositions, so the fraction never overstates coverage.
     pub fn variance_captured(&self, k: usize) -> f64 {
-        let total: f64 = self.singular_values.iter().map(|s| s * s).sum();
-        if total <= 0.0 {
+        if self.total_energy <= 0.0 {
             return 0.0;
         }
-        self.singular_values.iter().take(k).map(|s| s * s).sum::<f64>() / total
+        self.singular_values.iter().take(k).map(|s| s * s).sum::<f64>() / self.total_energy
     }
 
     /// Number of eigenflows needed to capture at least `fraction` of the
     /// variance — the paper's "handful of eigenflows" observation is this
-    /// number being small relative to `p`.
+    /// number being small relative to `p`. For truncated decompositions
+    /// this saturates at [`Self::rank`] when the retained triplets never
+    /// reach `fraction` of the (full-spectrum) energy.
     pub fn effective_dimension(&self, fraction: f64) -> usize {
-        let total: f64 = self.singular_values.iter().map(|s| s * s).sum();
-        if total <= 0.0 {
+        if self.total_energy <= 0.0 {
             return 0;
         }
         let mut acc = 0.0;
         for (i, s) in self.singular_values.iter().enumerate() {
             acc += s * s;
-            if acc / total >= fraction {
+            if acc / self.total_energy >= fraction {
                 return i + 1;
             }
         }
@@ -205,5 +284,57 @@ mod tests {
         let d = EigenflowDecomposition::fit(&x).unwrap();
         assert_eq!(d.variance_captured(0), 0.0);
         assert!((d.variance_captured(d.rank()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_with_dense_is_bit_identical_to_fit() {
+        let x = diurnal_matrix(120, 10);
+        let direct = EigenflowDecomposition::fit(&x).unwrap();
+        for method in [EigenMethod::DenseJacobi, EigenMethod::Auto] {
+            let via = EigenflowDecomposition::fit_with(&x, 4, method).unwrap();
+            assert_eq!(via.singular_values, direct.singular_values);
+            assert_eq!(via.loadings.as_slice(), direct.loadings.as_slice());
+            assert_eq!(via.eigenflows.as_slice(), direct.eigenflows.as_slice());
+            assert_eq!(via.total_energy.to_bits(), direct.total_energy.to_bits());
+            assert!(!via.truncated);
+        }
+    }
+
+    #[test]
+    fn fit_with_randomized_truncates_and_tracks_energy() {
+        let x = diurnal_matrix(80, 30);
+        let method = EigenMethod::RandomizedTruncated { oversample: 4, power_iters: 2, seed: 11 };
+        let d = EigenflowDecomposition::fit_with(&x, 3, method).unwrap();
+        assert!(d.truncated, "rank {} of min(n,p)=30 must be truncated", d.rank());
+        assert!(d.rank() <= 7, "rank {} should be at most k + oversample", d.rank());
+        // The retained energy never exceeds the recorded total.
+        let retained: f64 = d.singular_values.iter().map(|s| s * s).sum();
+        assert!(retained <= d.total_energy * (1.0 + 1e-9));
+        // One dominant diurnal pattern: the first eigenflow still carries
+        // almost everything of the *full* energy.
+        assert!(d.variance_captured(1) > 0.9, "captured {}", d.variance_captured(1));
+    }
+
+    #[test]
+    fn truncated_padding_spreads_tail_energy() {
+        let x = diurnal_matrix(60, 20);
+        let method = EigenMethod::RandomizedTruncated { oversample: 2, power_iters: 1, seed: 5 };
+        let d = EigenflowDecomposition::fit_with(&x, 2, method).unwrap();
+        let ev = d.eigenvalues_padded(20);
+        assert_eq!(ev.len(), 20);
+        // Exactness of the tail *sum*: padded spectrum accounts for the
+        // full centered energy.
+        let total: f64 = ev.iter().sum();
+        let expected = d.total_energy / (d.n as f64 - 1.0);
+        assert!(
+            (total - expected).abs() < 1e-6 * expected.max(1.0),
+            "padded sum {total} vs full energy {expected}"
+        );
+        // Tail entries are uniform and nonnegative.
+        let tail = &ev[d.rank()..];
+        assert!(tail.iter().all(|&v| v >= 0.0));
+        for w in tail.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
     }
 }

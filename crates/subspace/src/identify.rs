@@ -225,7 +225,11 @@ mod tests {
     #[test]
     fn t2_identifies_shifted_flow() {
         let clean = traffic(400, 12);
-        let model = SubspaceModel::fit(&clean, SubspaceConfig { k: 4, alpha: 0.001 }).unwrap();
+        let model = SubspaceModel::fit(
+            &clean,
+            SubspaceConfig { k: 4, alpha: 0.001, ..SubspaceConfig::default() },
+        )
+        .unwrap();
         let mut row = clean.row(200).unwrap().to_vec();
         let axis = model.decomposition().loadings.col(0).unwrap();
         let (big_j, _) = vecops::argmax(&axis.iter().map(|a| a.abs()).collect::<Vec<_>>()).unwrap();

@@ -18,10 +18,39 @@
 
 use crate::eigenflow::EigenflowDecomposition;
 use crate::error::{Result, SubspaceError};
-use odflow_linalg::{vecops, Matrix};
+use odflow_linalg::{vecops, EigenMethod, Matrix};
 use odflow_stats::{q_threshold, t2_threshold};
 
 /// Configuration of the subspace model.
+///
+/// # Examples
+///
+/// The eigen-backend is part of the configuration: the default
+/// [`EigenMethod::Auto`] stays on the exact dense path at the paper's
+/// scale and switches to the randomized truncated solver once the OD
+/// space outgrows the dense Gram matrix.
+///
+/// ```
+/// use odflow_linalg::EigenMethod;
+/// use odflow_subspace::SubspaceConfig;
+///
+/// // The paper's defaults: k = 4, 99.9% confidence, Auto backend.
+/// let cfg = SubspaceConfig::default();
+/// assert!(cfg.method.is_dense_for(121)); // Abilene: dense Jacobi
+/// assert!(!cfg.method.is_dense_for(90_000)); // large mesh: randomized
+///
+/// // Pinning an explicit backend (e.g. for reproducing a CI run):
+/// let pinned = SubspaceConfig {
+///     k: 10,
+///     method: EigenMethod::RandomizedTruncated {
+///         oversample: 8,
+///         power_iters: 2,
+///         seed: 42,
+///     },
+///     ..SubspaceConfig::default()
+/// };
+/// assert_eq!(pinned.k, 10);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct SubspaceConfig {
     /// Normal subspace dimension. The paper uses `k = 4` throughout.
@@ -29,17 +58,28 @@ pub struct SubspaceConfig {
     /// False-alarm rate for both thresholds. The paper's figures use the
     /// 99.9% confidence level, i.e. `alpha = 0.001`.
     pub alpha: f64,
+    /// Eigen-backend used at fit time (see [`EigenMethod`]). `Auto` — the
+    /// default — picks the dense exact solver for small OD spaces and the
+    /// randomized truncated solver for large ones.
+    pub method: EigenMethod,
 }
 
 impl Default for SubspaceConfig {
     fn default() -> Self {
-        SubspaceConfig { k: 4, alpha: 0.001 }
+        SubspaceConfig { k: 4, alpha: 0.001, method: EigenMethod::Auto }
+    }
+}
+
+impl SubspaceConfig {
+    /// The paper's defaults with an explicit eigen-backend.
+    pub fn with_method(method: EigenMethod) -> Self {
+        SubspaceConfig { method, ..SubspaceConfig::default() }
     }
 }
 
 /// Decomposition of one traffic observation into normal and anomalous
 /// parts (in *centered* coordinates: `centered = normal + residual`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct StateSplit {
     /// The centered observation.
     pub centered: Vec<f64>,
@@ -47,6 +87,14 @@ pub struct StateSplit {
     pub normal: Vec<f64>,
     /// Residual (`x̃`): the anomalous component.
     pub residual: Vec<f64>,
+}
+
+impl StateSplit {
+    /// An empty split whose buffers are sized for `p` OD pairs — the
+    /// reusable scratch for [`SubspaceModel::split_into`].
+    pub fn with_dimension(p: usize) -> Self {
+        StateSplit { centered: vec![0.0; p], normal: vec![0.0; p], residual: vec![0.0; p] }
+    }
 }
 
 /// A fitted subspace model over one traffic type.
@@ -65,7 +113,10 @@ pub struct SubspaceModel {
 
 impl SubspaceModel {
     /// Fits the model to an `n x p` traffic matrix (rows = 5-minute bins,
-    /// columns = OD pairs).
+    /// columns = OD pairs) using the eigen-backend selected by
+    /// `config.method` ([`EigenMethod::Auto`] by default: exact dense
+    /// Jacobi at the paper's scale, randomized truncated once `p` outgrows
+    /// the dense Gram matrix).
     ///
     /// # Errors
     ///
@@ -86,7 +137,7 @@ impl SubspaceModel {
                 need: "need more timebins than normal-subspace dimensions",
             });
         }
-        let decomp = EigenflowDecomposition::fit(x)?;
+        let decomp = EigenflowDecomposition::fit_with(x, config.k, config.method)?;
         let eigenvalues = decomp.eigenvalues_padded(p);
 
         let (spe_threshold, degenerate_residual) =
@@ -155,22 +206,46 @@ impl SubspaceModel {
     ///
     /// [`SubspaceError::DimensionMismatch`] for wrong-length input.
     pub fn split(&self, x: &[f64]) -> Result<StateSplit> {
+        let mut out = StateSplit::with_dimension(self.p);
+        self.split_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::split`] into caller-owned buffers: streaming consumers
+    /// (notably `OnlineDetector::push`) reuse one [`StateSplit`] across
+    /// observations instead of allocating three vectors per bin. The
+    /// arithmetic — projection order, summation order — is exactly
+    /// [`Self::split`]'s, so results are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// [`SubspaceError::DimensionMismatch`] for wrong-length input.
+    pub fn split_into(&self, x: &[f64], out: &mut StateSplit) -> Result<()> {
         if x.len() != self.p {
             return Err(SubspaceError::DimensionMismatch { expected: self.p, got: x.len() });
         }
-        let mut centered = x.to_vec();
-        self.decomp.centering.apply_row(&mut centered)?;
+        out.centered.clear();
+        out.centered.extend_from_slice(x);
+        self.decomp.centering.apply_row(&mut out.centered)?;
 
-        // x̂ = P P^T x_c over the top-k principal axes.
+        // x̂ = P P^T x_c over the top-k principal axes. The loadings matrix
+        // is row-major `p x r`, so axis `i` is the stride-`r` column `i`;
+        // iterating rows in order keeps the summation order identical to
+        // materializing the column first.
         let k = self.config.k.min(self.decomp.rank());
-        let mut normal = vec![0.0; self.p];
+        let r = self.decomp.loadings.ncols();
+        let axes = self.decomp.loadings.as_slice();
+        out.normal.clear();
+        out.normal.resize(self.p, 0.0);
         for i in 0..k {
-            let axis = self.decomp.loadings.col(i)?;
-            let score = vecops::dot(&axis, &centered);
-            vecops::axpy(score, &axis, &mut normal);
+            let score = axis_dot(axes, r, i, &out.centered);
+            for (j, nrm) in out.normal.iter_mut().enumerate() {
+                *nrm += score * axes[j * r + i];
+            }
         }
-        let residual = vecops::sub(&centered, &normal);
-        Ok(StateSplit { centered, normal, residual })
+        out.residual.clear();
+        out.residual.extend(out.centered.iter().zip(&out.normal).map(|(c, nrm)| c - nrm));
+        Ok(())
     }
 
     /// The squared prediction error `||x̃||²` of one observation.
@@ -189,13 +264,16 @@ impl SubspaceModel {
         self.t2_of_centered(&centered)
     }
 
-    /// t² from an already-centered observation.
+    /// t² from an already-centered observation. Axis columns are read
+    /// strided in place (no per-axis allocation); the summation order
+    /// matches the historical column-materializing implementation exactly.
     pub(crate) fn t2_of_centered(&self, centered: &[f64]) -> Result<f64> {
         let k = self.config.k.min(self.decomp.rank());
+        let r = self.decomp.loadings.ncols();
+        let axes = self.decomp.loadings.as_slice();
         let mut t2 = 0.0;
         for i in 0..k {
-            let axis = self.decomp.loadings.col(i)?;
-            let z = vecops::dot(&axis, centered);
+            let z = axis_dot(axes, r, i, centered);
             let lambda = self.decomp.eigenvalue(i);
             if lambda > 1e-300 {
                 t2 += z * z / lambda;
@@ -223,6 +301,21 @@ impl SubspaceModel {
     pub fn t2_series(&self, x: &Matrix) -> Result<Vec<f64>> {
         x.rows_iter().map(|row| self.t2(row)).collect()
     }
+}
+
+/// Dot of the stride-`r` axis column `i` of the row-major loadings slice
+/// with `v`, accumulated in ascending-row order — the single order-pinned
+/// projection kernel shared by the SPE and T² paths. The bit-exactness of
+/// detection results (vs the historical column-materializing
+/// implementation, and across thread counts) depends on this exact
+/// summation order; do not unroll or reorder.
+#[inline]
+fn axis_dot(axes: &[f64], r: usize, i: usize, v: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (j, c) in v.iter().enumerate() {
+        acc += axes[j * r + i] * c;
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -347,15 +440,25 @@ mod tests {
     fn rejects_bad_config_and_shapes() {
         let x = traffic(50, 6, None);
         assert!(matches!(
-            SubspaceModel::fit(&x, SubspaceConfig { k: 0, alpha: 0.001 }),
+            SubspaceModel::fit(
+                &x,
+                SubspaceConfig { k: 0, alpha: 0.001, ..SubspaceConfig::default() }
+            ),
             Err(SubspaceError::BadSubspaceDim { .. })
         ));
         assert!(matches!(
-            SubspaceModel::fit(&x, SubspaceConfig { k: 6, alpha: 0.001 }),
+            SubspaceModel::fit(
+                &x,
+                SubspaceConfig { k: 6, alpha: 0.001, ..SubspaceConfig::default() }
+            ),
             Err(SubspaceError::BadSubspaceDim { .. })
         ));
         let tiny = traffic(3, 6, None);
-        assert!(SubspaceModel::fit(&tiny, SubspaceConfig { k: 4, alpha: 0.001 }).is_err());
+        assert!(SubspaceModel::fit(
+            &tiny,
+            SubspaceConfig { k: 4, alpha: 0.001, ..SubspaceConfig::default() }
+        )
+        .is_err());
 
         let model = SubspaceModel::fit_default(&x).unwrap();
         assert!(matches!(model.spe(&[1.0, 2.0]), Err(SubspaceError::DimensionMismatch { .. })));
@@ -371,7 +474,11 @@ mod tests {
         let x = Matrix::from_fn(60, 8, |i, j| {
             (i as f64).sin() * (j as f64 + 1.0) + (i as f64 / 7.0).cos() * (j as f64)
         });
-        let model = SubspaceModel::fit(&x, SubspaceConfig { k: 4, alpha: 0.001 }).unwrap();
+        let model = SubspaceModel::fit(
+            &x,
+            SubspaceConfig { k: 4, alpha: 0.001, ..SubspaceConfig::default() },
+        )
+        .unwrap();
         let scale = model.decomposition().eigenvalue(0);
         assert!(
             model.degenerate_residual() || model.spe_threshold() < 1e-9 * scale,
@@ -387,7 +494,7 @@ mod tests {
     #[test]
     fn thresholds_positive_and_config_stored() {
         let x = traffic(300, 9, None);
-        let cfg = SubspaceConfig { k: 3, alpha: 0.01 };
+        let cfg = SubspaceConfig { k: 3, alpha: 0.01, ..SubspaceConfig::default() };
         let model = SubspaceModel::fit(&x, cfg).unwrap();
         assert!(model.spe_threshold() > 0.0);
         assert!(model.t2_threshold() > 0.0);

@@ -10,7 +10,7 @@
 
 use crate::detector::{Detection, StatisticKind};
 use crate::error::{Result, SubspaceError};
-use crate::model::{SubspaceConfig, SubspaceModel};
+use crate::model::{StateSplit, SubspaceConfig, SubspaceModel};
 use odflow_linalg::{vecops, Matrix};
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -48,6 +48,9 @@ pub struct OnlineDetector {
     refit_every: usize,
     since_refit: usize,
     next_bin: usize,
+    /// Reusable centered/normal/residual buffers: scoring a bin is
+    /// allocation-free after the first push.
+    scratch: StateSplit,
 }
 
 impl OnlineDetector {
@@ -61,6 +64,7 @@ impl OnlineDetector {
         let model = SubspaceModel::fit(training, config)?;
         let window_len = training.nrows();
         let window: Vec<Vec<f64>> = training.rows_iter().map(|r| r.to_vec()).collect();
+        let scratch = StateSplit::with_dimension(training.ncols());
         Ok(OnlineDetector {
             config,
             model,
@@ -69,6 +73,7 @@ impl OnlineDetector {
             refit_every,
             since_refit: 0,
             next_bin: 0,
+            scratch,
         })
     }
 
@@ -102,9 +107,11 @@ impl OnlineDetector {
         let bin = self.next_bin;
         self.next_bin += 1;
 
-        let split = self.model.split(x)?;
-        let spe = vecops::norm_sq(&split.residual);
-        let t2 = self.model.t2_of_centered(&split.centered)?;
+        // Score through the reusable scratch buffers — no per-bin
+        // allocation, identical arithmetic to `SubspaceModel::split`.
+        self.model.split_into(x, &mut self.scratch)?;
+        let spe = vecops::norm_sq(&self.scratch.residual);
+        let t2 = self.model.t2_of_centered(&self.scratch.centered)?;
         let mut detections = Vec::new();
         if spe > self.model.spe_threshold() {
             detections.push(Detection {

@@ -31,7 +31,7 @@ proptest! {
 
     #[test]
     fn split_is_exact_and_orthogonal(x in arb_traffic()) {
-        let model = SubspaceModel::fit(&x, SubspaceConfig { k: 4, alpha: 0.001 }).unwrap();
+        let model = SubspaceModel::fit(&x, SubspaceConfig { k: 4, alpha: 0.001, ..SubspaceConfig::default() }).unwrap();
         for i in (0..x.nrows()).step_by(7) {
             let split = model.split(x.row(i).unwrap()).unwrap();
             // x_c = x_hat + x_tilde exactly.
@@ -51,8 +51,8 @@ proptest! {
         let p = x.ncols();
         let perm: Vec<usize> = (0..p).rev().collect();
         let xp = x.select_cols(&perm).unwrap();
-        let m1 = SubspaceModel::fit(&x, SubspaceConfig { k: 3, alpha: 0.001 }).unwrap();
-        let m2 = SubspaceModel::fit(&xp, SubspaceConfig { k: 3, alpha: 0.001 }).unwrap();
+        let m1 = SubspaceModel::fit(&x, SubspaceConfig { k: 3, alpha: 0.001, ..SubspaceConfig::default() }).unwrap();
+        let m2 = SubspaceModel::fit(&xp, SubspaceConfig { k: 3, alpha: 0.001, ..SubspaceConfig::default() }).unwrap();
         for i in (0..x.nrows()).step_by(11) {
             let s1 = m1.spe(x.row(i).unwrap()).unwrap();
             let s2 = m2.spe(xp.row(i).unwrap()).unwrap();
@@ -65,7 +65,7 @@ proptest! {
 
     #[test]
     fn identification_reduces_statistic(x in arb_traffic(), spike in 50.0f64..400.0) {
-        let model = SubspaceModel::fit(&x, SubspaceConfig { k: 4, alpha: 0.001 }).unwrap();
+        let model = SubspaceModel::fit(&x, SubspaceConfig { k: 4, alpha: 0.001, ..SubspaceConfig::default() }).unwrap();
         let mut row = x.row(x.nrows() / 2).unwrap().to_vec();
         row[0] += spike;
         if model.spe(&row).unwrap() <= model.spe_threshold() {

@@ -16,8 +16,11 @@ use odflow_flow::{
     TrafficType,
 };
 use odflow_gen::{Scenario, TraceGenerator};
+use odflow_linalg::Matrix;
 use odflow_net::IngressResolver;
-use odflow_subspace::{diagnose, AnomalyEvent, Diagnosis, SubspaceConfig};
+use odflow_subspace::{
+    diagnose, Analysis, AnomalyEvent, Diagnosis, SubspaceConfig, SubspaceDetector,
+};
 
 /// Configuration of a full experiment run.
 #[derive(Debug, Clone)]
@@ -127,6 +130,25 @@ pub fn run_scenario(
 
     let truth = truth_labels(scenario);
     Ok(ScenarioRun { matrices, resolution, diagnosis, classified, truth })
+}
+
+/// Fits a subspace model to one traffic matrix and scores every bin — the
+/// detection stage of [`run_scenario`] in isolation.
+///
+/// The eigen-backend comes from `config.method`: with the default
+/// [`odflow_subspace::EigenMethod::Auto`] this runs the exact dense solver
+/// at the paper's scale and the randomized truncated solver at large-mesh
+/// scale (90 000 OD pairs), never materializing a `p x p` matrix. This is
+/// what the `large_mesh_detect` perf stage times.
+///
+/// # Errors
+///
+/// Propagates model-fitting errors (shape, degeneracy, backend numerics).
+pub fn detect_matrix(
+    x: &Matrix,
+    config: SubspaceConfig,
+) -> Result<Analysis, Box<dyn std::error::Error>> {
+    Ok(SubspaceDetector::new(config).analyze(x)?)
 }
 
 /// Maps the generator's schedule into scoring labels.
