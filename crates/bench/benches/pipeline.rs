@@ -262,10 +262,42 @@ fn bench_large_mesh(c: &mut Criterion) {
     g.finish();
 }
 
+/// The pinned justification for `JACOBI_PARALLEL_MIN_DIM = 128`: both
+/// sweep orderings, forced, at the crossover dimension (and one step
+/// above). The phased, row-contiguous parallel ordering must beat the
+/// strided serial rotation at p = 128 even on a single thread — per-round
+/// dispatch on the persistent pool is a queue push, so the old 192 floor
+/// (set when every round paid three scoped thread spawns) no longer
+/// applies. If this bench ever inverts, raise the constant back.
+fn bench_jacobi_ordering(c: &mut Criterion) {
+    use odflow::linalg::{eigen_symmetric_with, JacobiOptions, JacobiOrdering};
+    let mut g = c.benchmark_group("jacobi_ordering");
+    g.sample_size(10);
+    for &p in &[128usize, 160] {
+        let x = traffic_matrix(2 * p, p);
+        let cov = odflow::linalg::covariance(&x).unwrap();
+        for (label, ordering) in
+            [("serial", JacobiOrdering::Serial), ("parallel", JacobiOrdering::Parallel)]
+        {
+            g.bench_with_input(BenchmarkId::new(label, p), &cov, |b, cov| {
+                b.iter(|| {
+                    eigen_symmetric_with(
+                        black_box(cov),
+                        JacobiOptions { ordering, ..JacobiOptions::default() },
+                    )
+                    .unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_linalg,
     bench_gram_covariance,
+    bench_jacobi_ordering,
     bench_subspace,
     bench_thresholds,
     bench_measurement,

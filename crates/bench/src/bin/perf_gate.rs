@@ -22,6 +22,13 @@
 //! stage whose regressions go unnoticed. Baselines recorded on a
 //! different machine shape are still compared — the override label in CI
 //! is the escape hatch for legitimate regressions and noisy runners.
+//!
+//! When either report was recorded with `"hardware_threads": 1`, only the
+//! `serial_ms` column is meaningful (a one-core "parallel" run is the same
+//! serial code behind pool dispatch), so the gate compares serial times
+//! only and says so. When both sides are multi-core, `parallel_ms`
+//! regressions are gated at the same threshold as serial ones — a missing
+//! speedup is as load-bearing as a serial slowdown.
 
 /// Stage names every full `perf_report` run must produce — the shared
 /// registry in the `odflow_bench` lib, so registering a stage there gates
@@ -92,6 +99,78 @@ fn missing_required(stages: &[Stage]) -> Vec<&'static str> {
     REQUIRED_STAGES.iter().filter(|req| !stages.iter().any(|s| s.name == **req)).copied().collect()
 }
 
+/// The `hardware_threads` header field of a report, if present.
+fn hardware_threads(json: &str) -> Option<usize> {
+    json.lines().find_map(|line| num_field(line, "hardware_threads")).map(|v| v as usize)
+}
+
+/// `true` when only the `serial_ms` column can be compared: either report
+/// was recorded on one hardware thread (the committed PR-2 caveat — a
+/// one-core "parallel" measurement is the serial path plus pool dispatch,
+/// not a speedup), or a report predates the header field.
+fn serial_only_comparison(prev_json: &str, curr_json: &str) -> bool {
+    let one_core = |json: &str| hardware_threads(json).is_none_or(|h| h <= 1);
+    one_core(prev_json) || one_core(curr_json)
+}
+
+/// One column of one stage-workload that regressed beyond the threshold.
+#[derive(Debug, Clone, PartialEq)]
+struct Regression {
+    name: String,
+    workload: String,
+    /// `"serial"` or `"parallel"`.
+    column: &'static str,
+    prev_ms: f64,
+    curr_ms: f64,
+}
+
+impl Regression {
+    fn describe(&self) -> String {
+        format!(
+            "{} [{}]: {} {:.2} ms -> {:.2} ms (+{:.1}%)",
+            self.name,
+            self.workload,
+            self.column,
+            self.prev_ms,
+            self.curr_ms,
+            (self.curr_ms / self.prev_ms - 1.0) * 100.0
+        )
+    }
+}
+
+/// Compares matched stages and returns the regressions that should fail
+/// the gate. `serial_only` suppresses the parallel column.
+fn find_regressions(
+    prev: &[Stage],
+    curr: &[Stage],
+    threshold_pct: f64,
+    serial_only: bool,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for c in curr {
+        let Some(p) = prev.iter().find(|p| p.name == c.name && p.workload == c.workload) else {
+            continue;
+        };
+        let mut check = |column: &'static str, prev_ms: f64, curr_ms: f64| {
+            let ratio = if prev_ms > 0.0 { curr_ms / prev_ms } else { 1.0 };
+            if ratio > 1.0 + threshold_pct / 100.0 {
+                regressions.push(Regression {
+                    name: c.name.clone(),
+                    workload: c.workload.clone(),
+                    column,
+                    prev_ms,
+                    curr_ms,
+                });
+            }
+        };
+        check("serial", p.serial_ms, c.serial_ms);
+        if !serial_only {
+            check("parallel", p.parallel_ms, c.parallel_ms);
+        }
+    }
+    regressions
+}
+
 fn usage_error(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!("usage: perf_gate --previous PATH --current PATH [--threshold PCT]");
@@ -143,7 +222,14 @@ fn main() {
         std::process::exit(1);
     }
 
-    let mut regressions = Vec::new();
+    let serial_only = serial_only_comparison(&prev_json, &curr_json);
+    if serial_only {
+        println!(
+            "perf_gate: a report was recorded with hardware_threads <= 1 — comparing \
+             serial_ms only; parallel/speedup columns are not meaningful on one core"
+        );
+    }
+    let regressions = find_regressions(&prev, &curr, threshold_pct, serial_only);
     for c in &curr {
         let Some(p) = prev.iter().find(|p| p.name == c.name && p.workload == c.workload) else {
             println!(
@@ -152,28 +238,28 @@ fn main() {
             );
             continue;
         };
-        let ratio = if p.serial_ms > 0.0 { c.serial_ms / p.serial_ms } else { 1.0 };
-        let verdict = if ratio > 1.0 + threshold_pct / 100.0 {
-            regressions.push(format!(
-                "{} [{}]: serial {:.2} ms -> {:.2} ms (+{:.1}%)",
-                c.name,
-                c.workload,
-                p.serial_ms,
-                c.serial_ms,
-                (ratio - 1.0) * 100.0
-            ));
-            "REGRESSED"
-        } else {
-            "ok"
-        };
-        println!(
+        let serial_ratio = if p.serial_ms > 0.0 { c.serial_ms / p.serial_ms } else { 1.0 };
+        let regressed = regressions.iter().any(|r| r.name == c.name && r.workload == c.workload);
+        let verdict = if regressed { "REGRESSED" } else { "ok" };
+        let mut line = format!(
             "  {verdict:<15} {:<22} {:<34} serial {:>9.2} -> {:>9.2} ms ({:+.1}%)",
             c.name,
             c.workload,
             p.serial_ms,
             c.serial_ms,
-            (ratio - 1.0) * 100.0
+            (serial_ratio - 1.0) * 100.0
         );
+        if !serial_only {
+            let parallel_ratio =
+                if p.parallel_ms > 0.0 { c.parallel_ms / p.parallel_ms } else { 1.0 };
+            line.push_str(&format!(
+                "   parallel {:>9.2} -> {:>9.2} ms ({:+.1}%)",
+                p.parallel_ms,
+                c.parallel_ms,
+                (parallel_ratio - 1.0) * 100.0
+            ));
+        }
+        println!("{line}");
     }
     for p in &prev {
         if !curr.iter().any(|c| c.name == p.name && c.workload == p.workload) {
@@ -182,11 +268,12 @@ fn main() {
     }
 
     if regressions.is_empty() {
-        println!("perf_gate: no serial regression beyond {threshold_pct}%");
+        let columns = if serial_only { "serial" } else { "serial/parallel" };
+        println!("perf_gate: no {columns} regression beyond {threshold_pct}%");
     } else {
         eprintln!("perf_gate: {} stage(s) regressed beyond {threshold_pct}%:", regressions.len());
         for r in &regressions {
-            eprintln!("  {r}");
+            eprintln!("  {}", r.describe());
         }
         eprintln!("(apply the perf-regression-ok label to override a justified regression)");
         std::process::exit(1);
@@ -235,6 +322,94 @@ mod tests {
         assert!(!missing.contains(&"gram"));
         assert!(!missing.contains(&"ingest"));
         assert_eq!(missing.len(), REQUIRED_STAGES.len() - 2);
+    }
+
+    #[test]
+    fn hardware_threads_parsed_from_header() {
+        let one = "{\n  \"hardware_threads\": 1,\n  \"stages\": []\n}";
+        let many = "{\n  \"hardware_threads\": 16,\n  \"stages\": []\n}";
+        assert_eq!(hardware_threads(one), Some(1));
+        assert_eq!(hardware_threads(many), Some(16));
+        assert_eq!(hardware_threads(SAMPLE), None, "legacy report without the field");
+    }
+
+    #[test]
+    fn one_core_baseline_forces_serial_only_comparison() {
+        let one = "{\"hardware_threads\": 1}";
+        let many = "{\"hardware_threads\": 8}";
+        // The committed PR-2 caveat: a 1-core report on either side means
+        // only serial_ms is meaningful.
+        assert!(serial_only_comparison(one, many));
+        assert!(serial_only_comparison(many, one));
+        assert!(!serial_only_comparison(many, many));
+        // Reports predating the header field are treated as one-core.
+        assert!(serial_only_comparison(SAMPLE, many));
+    }
+
+    #[test]
+    fn serial_only_skips_parallel_regressions() {
+        let prev = vec![Stage {
+            name: "gram".into(),
+            workload: "w".into(),
+            serial_ms: 10.0,
+            parallel_ms: 3.0,
+        }];
+        let curr = vec![Stage {
+            name: "gram".into(),
+            workload: "w".into(),
+            serial_ms: 10.5,
+            parallel_ms: 9.0, // 3x parallel regression
+        }];
+        // Serial-only: the parallel blow-up is ignored (one-core noise)...
+        assert!(find_regressions(&prev, &curr, 15.0, true).is_empty());
+        // ...multi-core: the same diff fails the gate on the parallel column.
+        let failing = find_regressions(&prev, &curr, 15.0, false);
+        assert_eq!(failing.len(), 1);
+        assert_eq!(failing[0].column, "parallel", "{failing:?}");
+        assert_eq!(failing[0].workload, "w");
+        assert!(failing[0].describe().contains("parallel 3.00 ms -> 9.00 ms"));
+    }
+
+    #[test]
+    fn regressions_identify_the_exact_workload() {
+        // Two workloads of the same stage: only the regressed one may be
+        // reported, identified by (name, workload) — not by stage name
+        // alone.
+        let stage = |workload: &str, serial_ms: f64| Stage {
+            name: "gram".into(),
+            workload: workload.into(),
+            serial_ms,
+            parallel_ms: 1.0,
+        };
+        let prev = vec![stage("n=2016 p=121", 10.0), stage("n=1024 p=512", 40.0)];
+        let curr = vec![stage("n=2016 p=121", 20.0), stage("n=1024 p=512", 41.0)];
+        let failing = find_regressions(&prev, &curr, 15.0, true);
+        assert_eq!(failing.len(), 1);
+        assert_eq!(failing[0].workload, "n=2016 p=121");
+        assert_eq!(failing[0].name, "gram");
+    }
+
+    #[test]
+    fn serial_regressions_gate_in_both_modes() {
+        let prev = vec![Stage {
+            name: "matmul".into(),
+            workload: "w".into(),
+            serial_ms: 10.0,
+            parallel_ms: 3.0,
+        }];
+        let curr = vec![Stage {
+            name: "matmul".into(),
+            workload: "w".into(),
+            serial_ms: 12.0,
+            parallel_ms: 3.0,
+        }];
+        for serial_only in [true, false] {
+            let failing = find_regressions(&prev, &curr, 15.0, serial_only);
+            assert_eq!(failing.len(), 1, "serial_only={serial_only}");
+            assert_eq!(failing[0].column, "serial");
+        }
+        // Within threshold passes.
+        assert!(find_regressions(&prev, &prev, 15.0, false).is_empty());
     }
 
     #[test]

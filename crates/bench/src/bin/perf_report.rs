@@ -1,16 +1,18 @@
 //! `perf_report` — fixed-workload wall-clock harness for the parallel
 //! numerics core.
 //!
-//! Times every hot stage of the reproduction (Gram matrix, Jacobi
-//! eigendecomposition, blocked matmul, subspace model fit, batch detection,
-//! scenario materialization, the fused sharded ingest, the 90k-OD-pair
-//! large-mesh pipeline, and the end-to-end pipeline) twice: once with
-//! the pool pinned to a single thread (the serial baseline) and once with
-//! the full pool. Emits a machine-readable `BENCH_pipeline.json` — stamped
-//! with the pool size, raw `ODFLOW_THREADS`, ingest shard grain, and peak
-//! RSS, so CI artifacts are self-describing — and the perf trajectory of
-//! the repo is tracked from one fixed workload set: `perf_gate` diffs every
-//! PR's report against the previous run's artifact.
+//! Times every hot stage of the reproduction (the fan-out dispatch
+//! microbench, Gram matrix, Jacobi eigendecomposition, blocked matmul,
+//! subspace model fit, batch detection, scenario materialization, the
+//! fused sharded ingest, the 90k-OD-pair large-mesh pipeline, and the
+//! end-to-end pipeline) twice: once with the pool pinned to a single
+//! thread (the serial baseline) and once with the full pool. Emits a
+//! machine-readable `BENCH_pipeline.json` — stamped with the pool size and
+//! kind (`"pool": "persistent"`), raw `ODFLOW_THREADS`, ingest shard
+//! grain, and peak RSS, so CI artifacts are self-describing — and the perf
+//! trajectory of the repo is tracked from one fixed workload set:
+//! `perf_gate` diffs every PR's report against the previous run's
+//! artifact.
 //!
 //! Usage:
 //!
@@ -125,6 +127,9 @@ fn write_json(path: &str, quick: bool, stages: &[StageResult]) -> std::io::Resul
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!("  \"hardware_threads\": {},\n", odflow_par::hardware_threads()));
     out.push_str(&format!("  \"pool_threads\": {},\n", odflow_par::default_threads()));
+    // Which fan-out runtime produced these numbers: dispatch overhead is
+    // part of every parallel column, so baselines must be comparable on it.
+    out.push_str(&format!("  \"pool\": \"{}\",\n", json_escape(odflow_par::POOL_KIND)));
     // Self-describing multi-core CI artifacts: the raw env override (if
     // any), the ingest shard grain, and this run's high-water memory mark.
     match std::env::var(odflow_par::THREADS_ENV) {
@@ -189,6 +194,28 @@ fn main() {
     );
 
     let mut stages = Vec::new();
+
+    // Region dispatch overhead of the fan-out substrate itself: empty-body
+    // regions, so all that is measured is chunk bookkeeping plus (in the
+    // parallel column) queueing claim-loop tasks onto the persistent pool
+    // and joining the region latch. One region is ~microseconds — below
+    // the report's 0.001 ms serialization grain — so each measurement runs
+    // a fixed batch of regions to land in gate-able milliseconds. Tracked
+    // like any other stage so a regression in the runtime — e.g. reverting
+    // to per-region thread spawns — fails the perf gate, not just the
+    // stages it would silently tax.
+    if filter.enabled("fanout") {
+        for &(n, regions) in &[(1_000usize, 512usize), (100_000, 64)] {
+            let label = format!("n={n} chunks x{regions} regions");
+            stages.push(run_stage("fanout", label, reps.max(3), || {
+                for _ in 0..regions {
+                    odflow_par::parallel_for(n, 1, |r| {
+                        black_box(r.start);
+                    });
+                }
+            }));
+        }
+    }
 
     // Gram matrix X^T X at the paper's scale and at a 512-pair mesh.
     if filter.enabled("gram") {

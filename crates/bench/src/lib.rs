@@ -28,6 +28,7 @@ pub mod plot;
 /// arguments against it) and `perf_gate` (which requires all of them in a
 /// full report, so a new stage is gated the moment it is registered here).
 pub const PERF_STAGES: &[&str] = &[
+    "fanout",
     "gram",
     "matmul",
     "eigen",

@@ -331,7 +331,10 @@ impl ShardedIngest {
 
     /// One-shot ingest of a pre-materialized record batch: partitions the
     /// stream by owning shard (stable, preserving per-bin record order),
-    /// fills every shard across the [`odflow_par`] pool, and merges.
+    /// fills every shard across the persistent [`odflow_par`] pool, and
+    /// merges. Shard fills are single-threaded task bodies — the record
+    /// push loop opens no inner region — which is exactly what the pool's
+    /// no-nesting contract asks of task bodies.
     ///
     /// Bit-identical to pushing the same records through the serial
     /// pipeline, for any `ODFLOW_THREADS`.

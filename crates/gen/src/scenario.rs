@@ -365,8 +365,10 @@ impl<'a> TraceGenerator<'a> {
     pub fn records_for_bins(&self, bins: std::ops::Range<usize>) -> Vec<Vec<FlowRecord>> {
         let lo = bins.start;
         let count = bins.len();
-        // A few bins per task amortizes fan-out while keeping ~500 tasks
-        // per week for load balance across heterogeneous bins.
+        // A few bins per task keeps ~500 tasks per week for load balance
+        // across heterogeneous bins; per-task dispatch on the persistent
+        // pool is a queue push, so the grain is set by result-slot
+        // bookkeeping (one Vec per task), not by fan-out amortization.
         odflow_par::map_chunks(count, 4, |chunk| {
             chunk.map(|i| self.records_for_bin(lo + i)).collect::<Vec<_>>()
         })

@@ -124,6 +124,9 @@ pub fn standardize_columns(x: &Matrix) -> Result<(Matrix, Centering)> {
 
 /// Rows per parallel block for centering passes. Fixed so the block-ordered
 /// reduction in [`column_means`] is deterministic for any thread count.
+/// Region dispatch goes through the persistent `odflow_par` pool (a queue
+/// push per block, not a thread spawn), so the block size is chosen for
+/// cache residency and load balance alone.
 const CENTER_ROW_BLOCK: usize = 256;
 
 /// Per-column arithmetic means of a matrix.

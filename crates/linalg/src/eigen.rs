@@ -69,6 +69,29 @@ impl EigenDecomposition {
     }
 }
 
+/// Which pivot ordering a Jacobi iteration uses per sweep.
+///
+/// Both orderings converge to the same eigensystem; they differ in the
+/// rotation sequence, so intermediate floating-point values (and thus the
+/// final low-order bits) differ between the two. Whatever the choice, the
+/// result is bit-identical for every thread count — the ordering decides
+/// the arithmetic, the pool only schedules it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JacobiOrdering {
+    /// Pick by dimension: serial cyclic below
+    /// [`JACOBI_PARALLEL_MIN_DIM`], round-robin parallel ordering at or
+    /// above it. This is the default and the only variant callers normally
+    /// need.
+    #[default]
+    Auto,
+    /// Force the classic serial cyclic sweep regardless of dimension.
+    /// Used by the `jacobi_ordering` justification bench that pins the
+    /// crossover point.
+    Serial,
+    /// Force the round-robin parallel ordering regardless of dimension.
+    Parallel,
+}
+
 /// Options controlling the Jacobi iteration.
 #[derive(Debug, Clone, Copy)]
 pub struct JacobiOptions {
@@ -83,11 +106,18 @@ pub struct JacobiOptions {
     /// to its max absolute entry. Default `1e-9`. Inputs within tolerance are
     /// symmetrized as `(A + A^T) / 2` before iterating.
     pub symmetry_tolerance: f64,
+    /// Sweep ordering selection. Default [`JacobiOrdering::Auto`].
+    pub ordering: JacobiOrdering,
 }
 
 impl Default for JacobiOptions {
     fn default() -> Self {
-        JacobiOptions { rel_tolerance: 1e-14, max_sweeps: 64, symmetry_tolerance: 1e-9 }
+        JacobiOptions {
+            rel_tolerance: 1e-14,
+            max_sweeps: 64,
+            symmetry_tolerance: 1e-9,
+            ordering: JacobiOrdering::Auto,
+        }
     }
 }
 
@@ -151,7 +181,17 @@ pub fn eigen_symmetric_with(a: &Matrix, opts: JacobiOptions) -> Result<EigenDeco
     // The sweep strategy is chosen from the dimension alone (never the
     // thread count), so a given matrix always takes the same arithmetic
     // path and ODFLOW_THREADS cannot change the result.
-    let parallel_ordering = n >= JACOBI_PARALLEL_MIN_DIM;
+    let parallel_ordering = match opts.ordering {
+        JacobiOrdering::Auto => n >= JACOBI_PARALLEL_MIN_DIM,
+        JacobiOrdering::Serial => false,
+        JacobiOrdering::Parallel => true,
+    };
+
+    // Rotation table reused across every round of every sweep: with the
+    // persistent pool the per-round fan-out is cheap enough that this
+    // per-round allocation was a measurable share of small-dimension
+    // sweeps.
+    let mut rotation_scratch: Vec<Rotation> = Vec::with_capacity(n.div_ceil(2));
 
     let mut sweeps = 0;
     while off_diagonal_norm(&w) > tol {
@@ -159,7 +199,7 @@ pub fn eigen_symmetric_with(a: &Matrix, opts: JacobiOptions) -> Result<EigenDeco
             return Err(LinalgError::NoConvergence { op: "eigen_symmetric", iterations: sweeps });
         }
         if parallel_ordering {
-            parallel_sweep(&mut w, &mut v);
+            parallel_sweep(&mut w, &mut v, &mut rotation_scratch);
         } else {
             serial_sweep(&mut w, &mut v);
         }
@@ -179,10 +219,19 @@ pub fn eigen_symmetric_with(a: &Matrix, opts: JacobiOptions) -> Result<EigenDeco
 }
 
 /// Smallest dimension at which the Jacobi iteration switches from the
-/// serial cyclic ordering to the round-robin parallel ordering. Below this,
-/// per-rotation work is too small to amortize fan-out and the classic sweep
-/// (identical to the original implementation) is used.
-pub const JACOBI_PARALLEL_MIN_DIM: usize = 192;
+/// serial cyclic ordering to the round-robin parallel ordering (under
+/// [`JacobiOrdering::Auto`]). Below this, per-rotation work is too small to
+/// amortize the phased update and the classic sweep (identical to the
+/// original implementation) is used.
+///
+/// Re-tuned from 192 to 128 when the per-region thread spawn was replaced
+/// by the persistent worker pool: per-round dispatch dropped from three
+/// scoped spawn/join cycles to three queue pushes, and the `jacobi_ordering`
+/// criterion bench (`cargo bench -p odflow_bench -- jacobi_ordering`) pins
+/// the crossover — at p = 128 the phased row-contiguous update already beats
+/// the strided serial rotation even on one thread, and the paper's p = 121
+/// mesh stays safely on the byte-identical serial path.
+pub const JACOBI_PARALLEL_MIN_DIM: usize = 128;
 
 /// One Jacobi plane rotation in the `(p, q)` plane.
 #[derive(Clone, Copy)]
@@ -253,17 +302,19 @@ const JACOBI_ROW_BLOCK: usize = 64;
 /// Coefficients are computed before any update from entries no rotation in
 /// the round touches, so the result is independent of scheduling.
 ///
-/// Each phase opens its own scoped fan-out, so a round pays up to three
-/// spawn/join cycles; per-round arithmetic is `O(n^2)`, which amortizes
-/// that only for large `n` — the dominant win at moderate sizes is the
-/// row-contiguous memory access of the phased update itself (~3x over the
-/// strided serial rotation even single-threaded). Replacing the per-phase
-/// spawns with a per-sweep worker team is a recorded ROADMAP perf target.
-fn parallel_sweep(w: &mut Matrix, v: &mut Matrix) {
+/// Each phase is one region on the persistent pool, so a round pays three
+/// queue dispatches (not three thread spawn/join cycles — that overhead is
+/// what kept [`JACOBI_PARALLEL_MIN_DIM`] at 192 before the pool became
+/// persistent); the dominant win at moderate sizes is the row-contiguous
+/// memory access of the phased update itself (~3x over the strided serial
+/// rotation even single-threaded). The rotation table is caller-provided
+/// scratch, cleared and refilled per round, so steady-state sweeps
+/// allocate nothing.
+fn parallel_sweep(w: &mut Matrix, v: &mut Matrix, rots: &mut Vec<Rotation>) {
     let n = w.nrows();
     let m = n + (n & 1); // round up to even; index n (if any) is the bye
     for round in 0..m - 1 {
-        let mut rots: Vec<Rotation> = Vec::with_capacity(m / 2);
+        rots.clear();
         for k in 0..m / 2 {
             let (i, j) = tournament_pair(m, round, k);
             if i >= n || j >= n {
@@ -276,15 +327,15 @@ fn parallel_sweep(w: &mut Matrix, v: &mut Matrix) {
         if rots.is_empty() {
             continue;
         }
-        apply_column_rotations(w, &rots);
-        apply_row_rotations(w, &rots);
+        apply_column_rotations(w, rots);
+        apply_row_rotations(w, rots);
         // The two-sided update annihilates the pivots modulo rounding;
         // zero them explicitly as the serial rotation does.
-        for rot in &rots {
+        for rot in rots.iter() {
             w[(rot.p, rot.q)] = 0.0;
             w[(rot.q, rot.p)] = 0.0;
         }
-        apply_column_rotations(v, &rots);
+        apply_column_rotations(v, rots);
     }
 }
 
@@ -579,6 +630,33 @@ mod tests {
             wide.eigenvectors.as_slice(),
             "eigenvectors must be bit-identical"
         );
+    }
+
+    #[test]
+    fn forced_orderings_agree_on_the_same_eigensystem() {
+        // Serial cyclic and round-robin parallel orderings take different
+        // rotation sequences but must land on the same eigensystem; the
+        // `ordering` override exists so the justification bench can pin
+        // both paths at one dimension.
+        let n = 48;
+        let b = Matrix::from_fn(n + 8, n, |i, j| {
+            (((i * 29 + j * 13) % 127) as f64 / 127.0 - 0.5) + if i == j { 0.4 } else { 0.0 }
+        });
+        let a = b.transpose().matmul(&b).unwrap();
+        let forced = |ordering| {
+            eigen_symmetric_with(&a, JacobiOptions { ordering, ..JacobiOptions::default() })
+                .unwrap()
+        };
+        let serial = forced(JacobiOrdering::Serial);
+        let parallel = forced(JacobiOrdering::Parallel);
+        for (s, p) in serial.eigenvalues.iter().zip(&parallel.eigenvalues) {
+            assert!((s - p).abs() <= 1e-8 * (1.0 + s.abs()), "eigenvalue {s} vs {p}");
+        }
+        // And Auto at this size matches the serial ordering bit for bit —
+        // n = 48 is below the crossover.
+        let auto = forced(JacobiOrdering::Auto);
+        assert_eq!(auto.eigenvalues, serial.eigenvalues);
+        assert_eq!(auto.eigenvectors.as_slice(), serial.eigenvectors.as_slice());
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub use backend::{
 pub use center::{center_columns, column_means, standardize_columns, Centering};
 pub use cov::{correlation, covariance, scatter};
 pub use eigen::{
-    eigen_symmetric, eigen_symmetric_with, EigenDecomposition, JacobiOptions,
+    eigen_symmetric, eigen_symmetric_with, EigenDecomposition, JacobiOptions, JacobiOrdering,
     JACOBI_PARALLEL_MIN_DIM,
 };
 pub use error::{LinalgError, Result};

@@ -236,10 +236,13 @@ impl Matrix {
     /// Matrix product `self * rhs`.
     ///
     /// Blocked i-k-j kernel: output rows are computed in independent row
-    /// blocks (parallelized across the [`odflow_par`] pool) and the k loop
-    /// is tiled so the active slice of `rhs` stays cache-resident. The
-    /// branchless inner loop runs the same dense accumulation in every row,
-    /// so results are bit-identical for every thread count. Returns
+    /// blocks (parallelized across the persistent [`odflow_par`] pool) and
+    /// the k loop is tiled so the active slice of `rhs` stays
+    /// cache-resident. Inside a block, a 2-row × 4-k register-tiled
+    /// micro-kernel (`matmul_tile_2x4`) runs fixed-width,
+    /// autovectorization-friendly inner loops; every output element still
+    /// accumulates in ascending-k order, so results are bit-identical to
+    /// the plain loop for every thread count. Returns
     /// [`LinalgError::ShapeMismatch`] when `self.ncols() != rhs.nrows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
@@ -259,8 +262,9 @@ impl Matrix {
         // Per-element accumulation stays in ascending-k order either way, so
         // the tile choice never changes results.
         let kb = if inner * m <= (1 << 19) { inner } else { 64 };
-        // Row block: small matrices run in one inline chunk (no spawn cost);
-        // the split affects scheduling only, never accumulation order.
+        // Row block: small matrices run in one inline chunk (pooled
+        // dispatch is cheap but not free); the split affects scheduling
+        // only, never accumulation order.
         let flops = n * inner * m;
         let row_block = if flops < (1 << 20) { n } else { 16 };
         let a = &self.data;
@@ -269,14 +273,21 @@ impl Matrix {
             let i0 = blk * row_block;
             for k0 in (0..inner).step_by(kb) {
                 let k1 = (k0 + kb).min(inner);
-                for (ii, out_row) in out_rows.chunks_exact_mut(m).enumerate() {
-                    let a_row = &a[(i0 + ii) * inner..(i0 + ii + 1) * inner];
-                    for (k, &a_ik) in a_row[k0..k1].iter().enumerate() {
-                        let b_row = &b[(k0 + k) * m..(k0 + k + 1) * m];
-                        for (o, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
-                            *o += a_ik * b_kj;
-                        }
-                    }
+                // Row pairs through the register-tiled micro-kernel; a
+                // trailing odd row takes the single-row kernel.
+                let mut pairs = out_rows.chunks_exact_mut(2 * m);
+                let mut i = i0;
+                for pair in &mut pairs {
+                    let (out0, out1) = pair.split_at_mut(m);
+                    let a0 = &a[i * inner..(i + 1) * inner];
+                    let a1 = &a[(i + 1) * inner..(i + 2) * inner];
+                    matmul_tile_2x4(a0, a1, b, out0, out1, m, k0, k1);
+                    i += 2;
+                }
+                let tail = pairs.into_remainder();
+                if !tail.is_empty() {
+                    let a_row = &a[i * inner..(i + 1) * inner];
+                    matmul_tile_1x4(a_row, b, tail, m, k0, k1);
                 }
             }
         });
@@ -466,6 +477,98 @@ impl Matrix {
     }
 }
 
+/// 2-row × 4-k register-tiled matmul micro-kernel over one k tile
+/// `[k0, k1)`: `out0 += a0[k] * b[k, :]` and `out1 += a1[k] * b[k, :]`.
+///
+/// Four consecutive k's are folded per pass over the output rows, so the
+/// row traffic (load + store per element) is paid once per four updates
+/// and each `b` row load is shared by both output rows. The adds for one
+/// output element are sequenced in ascending-k order — `(((o + a·b₀) +
+/// a·b₁) + a·b₂) + a·b₃` — exactly the order the plain one-k-at-a-time
+/// loop produces, so the unroll never changes a bit of the result. The
+/// fixed-width zip chain keeps the inner loop free of bounds checks for
+/// the autovectorizer.
+#[allow(clippy::too_many_arguments)]
+fn matmul_tile_2x4(
+    a0: &[f64],
+    a1: &[f64],
+    b: &[f64],
+    out0: &mut [f64],
+    out1: &mut [f64],
+    m: usize,
+    k0: usize,
+    k1: usize,
+) {
+    let mut k = k0;
+    while k + 4 <= k1 {
+        let (a00, a01, a02, a03) = (a0[k], a0[k + 1], a0[k + 2], a0[k + 3]);
+        let (a10, a11, a12, a13) = (a1[k], a1[k + 1], a1[k + 2], a1[k + 3]);
+        let b0 = &b[k * m..(k + 1) * m];
+        let b1 = &b[(k + 1) * m..(k + 2) * m];
+        let b2 = &b[(k + 2) * m..(k + 3) * m];
+        let b3 = &b[(k + 3) * m..(k + 4) * m];
+        let rows = out0.iter_mut().zip(out1.iter_mut());
+        let cols = b0.iter().zip(b1).zip(b2).zip(b3);
+        for ((o0, o1), (((&b0j, &b1j), &b2j), &b3j)) in rows.zip(cols) {
+            let mut acc0 = *o0;
+            acc0 += a00 * b0j;
+            acc0 += a01 * b1j;
+            acc0 += a02 * b2j;
+            acc0 += a03 * b3j;
+            *o0 = acc0;
+            let mut acc1 = *o1;
+            acc1 += a10 * b0j;
+            acc1 += a11 * b1j;
+            acc1 += a12 * b2j;
+            acc1 += a13 * b3j;
+            *o1 = acc1;
+        }
+        k += 4;
+    }
+    // k remainder (tile length not a multiple of 4): one k at a time, still
+    // ascending, still sharing the b row across both output rows.
+    while k < k1 {
+        let (a0k, a1k) = (a0[k], a1[k]);
+        let b_row = &b[k * m..(k + 1) * m];
+        for ((o0, o1), &bkj) in out0.iter_mut().zip(out1.iter_mut()).zip(b_row) {
+            *o0 += a0k * bkj;
+            *o1 += a1k * bkj;
+        }
+        k += 1;
+    }
+}
+
+/// Single-row variant of `matmul_tile_2x4` for the trailing odd output row
+/// of a block. Same ascending-k accumulation order.
+fn matmul_tile_1x4(a_row: &[f64], b: &[f64], out: &mut [f64], m: usize, k0: usize, k1: usize) {
+    let mut k = k0;
+    while k + 4 <= k1 {
+        let (ak0, ak1, ak2, ak3) = (a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]);
+        let b0 = &b[k * m..(k + 1) * m];
+        let b1 = &b[(k + 1) * m..(k + 2) * m];
+        let b2 = &b[(k + 2) * m..(k + 3) * m];
+        let b3 = &b[(k + 3) * m..(k + 4) * m];
+        let cols = b0.iter().zip(b1).zip(b2).zip(b3);
+        for (o, (((&b0j, &b1j), &b2j), &b3j)) in out.iter_mut().zip(cols) {
+            let mut acc = *o;
+            acc += ak0 * b0j;
+            acc += ak1 * b1j;
+            acc += ak2 * b2j;
+            acc += ak3 * b3j;
+            *o = acc;
+        }
+        k += 4;
+    }
+    while k < k1 {
+        let ak = a_row[k];
+        let b_row = &b[k * m..(k + 1) * m];
+        for (o, &bkj) in out.iter_mut().zip(b_row) {
+            *o += ak * bkj;
+        }
+        k += 1;
+    }
+}
+
 impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f64;
 
@@ -609,6 +712,36 @@ mod tests {
         let i4 = Matrix::identity(4);
         assert!(a.matmul(&i4).unwrap().approx_eq(&a, 1e-15));
         assert!(i4.matmul(&a).unwrap().approx_eq(&a, 1e-15));
+    }
+
+    #[test]
+    fn matmul_unrolled_matches_naive_bitwise() {
+        // The 2x4 register tile must reproduce the plain ascending-k
+        // triple loop bit for bit, across odd/even row counts and k
+        // remainders 0..3, under any thread limit.
+        for &(n, inner, m) in
+            &[(1usize, 1usize, 1usize), (2, 4, 3), (3, 5, 2), (7, 9, 11), (16, 13, 6), (33, 66, 15)]
+        {
+            let a = Matrix::from_fn(n, inner, |i, j| ((i * 37 + j * 11) % 97) as f64 / 97.0 - 0.31);
+            let b = Matrix::from_fn(inner, m, |i, j| ((i * 23 + j * 41) % 89) as f64 / 89.0 + 0.07);
+            let mut naive = Matrix::zeros(n, m);
+            for i in 0..n {
+                for k in 0..inner {
+                    let aik = a[(i, k)];
+                    for j in 0..m {
+                        naive[(i, j)] += aik * b[(k, j)];
+                    }
+                }
+            }
+            for threads in [1usize, 4] {
+                let got = odflow_par::with_thread_limit(threads, || a.matmul(&b).unwrap());
+                assert_eq!(
+                    got.as_slice(),
+                    naive.as_slice(),
+                    "n={n} inner={inner} m={m} threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

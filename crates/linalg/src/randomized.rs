@@ -192,6 +192,8 @@ pub fn randomized_thin_svd(x: &Matrix, rank: usize, opts: RandomizedSvdOptions) 
             }
         })
         .collect();
+    // Row blocks dispatch onto the persistent pool; each block applies the
+    // same per-column inverse norms, so the rescale is order-free.
     odflow_par::parallel_chunks(data, V_COL_BLOCK * r, |_, rows| {
         for row in rows.chunks_exact_mut(r) {
             for (val, &inv) in row.iter_mut().zip(&inv_norms) {

@@ -131,11 +131,13 @@ pub fn thin_svd(x: &Matrix, rel_cutoff: f64) -> Result<Svd> {
 
     let v = eig.eigenvectors.select_cols(&keep)?;
 
-    // U = X V Σ^{-1}: extract/rescale/renormalize columns across the pool.
-    // Columns are independent and each runs the exact serial arithmetic,
-    // so the assembly is bit-identical for any thread count (the doctest
-    // above pins this); writing the columns back happens serially in
-    // column order.
+    // U = X V Σ^{-1}: extract/rescale/renormalize columns across the
+    // persistent pool, one column per task — cheap at pooled dispatch
+    // prices even for the small ranks the subspace method keeps. Columns
+    // are independent and each runs the exact serial arithmetic, so the
+    // assembly is bit-identical for any thread count (the doctest above
+    // pins this); writing the columns back happens serially in column
+    // order.
     let xv = x.matmul(&v)?;
     let rank = keep.len();
     let mut u = Matrix::zeros(x.nrows(), rank);

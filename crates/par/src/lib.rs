@@ -1,13 +1,38 @@
-//! # odflow-par — scoped fork/join parallelism for the numerics core
+//! # odflow-par — persistent-pool fork/join parallelism for the numerics core
 //!
-//! A dependency-free data-parallel substrate built on [`std::thread::scope`].
-//! The hot paths of the subspace method — `X^T X` at week scale, blocked
-//! matmul, Jacobi sweeps, scenario materialization, batch SPE/T² scoring —
-//! are all embarrassingly parallel over row blocks, bins, or chunk ranges;
-//! this crate gives them one shared fan-out primitive instead of ad-hoc
-//! threading per crate.
+//! A data-parallel substrate built on a **lazily-initialized persistent
+//! worker pool** (the vendored [`scoped_pool`] shim). The hot paths of the
+//! subspace method — `X^T X` at week scale, blocked matmul, Jacobi sweeps,
+//! scenario materialization, sharded ingest, batch SPE/T² scoring — are all
+//! embarrassingly parallel over row blocks, bins, or chunk ranges; this
+//! crate gives them one shared fan-out primitive whose dispatch cost is a
+//! queue push and a worker wake-up, not an OS thread spawn per region.
 //!
-//! ## Determinism contract
+//! ## Runtime model
+//!
+//! * **Workers are long-lived.** The first multi-thread region spawns pool
+//!   workers (up to the hardware thread count, or the `ODFLOW_THREADS`
+//!   override if larger, minus the caller); they park on a shared injector
+//!   and serve every subsequent region for the life of the process. A
+//!   process that only ever runs serial regions spawns no threads at all.
+//! * **Regions hand out chunk indices, not threads.** A parallel region
+//!   publishes an atomic chunk counter, queues one claim-loop task per
+//!   participating worker, runs the same claim loop on the calling thread,
+//!   and joins on a region latch. Task claim order is dynamic (load
+//!   balance); every combinator writes results into per-chunk slots, so
+//!   claim order is unobservable.
+//! * **Regions do not nest.** A region opened from inside a pool task runs
+//!   the serial fallback inline on that worker instead of queueing —
+//!   nested fan-out from workers that peers might be waiting on is how
+//!   fixed-size pools deadlock. Keep task bodies single-threaded (every
+//!   kernel in this workspace does); a nested region is correct, just
+//!   serial.
+//! * **Shutdown.** The global pool lives until process exit; parked
+//!   workers cost a few kB of stack each and no CPU. (The underlying
+//!   [`scoped_pool::Pool`] supports explicit shutdown — after which tasks
+//!   degrade to inline execution — but the global pool never invokes it.)
+//!
+//! ## Determinism contract (unchanged from the scoped-spawn pool)
 //!
 //! Every combinator here decomposes its input into chunks whose boundaries
 //! depend **only on the input size and the chunk grain — never on the thread
@@ -17,17 +42,19 @@
 //! code runs inline on the caller. Tests can pin `ODFLOW_THREADS=1` (or use
 //! [`with_thread_limit`]) and compare against a many-thread run exactly.
 //!
-//! ## Sizing the pool
+//! ## Sizing a region
 //!
-//! The effective thread count is, in priority order:
+//! The effective thread count for a region is, in priority order:
 //!
 //! 1. the innermost active [`with_thread_limit`] scope on this thread,
 //! 2. the `ODFLOW_THREADS` environment variable (read once per process),
 //! 3. [`std::thread::available_parallelism`].
 //!
-//! Threads are spawned per parallel region (scoped, so borrows of caller
-//! state are safe) and capped at the number of chunks, so oversubscription
-//! (`threads > items`) degrades gracefully to one chunk per thread.
+//! That count is an **upper bound on concurrency**, capped at the number of
+//! chunks *and* at the pool capacity plus the caller: oversubscription
+//! (`threads > chunks`, or a limit above what the pool can actually run
+//! concurrently) queues fewer claim tasks rather than useless ones.
+//! Results never depend on how many workers actually picked up work.
 //!
 //! ```
 //! // Sum of squares over fixed-size blocks: identical for any thread count.
@@ -51,6 +78,10 @@ use std::sync::{Mutex, OnceLock};
 
 /// Environment variable overriding the global pool size.
 pub const THREADS_ENV: &str = "ODFLOW_THREADS";
+
+/// The kind of fan-out runtime behind the combinators, recorded in perf
+/// artifacts (`BENCH_pipeline.json`) so baselines are self-describing.
+pub const POOL_KIND: &str = "persistent";
 
 thread_local! {
     /// Innermost `with_thread_limit` override for this thread, if any.
@@ -89,6 +120,20 @@ pub fn max_threads() -> usize {
     THREAD_LIMIT.with(|l| l.get()).unwrap_or_else(default_threads)
 }
 
+/// The process-wide persistent worker pool, created on first multi-thread
+/// region. Capacity is the hardware thread count (or the `ODFLOW_THREADS`
+/// override if larger) minus one — the calling thread always participates
+/// in its own region, so `capacity + 1` threads saturate the machine.
+/// Workers are spawned lazily by the pool itself, one per queued task, so
+/// capacity is a cap, not a reservation.
+fn pool() -> &'static scoped_pool::Pool {
+    static POOL: OnceLock<scoped_pool::Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let capacity = hardware_threads().max(default_threads()).saturating_sub(1).max(1);
+        scoped_pool::Pool::new(capacity)
+    })
+}
+
 /// Runs `f` with parallel regions started *by the calling thread* capped at
 /// `limit` threads (at least 1), restoring the previous limit afterwards —
 /// including on panic.
@@ -98,11 +143,11 @@ pub fn max_threads() -> usize {
 /// bit-identical serial fallback used by the equivalence tests and by the
 /// `perf_report` serial baselines.
 ///
-/// The limit is **not inherited by pool workers**: a parallel region opened
-/// from inside a task reads the process default again. The pool deliberately
-/// does not nest — keep task bodies single-threaded (as every kernel in this
-/// workspace does); a nested region would otherwise multiply thread counts
-/// past the cap.
+/// The limit is **not inherited by pool workers** — it does not need to be:
+/// a region opened from inside a pool task runs serially inline on that
+/// worker (the no-nesting contract), so a task body can never multiply
+/// thread counts past the cap. Limits above the pool capacity are served by
+/// however many workers exist; see the module docs on sizing.
 pub fn with_thread_limit<R>(limit: usize, f: impl FnOnce() -> R) -> R {
     struct Restore(Option<usize>);
     impl Drop for Restore {
@@ -121,37 +166,52 @@ fn chunk_ranges(n: usize, grain: usize) -> (usize, usize) {
     (n.div_ceil(grain), grain)
 }
 
-/// Runs task indices `0..num_tasks` across the pool. Tasks are claimed
-/// dynamically (atomic counter) for load balance; callers that need
-/// determinism must make each task's effect independent of claim order,
-/// which every combinator in this crate does by writing to per-task slots.
-fn fan_out(num_tasks: usize, run_task: &(impl Fn(usize) + Sync)) {
+/// The region core: runs task indices `0..num_tasks`, handing chunk indices
+/// to pool workers through a dynamic claim counter and joining on the
+/// region latch before returning.
+///
+/// Tasks are claimed dynamically (atomic counter) for load balance; callers
+/// that need determinism must make each task's effect independent of claim
+/// order, which every combinator in this crate does by writing to per-task
+/// slots. The serial fallback — one thread allowed, or a region opened from
+/// inside a pool task — runs every task inline on the caller, in index
+/// order.
+fn run_region(num_tasks: usize, run_task: &(impl Fn(usize) + Sync)) {
     if num_tasks == 0 {
         return;
     }
     let threads = max_threads().min(num_tasks);
-    if threads <= 1 {
+    if threads <= 1 || scoped_pool::is_worker_thread() {
+        // Serial fallback inline on the caller. The worker-thread check is
+        // the no-nesting contract: a nested region must not block a worker
+        // on peers that may all be busy running this very region.
         for t in 0..num_tasks {
             run_task(t);
         }
         return;
     }
     let next = AtomicUsize::new(0);
-    let work = || loop {
+    let claim = || loop {
         let t = next.fetch_add(1, Ordering::Relaxed);
         if t >= num_tasks {
             break;
         }
         run_task(t);
     };
-    std::thread::scope(|s| {
-        // Workers inherit no thread-local limit; nested parallel regions in
-        // a task would re-read the global default, so the pool deliberately
-        // does not nest — tasks should stay single-threaded.
-        for _ in 1..threads {
-            s.spawn(work);
+    // One claim-loop task per extra participant, capped at the pool
+    // capacity: more tasks than workers-plus-caller can never run
+    // concurrently, they only queue no-op drains the region join would
+    // have to wait out (an oversubscribed `with_thread_limit` would
+    // otherwise queue one per permitted thread). A task queued behind
+    // other regions' work finds the counter drained and exits immediately,
+    // so the latch join below never waits on stale work.
+    let pool = pool();
+    let participants = threads.min(pool.capacity() + 1);
+    pool.scoped(|scope| {
+        for _ in 1..participants {
+            scope.execute(claim);
         }
-        work(); // the calling thread participates
+        claim(); // the calling thread participates
     });
 }
 
@@ -163,7 +223,7 @@ fn fan_out(num_tasks: usize, run_task: &(impl Fn(usize) + Sync)) {
 /// for [`parallel_chunks`] instead of interior mutability.
 pub fn parallel_for(n: usize, grain: usize, f: impl Fn(Range<usize>) + Sync) {
     let (tasks, grain) = chunk_ranges(n, grain);
-    fan_out(tasks, &|t| {
+    run_region(tasks, &|t| {
         let lo = t * grain;
         f(lo..((lo + grain).min(n)));
     });
@@ -188,7 +248,7 @@ pub fn parallel_chunks<T: Send>(
     }
     let slots: Vec<ChunkSlot<'_, T>> =
         data.chunks_mut(chunk_len).enumerate().map(|c| Mutex::new(Some(c))).collect();
-    fan_out(slots.len(), &|t| {
+    run_region(slots.len(), &|t| {
         let (idx, chunk) =
             slots[t].lock().expect("chunk slot poisoned").take().expect("chunk claimed twice");
         f(idx, chunk);
@@ -207,7 +267,7 @@ pub fn map_chunks<A: Send>(
 ) -> Vec<A> {
     let (tasks, grain) = chunk_ranges(n, grain);
     let slots: Vec<Mutex<Option<A>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
-    fan_out(tasks, &|t| {
+    run_region(tasks, &|t| {
         let lo = t * grain;
         let value = map(lo..((lo + grain).min(n)));
         *slots[t].lock().expect("result slot poisoned") = Some(value);
@@ -315,7 +375,8 @@ mod tests {
 
     #[test]
     fn oversubscription_threads_exceed_items() {
-        // More threads than chunks: the pool caps at one chunk per thread.
+        // More threads than chunks: the region queues at most one task per
+        // chunk, however large the limit.
         with_thread_limit(64, || {
             let sum = map_reduce(3, 1, |r| r.sum::<usize>(), |a, b| a + b).unwrap();
             assert_eq!(sum, 3);
@@ -344,17 +405,18 @@ mod tests {
         let ids = Mutex::new(HashSet::new());
         with_thread_limit(4, || {
             parallel_for(64, 1, |_| {
-                // Slow each task slightly so several workers get a claim.
+                // Slow each task slightly so several participants claim.
                 std::thread::sleep(std::time::Duration::from_millis(1));
                 ids.lock().unwrap().insert(std::thread::current().id());
             });
         });
-        // The limit permits 4 workers and there are 64 slow tasks, so the
-        // scoped workers must claim work alongside the calling thread even
-        // on a single-core host (they are OS threads).
+        // The limit permits 4 participants and there are 64 slow tasks, so
+        // at least one persistent worker must claim work alongside the
+        // calling thread even on a single-core host (workers are OS
+        // threads, and the pool capacity is at least 1).
         assert!(
             ids.lock().unwrap().len() > 1,
-            "fan_out never left the calling thread despite a limit of 4"
+            "run_region never left the calling thread despite a limit of 4"
         );
     }
 
@@ -370,6 +432,33 @@ mod tests {
             });
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_region_inside_a_task_completes_serially() {
+        // The no-nesting contract: a region opened from inside a pool task
+        // runs inline on that worker. This must complete (no deadlock) and
+        // produce the same sums as a flat serial evaluation.
+        let totals: Vec<AtomicU64> = (0..16).map(|_| AtomicU64::new(0)).collect();
+        with_thread_limit(4, || {
+            parallel_for(totals.len(), 1, |outer| {
+                for o in outer {
+                    // Inner region from (possibly) a worker thread.
+                    let inner = map_reduce(
+                        100,
+                        9,
+                        |r| r.map(|i| (i * (o + 1)) as u64).sum::<u64>(),
+                        |a, b| a + b,
+                    )
+                    .unwrap();
+                    totals[o].store(inner, Ordering::Relaxed);
+                }
+            });
+        });
+        for (o, t) in totals.iter().enumerate() {
+            let expect = (0..100u64).map(|i| i * (o as u64 + 1)).sum::<u64>();
+            assert_eq!(t.load(Ordering::Relaxed), expect, "outer task {o}");
+        }
     }
 
     #[test]

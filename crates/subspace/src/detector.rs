@@ -84,7 +84,9 @@ impl Analysis {
 
 /// Bins per scoring task in [`SubspaceDetector::analyze`]; fixed so the
 /// chunk decomposition (and hence the merged output order) never depends on
-/// the thread count.
+/// the thread count. Scoring regions dispatch onto the persistent
+/// `odflow_par` pool; chunk bodies are single-threaded (per the pool's
+/// no-nesting contract) and reuse one scratch split per chunk.
 const SCORE_CHUNK_BINS: usize = 64;
 
 /// Detector facade: fit + score + flag in one call.

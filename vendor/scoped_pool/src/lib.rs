@@ -1,0 +1,473 @@
+//! Offline vendored shim for the `scoped-pool` crate.
+//!
+//! A **persistent** worker pool with **scoped** task execution: workers are
+//! long-lived OS threads parked on a shared injector channel, and
+//! [`Pool::scoped`] hands out a [`Scope`] through which *borrowed*
+//! (non-`'static`) closures can be queued onto them. The scope joins every
+//! queued task before `scoped` returns, so the borrows a task captures are
+//! guaranteed to outlive its execution — that join is what makes the
+//! lifetime erasure in [`Scope::execute`] sound.
+//!
+//! Differences from the crates.io original (same spirit, reduced surface):
+//!
+//! * Workers are spawned **lazily**, one per queued task, up to the
+//!   capacity fixed at [`Pool::new`] — a pool that is never used costs
+//!   nothing but its channel.
+//! * The injector is a plain [`std::sync::mpsc`] channel behind a mutex
+//!   (the vendored-only dependency policy of this workspace; the original
+//!   uses a lock-free deque).
+//! * [`is_worker_thread`] is a shim extension: clients that must not open
+//!   a nested scope from inside a task (see `odflow_par`'s no-nesting
+//!   contract) use it to detect pool threads and degrade inline.
+//!
+//! # Panics
+//!
+//! A panicking task does not kill its worker: the payload is captured and
+//! re-thrown on the thread that called [`Pool::scoped`], after all other
+//! tasks of that scope have finished — mirroring what a scoped-spawn join
+//! would do.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// A queued unit of work after lifetime erasure. The `'static` here is a
+/// lie told to the type system; `Pool::scoped` upholds the truth by joining
+/// every task before the borrows it captures go out of scope.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// Set once, at worker start, on every thread a [`Pool`] spawns.
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// `true` when the current thread is a worker of *any* [`Pool`].
+///
+/// Shim extension (not in the crates.io original): lets clients detect that
+/// they are already inside a pool task and must not block on a nested
+/// scope — every worker potentially waiting on peers that are busy running
+/// the very tasks being waited for is a deadlock.
+pub fn is_worker_thread() -> bool {
+    IS_WORKER.with(|w| w.get())
+}
+
+/// Locks a mutex, ignoring poisoning (a panicking task is already caught
+/// by its wrapper; the data behind these mutexes is always consistent).
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// State shared between the pool handle and its workers.
+struct PoolShared {
+    /// Producer side of the injector; `None` once [`Pool::shutdown`] ran.
+    injector: Mutex<Option<Sender<Job>>>,
+    /// Consumer side, shared by all workers (one blocks in `recv` at a
+    /// time; the others queue on the mutex — an idle-worker handoff, not a
+    /// contention point, because the lock is only held while parked).
+    receiver: Mutex<Receiver<Job>>,
+    /// Hard cap on the number of worker threads.
+    capacity: usize,
+    /// How many workers have been spawned so far (monotone, `<= capacity`).
+    spawned: AtomicUsize,
+}
+
+/// A persistent, shareable worker pool.
+///
+/// `scoped` takes `&self`, so one global pool can serve parallel regions
+/// opened concurrently from many threads; tasks from distinct scopes
+/// interleave on the same workers without affecting either scope's join.
+pub struct Pool {
+    shared: Arc<PoolShared>,
+}
+
+impl Pool {
+    /// Creates a pool that will spawn up to `capacity` workers (clamped to
+    /// at least 1) on demand. No threads are spawned until the first task
+    /// is queued.
+    pub fn new(capacity: usize) -> Pool {
+        let (tx, rx) = channel();
+        Pool {
+            shared: Arc::new(PoolShared {
+                injector: Mutex::new(Some(tx)),
+                receiver: Mutex::new(rx),
+                capacity: capacity.max(1),
+                spawned: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// The maximum number of workers this pool will spawn.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// How many workers have been spawned so far.
+    pub fn workers_spawned(&self) -> usize {
+        self.shared.spawned.load(Ordering::Relaxed)
+    }
+
+    /// Closes the injector: workers exit after draining the queue, and
+    /// tasks queued afterwards run inline on the thread that queues them.
+    /// Scopes already joining are unaffected (their tasks are either
+    /// queued — and will be drained — or run inline).
+    pub fn shutdown(&self) {
+        *lock_unpoisoned(&self.shared.injector) = None;
+    }
+
+    /// Runs `f` with a [`Scope`] on which borrowed closures can be
+    /// [`execute`](Scope::execute)d, then blocks until every one of them
+    /// has finished — even if `f` itself panics. If any task panicked, the
+    /// first captured payload is re-thrown here after the join.
+    pub fn scoped<'pool, 'scope, F, R>(&'pool self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'pool, 'scope>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState {
+                status: Mutex::new(ScopeStatus { outstanding: 0, panic: None }),
+                done: Condvar::new(),
+            }),
+            _scope: PhantomData,
+        };
+        // Catch so the join below runs even when `f` unwinds: returning
+        // (or unwinding) before the join would invalidate the borrows of
+        // still-queued tasks.
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        scope.join();
+        let task_panic = lock_unpoisoned(&scope.state.status).panic.take();
+        match result {
+            Err(payload) => resume_unwind(payload),
+            Ok(value) => {
+                if let Some(payload) = task_panic {
+                    resume_unwind(payload);
+                }
+                value
+            }
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Join state of one `scoped` call.
+struct ScopeState {
+    status: Mutex<ScopeStatus>,
+    done: Condvar,
+}
+
+/// Mutable part of [`ScopeState`].
+struct ScopeStatus {
+    /// Tasks queued but not yet finished.
+    outstanding: usize,
+    /// First panic payload captured from a task, if any.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+/// Execution scope handed to the closure of [`Pool::scoped`].
+///
+/// The invariant `'scope` lifetime pins the scope to that closure: a
+/// `Scope` cannot be smuggled out and used after `scoped` returned.
+pub struct Scope<'pool, 'scope> {
+    pool: &'pool Pool,
+    state: Arc<ScopeState>,
+    _scope: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'pool, 'scope> Scope<'pool, 'scope> {
+    /// Queues `task` onto the pool. The task may borrow anything that
+    /// outlives `'scope`; the enclosing [`Pool::scoped`] call joins it
+    /// before returning. If the pool has been shut down, the task runs
+    /// inline on the calling thread instead.
+    ///
+    /// # Panics
+    ///
+    /// If the OS refuses to spawn a needed worker thread. The panic is
+    /// raised *before* the task is counted or queued, so the enclosing
+    /// scope's join sees only tasks that will actually run — the failure
+    /// unwinds out of [`Pool::scoped`] instead of deadlocking it.
+    pub fn execute<F>(&self, task: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        // Resolve the worker that will serve this task before any join
+        // accounting: a thread-spawn failure must leave the scope with
+        // nothing outstanding.
+        let sender = lock_unpoisoned(&self.pool.shared.injector).clone();
+        if sender.is_some() {
+            spawn_worker_if_under_capacity(&self.pool.shared);
+        }
+        lock_unpoisoned(&self.state.status).outstanding += 1;
+        let state = Arc::clone(&self.state);
+        let wrapper = move || {
+            let outcome = catch_unwind(AssertUnwindSafe(task));
+            let mut status = lock_unpoisoned(&state.status);
+            if let Err(payload) = outcome {
+                status.panic.get_or_insert(payload);
+            }
+            status.outstanding -= 1;
+            if status.outstanding == 0 {
+                state.done.notify_all();
+            }
+        };
+        let job = erase_job_lifetime(Box::new(wrapper));
+        match sender {
+            Some(tx) => {
+                if let Err(send_error) = tx.send(job) {
+                    // Receiver gone (cannot happen while `shared` is alive,
+                    // but stay total): run inline so the join terminates.
+                    (send_error.0)();
+                }
+            }
+            None => job(),
+        }
+    }
+
+    /// Blocks until every task queued on this scope has finished.
+    fn join(&self) {
+        let mut status = lock_unpoisoned(&self.state.status);
+        while status.outstanding > 0 {
+            status = self.state.done.wait(status).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Erases the scope lifetime from a queued task so it can cross the
+/// `'static` injector channel.
+///
+/// SAFETY: the returned `Job` must run (to completion) before `'scope`
+/// ends. [`Pool::scoped`] guarantees that: `execute` increments the
+/// scope's `outstanding` count *before* queueing, the wrapper decrements
+/// it only after the task returned or unwound, and `scoped` does not
+/// return — not even by panic — until the count is back to zero.
+#[allow(unsafe_code)]
+fn erase_job_lifetime<'scope>(job: Box<dyn FnOnce() + Send + 'scope>) -> Job {
+    // SAFETY: both types are identical fat pointers; only the lifetime
+    // bound on the trait object is changed, per the contract above.
+    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) }
+}
+
+/// Spawns one more worker unless the cap is reached. Called once per
+/// queued task, so the pool grows exactly as fast as demand does.
+///
+/// # Panics
+///
+/// If the OS refuses the thread spawn; the capacity reservation is
+/// released first, so the pool stays consistent at its current size and a
+/// later call may retry.
+fn spawn_worker_if_under_capacity(shared: &Arc<PoolShared>) {
+    let mut seen = shared.spawned.load(Ordering::Relaxed);
+    while seen < shared.capacity {
+        match shared.spawned.compare_exchange(seen, seen + 1, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => {
+                let worker_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name("scoped-pool-worker".into())
+                    .spawn(move || worker_loop(&worker_shared));
+                if let Err(e) = spawned {
+                    shared.spawned.fetch_sub(1, Ordering::Relaxed);
+                    panic!("failed to spawn scoped-pool worker thread: {e}");
+                }
+                return;
+            }
+            Err(current) => seen = current,
+        }
+    }
+}
+
+/// A worker's whole life: park on the injector, run a job, repeat; exit
+/// when the channel closes ([`Pool::shutdown`] or the last handle drop).
+fn worker_loop(shared: &PoolShared) {
+    IS_WORKER.with(|w| w.set(true));
+    loop {
+        let job = {
+            let receiver = lock_unpoisoned(&shared.receiver);
+            receiver.recv()
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+    use std::thread::ThreadId;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_borrowed_closures() {
+        let pool = Pool::new(2);
+        let mut counters = [0u64; 8];
+        pool.scoped(|scope| {
+            for (i, c) in counters.iter_mut().enumerate() {
+                scope.execute(move || *c = i as u64 + 1);
+            }
+        });
+        assert_eq!(counters, [1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn workers_persist_across_scopes() {
+        // Capacity 1: both scopes' tasks must land on the same long-lived
+        // worker thread — the whole point of the pool.
+        let pool = Pool::new(1);
+        let id_of = |pool: &Pool| {
+            let slot = Mutex::new(None::<ThreadId>);
+            pool.scoped(|scope| {
+                scope.execute(|| *slot.lock().unwrap() = Some(std::thread::current().id()));
+            });
+            slot.into_inner().unwrap().expect("task ran")
+        };
+        let first = id_of(&pool);
+        let second = id_of(&pool);
+        assert_eq!(first, second, "worker was not reused across scopes");
+        assert_ne!(first, std::thread::current().id());
+        assert_eq!(pool.workers_spawned(), 1);
+    }
+
+    #[test]
+    fn capacity_caps_spawn_count() {
+        let pool = Pool::new(2);
+        let gate = AtomicU64::new(0);
+        pool.scoped(|scope| {
+            for _ in 0..16 {
+                scope.execute(|| {
+                    gate.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(gate.load(Ordering::Relaxed), 16);
+        assert!(pool.workers_spawned() <= 2);
+        assert_eq!(pool.capacity(), 2);
+    }
+
+    #[test]
+    fn join_waits_for_slow_tasks() {
+        let pool = Pool::new(2);
+        let done = AtomicU64::new(0);
+        pool.scoped(|scope| {
+            for _ in 0..4 {
+                scope.execute(|| {
+                    std::thread::sleep(Duration::from_millis(20));
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        // scoped returned => every task completed.
+        assert_eq!(done.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_join() {
+        let pool = Pool::new(1);
+        let survivors = AtomicU64::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|scope| {
+                scope.execute(|| panic!("task failure"));
+                scope.execute(|| {
+                    survivors.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }));
+        assert!(result.is_err(), "task panic must re-throw from scoped");
+        // The sibling task still ran: the join drains the scope first.
+        assert_eq!(survivors.load(Ordering::Relaxed), 1);
+        // And the worker survived the panic for the next scope.
+        let ran = AtomicU64::new(0);
+        pool.scoped(|scope| {
+            scope.execute(|| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn scope_closure_panic_still_joins() {
+        let pool = Pool::new(1);
+        let done = AtomicU64::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|scope| {
+                scope.execute(|| {
+                    std::thread::sleep(Duration::from_millis(10));
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+                panic!("scope body failure");
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(done.load(Ordering::Relaxed), 1, "queued task must finish before unwind");
+    }
+
+    #[test]
+    fn shutdown_degrades_to_inline_execution() {
+        let pool = Pool::new(2);
+        pool.shutdown();
+        let caller = std::thread::current().id();
+        let ran_on = Mutex::new(HashSet::new());
+        pool.scoped(|scope| {
+            for _ in 0..3 {
+                scope.execute(|| {
+                    ran_on.lock().unwrap().insert(std::thread::current().id());
+                });
+            }
+        });
+        let ran_on = ran_on.into_inner().unwrap();
+        assert_eq!(ran_on.len(), 1);
+        assert!(ran_on.contains(&caller), "after shutdown tasks run inline on the caller");
+    }
+
+    #[test]
+    fn worker_thread_flag_is_set_only_on_workers() {
+        assert!(!is_worker_thread());
+        let pool = Pool::new(1);
+        let flag = Mutex::new(None);
+        pool.scoped(|scope| {
+            scope.execute(|| *flag.lock().unwrap() = Some(is_worker_thread()));
+        });
+        assert_eq!(flag.into_inner().unwrap(), Some(true));
+        assert!(!is_worker_thread());
+    }
+
+    #[test]
+    fn concurrent_scopes_share_the_pool() {
+        let pool = Arc::new(Pool::new(2));
+        let total = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    pool.scoped(|scope| {
+                        for _ in 0..8 {
+                            let total = Arc::clone(&total);
+                            scope.execute(move || {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 32);
+    }
+}
