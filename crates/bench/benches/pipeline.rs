@@ -25,7 +25,7 @@ fn bench_linalg(c: &mut Criterion) {
         let x = traffic_matrix(4 * p, p);
         let cov = odflow::linalg::covariance(&x).unwrap();
         g.bench_with_input(BenchmarkId::new("eigen_symmetric", p), &cov, |b, cov| {
-            b.iter(|| eigen_symmetric(black_box(cov)).unwrap())
+            b.iter(|| eigen_symmetric(black_box(cov)).unwrap());
         });
     }
     let x = traffic_matrix(2016, 121);
@@ -42,15 +42,15 @@ fn bench_gram_covariance(c: &mut Criterion) {
     for &p in &[121usize, 256, 512] {
         let x = traffic_matrix(4 * p, p);
         g.bench_with_input(BenchmarkId::new("scatter", p), &x, |b, x| {
-            b.iter(|| odflow::linalg::scatter(black_box(x)).unwrap())
+            b.iter(|| odflow::linalg::scatter(black_box(x)).unwrap());
         });
         g.bench_with_input(BenchmarkId::new("scatter_serial", p), &x, |b, x| {
             b.iter(|| {
                 odflow::par::with_thread_limit(1, || odflow::linalg::scatter(black_box(x)).unwrap())
-            })
+            });
         });
         g.bench_with_input(BenchmarkId::new("covariance", p), &x, |b, x| {
-            b.iter(|| odflow::linalg::covariance(black_box(x)).unwrap())
+            b.iter(|| odflow::linalg::covariance(black_box(x)).unwrap());
         });
     }
     g.finish();
@@ -72,14 +72,14 @@ fn bench_week_materialization(c: &mut Criterion) {
     let scenario = Scenario::new(config, vec![]).unwrap();
     let generator = scenario.generator();
     g.bench_function("records_for_week", |b| {
-        b.iter(|| black_box(generator.records_for_bins(0..odflow::gen::BINS_PER_WEEK)).len())
+        b.iter(|| black_box(generator.records_for_bins(0..odflow::gen::BINS_PER_WEEK)).len());
     });
     g.bench_function("records_for_week_serial", |b| {
         b.iter(|| {
             odflow::par::with_thread_limit(1, || {
                 black_box(generator.records_for_bins(0..odflow::gen::BINS_PER_WEEK)).len()
             })
-        })
+        });
     });
     g.finish();
 }
@@ -88,7 +88,7 @@ fn bench_subspace(c: &mut Criterion) {
     let mut g = c.benchmark_group("subspace");
     let x = traffic_matrix(2016, 121);
     g.bench_function("model_fit_week", |b| {
-        b.iter(|| SubspaceModel::fit_default(black_box(&x)).unwrap())
+        b.iter(|| SubspaceModel::fit_default(black_box(&x)).unwrap());
     });
     let model = SubspaceModel::fit_default(&x).unwrap();
     let row = x.row(1000).unwrap();
@@ -97,10 +97,10 @@ fn bench_subspace(c: &mut Criterion) {
             let spe = model.spe(black_box(row)).unwrap();
             let t2 = model.t2(black_box(row)).unwrap();
             black_box((spe, t2))
-        })
+        });
     });
     g.bench_function("detector_analyze_week", |b| {
-        b.iter(|| SubspaceDetector::new(SubspaceConfig::default()).analyze(black_box(&x)).unwrap())
+        b.iter(|| SubspaceDetector::new(SubspaceConfig::default()).analyze(black_box(&x)).unwrap());
     });
     g.finish();
 }
@@ -109,10 +109,10 @@ fn bench_thresholds(c: &mut Criterion) {
     let mut g = c.benchmark_group("thresholds");
     let eigenvalues: Vec<f64> = (0..121).map(|i| 1e4 / (1.0 + i as f64).powi(2)).collect();
     g.bench_function("q_threshold", |b| {
-        b.iter(|| q_threshold(black_box(&eigenvalues), 4, 0.001).unwrap())
+        b.iter(|| q_threshold(black_box(&eigenvalues), 4, 0.001).unwrap());
     });
     g.bench_function("t2_threshold", |b| {
-        b.iter(|| t2_threshold(black_box(4), black_box(2016), black_box(0.001)).unwrap())
+        b.iter(|| t2_threshold(black_box(4), black_box(2016), black_box(0.001)).unwrap());
     });
     g.finish();
 }
@@ -130,7 +130,7 @@ fn bench_measurement(c: &mut Criterion) {
                 }
             }
             black_box(kept)
-        })
+        });
     });
 
     let key = FlowKey::new(
@@ -149,7 +149,7 @@ fn bench_measurement(c: &mut Criterion) {
                 agg.push(&PacketObs::new(i / 500, 0, 0, k, 100));
             }
             black_box(agg.flush().len())
-        })
+        });
     });
 
     // NetFlow codec round-trip, 30-record datagrams.
@@ -177,7 +177,7 @@ fn bench_measurement(c: &mut Criterion) {
                 n += netflow::decode_datagram(d).unwrap().1.len();
             }
             black_box(n)
-        })
+        });
     });
 
     g.bench_function("od_binner_100k_records", |b| {
@@ -190,7 +190,7 @@ fn bench_measurement(c: &mut Criterion) {
                 binner.push((i % 121) as usize, &r).unwrap();
             }
             black_box(binner.records_accepted())
-        })
+        });
     });
     g.finish();
 }
@@ -202,7 +202,7 @@ fn bench_generator(c: &mut Criterion) {
     let scenario = Scenario::new(config, vec![]).unwrap();
     let generator = scenario.generator();
     g.bench_function("records_for_one_bin", |b| {
-        b.iter(|| black_box(generator.records_for_bin(black_box(144))).len())
+        b.iter(|| black_box(generator.records_for_bin(black_box(144))).len());
     });
     g.finish();
 }
@@ -224,7 +224,7 @@ fn bench_sharded_ingest(c: &mut Criterion) {
             black_box(generator.bin_scenario(pipe_cfg, ingress.clone(), routes.clone()).unwrap())
                 .stats
                 .flows_resolved
-        })
+        });
     });
     g.bench_function("bin_scenario_day_serial", |b| {
         b.iter(|| {
@@ -235,7 +235,7 @@ fn bench_sharded_ingest(c: &mut Criterion) {
                 .stats
                 .flows_resolved
             })
-        })
+        });
     });
     g.finish();
 }
@@ -257,7 +257,7 @@ fn bench_large_mesh(c: &mut Criterion) {
             black_box(generator.bin_scenario(pipe_cfg, ingress.clone(), routes.clone()).unwrap())
                 .stats
                 .flows_resolved
-        })
+        });
     });
     g.finish();
 }
@@ -286,7 +286,7 @@ fn bench_jacobi_ordering(c: &mut Criterion) {
                         JacobiOptions { ordering, ..JacobiOptions::default() },
                     )
                     .unwrap()
-                })
+                });
             });
         }
     }

@@ -7,6 +7,8 @@
 //!
 //! Run: `cargo run --release -p odflow-bench --bin ablation_k_sweep`
 
+#![forbid(unsafe_code)]
+
 use odflow::classify::score_events;
 use odflow::experiment::{run_scenario, ExperimentConfig};
 use odflow::gen::Scenario;

@@ -10,6 +10,8 @@
 //!
 //! Run: `cargo run --release -p odflow-bench --bin ablation_stats`
 
+#![forbid(unsafe_code)]
+
 use odflow::classify::{score_events, ScoredEvent};
 use odflow::experiment::{run_scenario, truth_labels, ExperimentConfig};
 use odflow::flow::TrafficType;

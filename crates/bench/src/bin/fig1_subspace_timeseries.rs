@@ -13,6 +13,8 @@
 //!
 //! Run: `cargo run --release -p odflow-bench --bin fig1_subspace_timeseries`
 
+#![forbid(unsafe_code)]
+
 use odflow::experiment::ExperimentConfig;
 use odflow::flow::TrafficType;
 use odflow_bench::plot::{ascii_panel, csv};

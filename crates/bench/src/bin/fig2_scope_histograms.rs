@@ -9,6 +9,8 @@
 //!
 //! Run: `cargo run --release -p odflow-bench --bin fig2_scope_histograms`
 
+#![forbid(unsafe_code)]
+
 use odflow::experiment::ExperimentConfig;
 use odflow::stats::Histogram;
 use odflow_bench::{run_four_weeks, HARNESS_SEED};

@@ -30,6 +30,8 @@
 //! regressions are gated at the same threshold as serial ones — a missing
 //! speedup is as load-bearing as a serial slowdown.
 
+#![forbid(unsafe_code)]
+
 /// Stage names every full `perf_report` run must produce — the shared
 /// registry in the `odflow_bench` lib, so registering a stage there gates
 /// it here with no second list to forget.

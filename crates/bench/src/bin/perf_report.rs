@@ -30,6 +30,8 @@
 //! perf_report` measures a four-thread pool against the same serial
 //! baseline.
 
+#![forbid(unsafe_code)]
+
 use std::hint::black_box;
 use std::time::Instant;
 

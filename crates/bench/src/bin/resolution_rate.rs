@@ -10,6 +10,8 @@
 //!
 //! Run: `cargo run --release -p odflow-bench --bin resolution_rate`
 
+#![forbid(unsafe_code)]
+
 use odflow::flow::{MeasurementPipeline, PipelineConfig};
 use odflow::gen::{Scenario, ScenarioConfig};
 use odflow::net::IngressResolver;

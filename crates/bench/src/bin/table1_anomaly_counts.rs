@@ -9,6 +9,8 @@
 //!
 //! Run: `cargo run --release -p odflow-bench --bin table1_anomaly_counts`
 
+#![forbid(unsafe_code)]
+
 use odflow::experiment::ExperimentConfig;
 use odflow::subspace::count_by_combination;
 use odflow_bench::plot::count_table;

@@ -8,6 +8,8 @@
 //!
 //! Run: `cargo run --release -p odflow-bench --bin table2_taxonomy`
 
+#![forbid(unsafe_code)]
+
 use odflow::classify::AnomalyClass;
 use odflow::experiment::{run_scenario, ExperimentConfig};
 use odflow::gen::{AnomalyKind, InjectedAnomaly, ScanMode, Scenario, ScenarioConfig};

@@ -7,6 +7,8 @@
 //!
 //! Run: `cargo run --release -p odflow-bench --bin table3_classification`
 
+#![forbid(unsafe_code)]
+
 use odflow::classify::score_events;
 use odflow::experiment::ExperimentConfig;
 use odflow_bench::plot::count_table;

@@ -16,11 +16,11 @@ pub fn ascii_panel(series: &[f64], height: usize, width: usize, threshold: Optio
         .map(|c| {
             let lo = c * series.len() / width;
             let hi = (((c + 1) * series.len()) / width).max(lo + 1).min(series.len());
-            series[lo..hi].iter().cloned().fold(f64::MIN, f64::max)
+            series[lo..hi].iter().copied().fold(f64::MIN, f64::max)
         })
         .collect();
-    let max = cols.iter().cloned().fold(f64::MIN, f64::max).max(threshold.unwrap_or(f64::MIN));
-    let min = cols.iter().cloned().fold(f64::MAX, f64::min).min(0.0);
+    let max = cols.iter().copied().fold(f64::MIN, f64::max).max(threshold.unwrap_or(f64::MIN));
+    let min = cols.iter().copied().fold(f64::MAX, f64::min).min(0.0);
     let span = (max - min).max(1e-300);
 
     let row_of = |v: f64| (((v - min) / span) * (height - 1) as f64).round() as usize;
@@ -29,7 +29,7 @@ pub fn ascii_panel(series: &[f64], height: usize, width: usize, threshold: Optio
     let mut grid = vec![vec![' '; width]; height];
     for (c, &v) in cols.iter().enumerate() {
         let r = row_of(v);
-        let above = threshold.map(|t| v > t).unwrap_or(false);
+        let above = threshold.is_some_and(|t| v > t);
         grid[r][c] = if above { '*' } else { '.' };
     }
     if let Some(tr) = thr_row {
@@ -96,7 +96,7 @@ pub fn count_table(title: &str, header: &[&str], rows: &[(String, Vec<String>)])
             .collect::<Vec<_>>()
             .join("  ")
     };
-    out.push_str(&fmt_row(header.iter().map(|s| s.to_string()).collect()));
+    out.push_str(&fmt_row(header.iter().map(std::string::ToString::to_string).collect()));
     out.push('\n');
     for (label, cells) in rows {
         let mut all = vec![label.clone()];

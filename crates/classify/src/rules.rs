@@ -222,7 +222,7 @@ pub fn classify(obs: &AnomalyObservation, config: &RuleConfig) -> Result<Classif
     if let Some((dst, share)) = dom.dst_addr {
         let clustered =
             dom.src_blocks_for_80pct > 0 && dom.src_blocks_for_80pct <= config.clustered_src_blocks;
-        let service_port = dom.dst_port.map(|(p, _)| is_well_known_service(p)).unwrap_or(false);
+        let service_port = dom.dst_port.is_some_and(|(p, _)| is_well_known_service(p));
         if clustered && service_port {
             evidence.push(format!(
                 "victim {dst} ({:.0}%) on service port, 80% of traffic from {} source blocks",

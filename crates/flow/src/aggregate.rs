@@ -11,12 +11,12 @@ use crate::key::FlowKey;
 use crate::packet::PacketObs;
 use crate::record::FlowRecord;
 use odflow_net::PopId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Default aggregation window — Abilene exported every minute.
 pub const MINUTE_SECS: u64 = 60;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct AggKey {
     router: PopId,
     interface: u32,
@@ -32,8 +32,10 @@ struct AggKey {
 #[derive(Debug)]
 pub struct FlowAggregator {
     window_secs: u64,
-    /// Open minute -> accumulating records.
-    open: HashMap<u64, HashMap<AggKey, FlowRecord>>,
+    /// Open minute -> accumulating records. Keyed by `BTreeMap` so drains
+    /// walk windows and flow keys in order — emission is deterministic
+    /// before the defensive sort, not because of it.
+    open: BTreeMap<u64, BTreeMap<AggKey, FlowRecord>>,
     /// Highest timestamp seen; minutes ending at or before this watermark
     /// (minus a small reordering slack) are closed.
     watermark: u64,
@@ -53,7 +55,7 @@ impl FlowAggregator {
         if window_secs == 0 {
             return Err(FlowError::InvalidBinWidth { width_secs: 0 });
         }
-        Ok(FlowAggregator { window_secs, open: HashMap::new(), watermark: 0, slack, emitted: 0 })
+        Ok(FlowAggregator { window_secs, open: BTreeMap::new(), watermark: 0, slack, emitted: 0 })
     }
 
     /// Adds one sampled packet; returns any records whose minute closed.
@@ -91,7 +93,8 @@ impl FlowAggregator {
             }
         }
         self.emitted += out.len() as u64;
-        // Deterministic ordering regardless of hash iteration.
+        // Callers rely on this exact order; keep the explicit sort even
+        // though the ordered maps already deliver it.
         out.sort_by_key(|r| (r.window_start, r.router, r.interface, r.key));
         out
     }
@@ -99,7 +102,7 @@ impl FlowAggregator {
     /// Emits everything still open (end of trace).
     pub fn flush(&mut self) -> Vec<FlowRecord> {
         let mut out: Vec<FlowRecord> =
-            self.open.drain().flat_map(|(_, m)| m.into_values()).collect();
+            std::mem::take(&mut self.open).into_values().flat_map(BTreeMap::into_values).collect();
         self.emitted += out.len() as u64;
         out.sort_by_key(|r| (r.window_start, r.router, r.interface, r.key));
         out

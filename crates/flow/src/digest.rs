@@ -16,7 +16,7 @@
 
 use crate::record::FlowRecord;
 use odflow_net::{IpAddr, ANON_MASK};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Byte/packet/flow totals attributed to one attribute value.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -50,24 +50,29 @@ impl Counts {
 const SRC_BLOCK_MASK: u32 = 0xFFFF_FF00;
 
 /// An attribute-level summary of the flows in a detection cell.
+///
+/// Attribute maps are `BTreeMap`s so iteration (and therefore
+/// [`AttributeDigest::dominant`]'s tie-break) is key-ordered: two runs over
+/// the same records classify identically even when two attribute values tie
+/// on share.
 #[derive(Debug, Clone, Default)]
 pub struct AttributeDigest {
     /// Grand totals across all flows in the cell.
     pub total: Counts,
     /// Totals per source /24 block.
-    pub by_src_block: HashMap<u32, Counts>,
+    pub by_src_block: BTreeMap<u32, Counts>,
     /// Totals per destination /21 block (anonymization granularity).
-    pub by_dst_block: HashMap<u32, Counts>,
+    pub by_dst_block: BTreeMap<u32, Counts>,
     /// Totals per source port.
-    pub by_src_port: HashMap<u16, Counts>,
+    pub by_src_port: BTreeMap<u16, Counts>,
     /// Totals per destination port.
-    pub by_dst_port: HashMap<u16, Counts>,
+    pub by_dst_port: BTreeMap<u16, Counts>,
     /// Totals per exact destination address (post-anonymization) — DOS
     /// rules need single-victim concentration, finer than /21 blocks.
-    pub by_dst_addr: HashMap<u32, Counts>,
+    pub by_dst_addr: BTreeMap<u32, Counts>,
     /// Totals per (destination address, destination port) pair — the SCAN
     /// rule tests for *no dominant combination* of these.
-    pub by_dst_addr_port: HashMap<(u32, u16), Counts>,
+    pub by_dst_addr_port: BTreeMap<(u32, u16), Counts>,
 }
 
 impl AttributeDigest {
@@ -99,10 +104,7 @@ impl AttributeDigest {
         self.total.bytes += other.total.bytes;
         self.total.packets += other.total.packets;
         self.total.flows += other.total.flows;
-        fn merge_map<K: std::hash::Hash + Eq + Copy>(
-            into: &mut HashMap<K, Counts>,
-            from: &HashMap<K, Counts>,
-        ) {
+        fn merge_map<K: Ord + Copy>(into: &mut BTreeMap<K, Counts>, from: &BTreeMap<K, Counts>) {
             for (k, v) in from {
                 let e = into.entry(*k).or_default();
                 e.bytes += v.bytes;
@@ -120,9 +122,10 @@ impl AttributeDigest {
 
     /// The attribute value with the highest share of the given measure, as
     /// `(value, share)`, from an attribute map. Returns `None` for an empty
-    /// digest.
+    /// digest. Ties on share resolve to the largest key (`max_by` keeps the
+    /// last maximum of the key-ordered iteration).
     pub fn dominant<K: Copy>(
-        map: &HashMap<K, Counts>,
+        map: &BTreeMap<K, Counts>,
         total: f64,
         t: crate::matrix::TrafficType,
     ) -> Option<(K, f64)> {

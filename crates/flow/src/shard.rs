@@ -459,7 +459,7 @@ mod tests {
             shards[idx].push_sampled_record(*r).unwrap();
         }
 
-        let sum_dropped: u64 = shards.iter().map(|s| s.dropped_out_of_window()).sum();
+        let sum_dropped: u64 = shards.iter().map(super::BinShard::dropped_out_of_window).sum();
         let mut sum_stats = ResolutionStats::default();
         for s in &shards {
             sum_stats.merge(&s.resolution_stats());

@@ -34,7 +34,7 @@ proptest! {
             .map(|mut r| { r.router %= 256; r.interface %= 65_536; r })
             .collect();
         // All records in one datagram batch share the engine id; pin it.
-        let router = records.first().map(|r| r.router).unwrap_or(0);
+        let router = records.first().map_or(0, |r| r.router);
         let records: Vec<FlowRecord> =
             records.into_iter().map(|mut r| { r.router = router; r }).collect();
         let dgrams = netflow::encode_datagrams(&records, 1234, router as u8, 100, 0);

@@ -1,0 +1,125 @@
+//! The `odflow_lint` gate binary.
+//!
+//! ```text
+//! odflow_lint --workspace [--json] [--quiet]
+//! odflow_lint --root <path> [--json]
+//! odflow_lint --rules
+//! ```
+//!
+//! Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Name of the JSON artifact written next to `BENCH_pipeline.json`.
+const JSON_REPORT: &str = "LINT_report.json";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut want_workspace = false;
+    let mut want_json = false;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => want_workspace = true,
+            "--json" => want_json = true,
+            "--quiet" => quiet = true,
+            "--rules" => {
+                for r in odflow_lint::rules::RULES {
+                    println!("{:<28} {}", r.name, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root requires a path"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "odflow_lint: workspace invariant gate\n\n\
+                     USAGE: odflow_lint (--workspace | --root <path>) [--json] [--quiet]\n\
+                     \x20      odflow_lint --rules\n\n\
+                     --workspace  lint the enclosing cargo workspace (found from the cwd)\n\
+                     --root PATH  lint the tree rooted at PATH\n\
+                     --json       also write {JSON_REPORT} at the lint root\n\
+                     --quiet      suppress per-violation output (summary only)\n\
+                     --rules      list the enforced rules and exit"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match (root, want_workspace) {
+        (Some(r), _) => r,
+        (None, true) => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("odflow_lint: no workspace Cargo.toml found above the current directory");
+                return ExitCode::from(2);
+            }
+        },
+        (None, false) => return usage("pass --workspace or --root <path>"),
+    };
+
+    let report = match odflow_lint::lint_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("odflow_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if want_json {
+        let path = root.join(JSON_REPORT);
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("odflow_lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        if !quiet {
+            println!("wrote {}", path.display());
+        }
+    }
+
+    if quiet {
+        let text = report.render_text();
+        if let Some(summary) = text.lines().last() {
+            println!("{summary}");
+        }
+    } else {
+        print!("{}", report.render_text());
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("odflow_lint: {msg} (try --help)");
+    ExitCode::from(2)
+}
+
+/// Walks upward from the current directory to the outermost directory whose
+/// `Cargo.toml` declares a `[workspace]` section.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    let mut found: Option<PathBuf> = None;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                found = Some(dir.clone());
+            }
+        }
+        if !dir.pop() {
+            return found;
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Positive fixture: ambient environment reads outside the sanctioned path.
+
+pub fn knobs() -> (Option<String>, usize) {
+    let a = std::env::var("SOME_KNOB").ok();
+    let n = std::env::vars().count();
+    (a, n)
+}

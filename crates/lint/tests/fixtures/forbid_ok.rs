@@ -1,0 +1,7 @@
+//! Negative fixture: a compilation root that carries the forbid attribute.
+
+#![forbid(unsafe_code)]
+
+pub fn fine() -> u32 {
+    7
+}

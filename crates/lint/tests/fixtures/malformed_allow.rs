@@ -1,0 +1,7 @@
+//! Fixture: allows that misspell the grammar or the rule name.
+
+// lint:allow(no-raw-threads)
+pub fn missing_reason() {}
+
+// lint:allow(no-raw-threds) -- typo in the rule name
+pub fn unknown_rule() {}

@@ -1,0 +1,7 @@
+//! Negative fixture: the same calls, each justified on the preceding line.
+
+pub fn timed_run() -> f64 {
+    // lint:allow(no-ambient-nondeterminism) -- wall-clock printed for the operator only
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,16 @@
+//! Positive fixture: every ambient-nondeterminism source the rule names.
+
+pub fn stamps() -> (std::time::Instant, std::time::SystemTime) {
+    let a = std::time::Instant::now();
+    let b = std::time::SystemTime::now();
+    (a, b)
+}
+
+pub fn epoch_secs() -> u64 {
+    std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_secs()
+}
+
+pub fn unseeded() -> u64 {
+    let mut rng = rand::thread_rng();
+    rand::random()
+}

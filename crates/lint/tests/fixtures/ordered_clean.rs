@@ -1,0 +1,17 @@
+//! Negative fixture: ordered collections iterate freely; hash collections
+//! used only for membership raise nothing.
+
+use std::collections::{BTreeMap, HashSet};
+
+pub fn totals(counts: BTreeMap<u32, f64>) -> Vec<(u32, f64)> {
+    let mut out = Vec::new();
+    for (k, v) in counts.iter() {
+        out.push((*k, *v));
+    }
+    out
+}
+
+pub fn dedup(xs: &[u32]) -> usize {
+    let mut seen = HashSet::new();
+    xs.iter().filter(|x| seen.insert(**x)).count()
+}

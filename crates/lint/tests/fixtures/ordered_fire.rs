@@ -1,0 +1,17 @@
+//! Positive fixture: hash-ordered iteration in a result-bearing crate.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn totals(counts: HashMap<u32, f64>) -> Vec<(u32, f64)> {
+    let mut out = Vec::new();
+    for (k, v) in counts.iter() {
+        out.push((*k, *v));
+    }
+    out
+}
+
+pub fn first_key(seen: HashSet<usize>) -> Option<usize> {
+    let ids: HashMap<usize, usize> = HashMap::new();
+    let _ks: Vec<usize> = ids.keys().copied().collect();
+    seen.into_iter().next()
+}

@@ -1,0 +1,11 @@
+//! Positive fixture: raw thread management outside `odflow_par`.
+
+pub fn fan_out() {
+    let h = std::thread::spawn(|| 1 + 1);
+    std::thread::scope(|s| {
+        s.spawn(|| ());
+    });
+    let b = std::thread::Builder::new();
+    h.join().unwrap();
+    drop(b);
+}

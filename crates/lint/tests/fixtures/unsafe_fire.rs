@@ -1,0 +1,5 @@
+//! Positive fixture: an `unsafe` block outside the vendored pool.
+
+pub fn peek(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(0) }
+}

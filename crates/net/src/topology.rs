@@ -80,7 +80,7 @@ impl Topology {
     pub fn neighbors(&self, pop: PopId) -> Result<&[(PopId, usize)]> {
         self.adj
             .get(pop)
-            .map(|v| v.as_slice())
+            .map(std::vec::Vec::as_slice)
             .ok_or(NetError::UnknownPop { pop, count: self.pops.len() })
     }
 

@@ -98,7 +98,7 @@ fn parse_threads(value: &str) -> Option<usize> {
 
 /// Number of hardware threads reported by the OS (at least 1).
 pub fn hardware_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 /// The process-wide default pool size: `ODFLOW_THREADS` if set to a positive
@@ -106,6 +106,7 @@ pub fn hardware_threads() -> usize {
 pub fn default_threads() -> usize {
     static DEFAULT: OnceLock<usize> = OnceLock::new();
     *DEFAULT.get_or_init(|| {
+        // lint:allow(env-read-containment) -- the one sanctioned THREADS_ENV read; every other crate inherits it through this cached default
         std::env::var(THREADS_ENV)
             .ok()
             .as_deref()
@@ -117,7 +118,7 @@ pub fn default_threads() -> usize {
 /// The effective thread limit for parallel regions started by the current
 /// thread: the innermost [`with_thread_limit`] scope, or [`default_threads`].
 pub fn max_threads() -> usize {
-    THREAD_LIMIT.with(|l| l.get()).unwrap_or_else(default_threads)
+    THREAD_LIMIT.with(std::cell::Cell::get).unwrap_or_else(default_threads)
 }
 
 /// The process-wide persistent worker pool, created on first multi-thread
@@ -378,7 +379,7 @@ mod tests {
         // More threads than chunks: the region queues at most one task per
         // chunk, however large the limit.
         with_thread_limit(64, || {
-            let sum = map_reduce(3, 1, |r| r.sum::<usize>(), |a, b| a + b).unwrap();
+            let sum = map_reduce(3, 1, std::iter::Iterator::sum::<usize>, |a, b| a + b).unwrap();
             assert_eq!(sum, 3);
         });
     }

@@ -94,7 +94,7 @@ fn thread_limit_restored_when_body_panics() {
         odflow_par::with_thread_limit(3, || {
             assert_eq!(odflow_par::max_threads(), 3);
             panic!("body failure");
-        })
+        });
     }));
     assert!(result.is_err());
     assert_eq!(odflow_par::max_threads(), before, "limit must be restored on panic");
@@ -110,7 +110,7 @@ fn thread_limit_restored_when_region_task_panics() {
                     panic!("task failure");
                 }
             });
-        })
+        });
     }));
     assert!(result.is_err());
     assert_eq!(odflow_par::max_threads(), before, "limit must be restored after task panic");

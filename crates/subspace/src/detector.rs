@@ -242,8 +242,8 @@ mod tests {
         let x = traffic_with_spikes(576, 10, &[]);
         let analysis = SubspaceDetector::default().analyze(&x).unwrap();
         let range = |v: &[f64]| {
-            let max = v.iter().cloned().fold(f64::MIN, f64::max);
-            let min = v.iter().cloned().fold(f64::MAX, f64::min);
+            let max = v.iter().copied().fold(f64::MIN, f64::max);
+            let min = v.iter().copied().fold(f64::MAX, f64::min);
             (max - min) / (max + 1e-12)
         };
         let state_range = range(&analysis.state_norm_sq);

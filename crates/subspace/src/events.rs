@@ -235,7 +235,8 @@ mod tests {
 
     #[test]
     fn all_combinations_order_matches_table1() {
-        let codes: Vec<String> = TypeSet::all_combinations().iter().map(|c| c.code()).collect();
+        let codes: Vec<String> =
+            TypeSet::all_combinations().iter().map(super::TypeSet::code).collect();
         assert_eq!(codes, vec!["B", "F", "P", "BF", "BP", "FP", "BFP"]);
     }
 

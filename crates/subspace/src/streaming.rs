@@ -63,7 +63,7 @@ impl OnlineDetector {
     pub fn new(training: &Matrix, config: SubspaceConfig, refit_every: usize) -> Result<Self> {
         let model = SubspaceModel::fit(training, config)?;
         let window_len = training.nrows();
-        let window: Vec<Vec<f64>> = training.rows_iter().map(|r| r.to_vec()).collect();
+        let window: Vec<Vec<f64>> = training.rows_iter().map(<[f64]>::to_vec).collect();
         let scratch = StateSplit::with_dimension(training.ncols());
         Ok(OnlineDetector {
             config,
@@ -273,20 +273,18 @@ mod tests {
         let (spe_t, t2_t) = shared.thresholds();
         assert!(spe_t > 0.0 && t2_t > 0.0);
 
-        let handles: Vec<_> = (0..4)
-            .map(|w| {
-                let s = shared.clone();
-                std::thread::spawn(move || {
+        // Four concurrent pushers on the workspace pool (grain 1 gives one
+        // worker per range); `parallel_for` joins them before returning.
+        odflow_par::with_thread_limit(4, || {
+            odflow_par::parallel_for(4, 1, |workers| {
+                for w in workers {
                     let live = traffic(50, 8, 300 + w * 50);
                     for row in live.rows_iter() {
-                        s.push(row).unwrap();
+                        shared.push(row).unwrap();
                     }
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
-        }
+                }
+            });
+        });
         assert_eq!(shared.bins_seen(), 200);
     }
 }

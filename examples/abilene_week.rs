@@ -5,6 +5,8 @@
 //! cargo run --release --example abilene_week
 //! ```
 
+#![forbid(unsafe_code)]
+
 use odflow::classify::score_events;
 use odflow::experiment::{run_scenario, ExperimentConfig};
 use odflow::flow::TrafficType;
@@ -20,6 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scenario.schedule.len()
     );
 
+    // lint:allow(no-ambient-nondeterminism) -- wall-clock timing printed for the operator, never fed into results
     let t0 = std::time::Instant::now();
     let run = run_scenario(&scenario, &ExperimentConfig::default())?;
     println!("pipeline completed in {:.1}s", t0.elapsed().as_secs_f64());

@@ -6,6 +6,8 @@
 //! cargo run --release --example anomaly_zoo
 //! ```
 
+#![forbid(unsafe_code)]
+
 use odflow::experiment::{run_scenario, ExperimentConfig};
 use odflow::gen::{AnomalyKind, InjectedAnomaly, ScanMode, Scenario, ScenarioConfig};
 

@@ -1,13 +1,15 @@
 //! Online detection — the paper's §6 "practical, online diagnosis" goal.
 //!
-//! A collector thread renders live 5-minute bins and feeds state vectors
-//! to a shared online detector (trained on the preceding day); the main
-//! thread consumes verdicts. A DOS flood appears mid-stream and is flagged
-//! within its first bin.
+//! A collector task (one `scoped_pool` worker) renders live 5-minute bins
+//! and feeds state vectors to a shared online detector (trained on the
+//! preceding day); the main thread consumes verdicts. A DOS flood appears
+//! mid-stream and is flagged within its first bin.
 //!
 //! ```sh
 //! cargo run --release --example streaming_detector
 //! ```
+
+#![forbid(unsafe_code)]
 
 use odflow::flow::{MeasurementPipeline, PipelineConfig, TrafficType};
 use odflow::gen::{AnomalyKind, InjectedAnomaly, ScanMode, Scenario, ScenarioConfig};
@@ -64,10 +66,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("trained on day 1; thresholds: SPE {spe_thr:.3e}, T2 {t2_thr:.2}");
 
     let (tx, rx) = std::sync::mpsc::sync_channel(16);
-    let collector = {
-        let shared = shared.clone();
-        let flows = live.get(TrafficType::Flows).data.clone();
-        std::thread::spawn(move || {
+    // One pool worker plays the collector; `Pool::scoped` joins it (and
+    // re-throws any panic) before returning, so the closures may borrow
+    // `shared` and the live matrices directly — no clones, no raw spawn.
+    let pool = scoped_pool::Pool::new(1);
+    let mut alarms = 0;
+    pool.scoped(|scope| {
+        let shared = &shared;
+        let flows = &live.get(TrafficType::Flows).data;
+        scope.execute(move || {
             for bin in 0..flows.nrows() {
                 let row = flows.row(bin).expect("row");
                 let verdict = shared.push(row).expect("push");
@@ -75,21 +82,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     tx.send(verdict).expect("send");
                 }
             }
-        })
-    };
-
-    let mut alarms = 0;
-    for verdict in rx.iter() {
-        alarms += 1;
-        println!(
-            "ALARM at live bin {:>3}: SPE {:>10.1} T2 {:>6.2} ({} statistic(s) fired)",
-            verdict.bin,
-            verdict.spe,
-            verdict.t2,
-            verdict.detections.len()
-        );
-    }
-    collector.join().expect("collector");
+            // `tx` drops here, ending the `rx.iter()` loop below.
+        });
+        for verdict in &rx {
+            alarms += 1;
+            println!(
+                "ALARM at live bin {:>3}: SPE {:>10.1} T2 {:>6.2} ({} statistic(s) fired)",
+                verdict.bin,
+                verdict.spe,
+                verdict.t2,
+                verdict.detections.len()
+            );
+        }
+    });
 
     println!("\n{alarms} alarm(s) over {} live bins", shared.bins_seen());
     assert!(alarms >= 1, "the DOS flood must be caught online");

@@ -208,8 +208,8 @@ fn classify_event(
                 )
             })
             .collect();
-        let min = per_flow.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = per_flow.iter().cloned().fold(0.0f64, f64::max);
+        let min = per_flow.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = per_flow.iter().copied().fold(0.0f64, f64::max);
         // Thresholds are deliberately forgiving: for multi-bin shifts the
         // local baseline window overlaps the anomaly itself, compressing
         // both ratios toward 1.
@@ -323,7 +323,7 @@ fn has_counterpart_spike(
     window: usize,
     num_pops: usize,
 ) -> bool {
-    let dipped_dests: std::collections::HashSet<usize> =
+    let dipped_dests: std::collections::BTreeSet<usize> =
         event.od_flows.iter().map(|od| od % num_pops).collect();
     for dest in dipped_dests {
         for origin in 0..num_pops {

@@ -44,7 +44,7 @@ fn matrices_via_wire(scenario: &Scenario) -> odflow::flow::TrafficMatrixSet {
         let records = generator.records_for_bin(bin);
         for router in 0..scenario.topology.num_pops() {
             let batch: Vec<FlowRecord> =
-                records.iter().filter(|r| r.router == router).cloned().collect();
+                records.iter().filter(|r| r.router == router).copied().collect();
             let dgrams = netflow::encode_datagrams(&batch, 0, router as u8, 100, 0);
             for d in &dgrams {
                 let (_, decoded) = netflow::decode_datagram(d).unwrap();

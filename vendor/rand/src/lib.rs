@@ -40,7 +40,7 @@ impl<R: RngCore + ?Sized> RngCore for &mut R {
         (**self).next_u64()
     }
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        (**self).fill_bytes(dest)
+        (**self).fill_bytes(dest);
     }
 }
 
@@ -239,7 +239,7 @@ pub trait Rng: RngCore {
 
     /// Fills a mutable slice/array with random data.
     fn fill(&mut self, dest: &mut [u8]) {
-        self.fill_bytes(dest)
+        self.fill_bytes(dest);
     }
 }
 

@@ -54,13 +54,13 @@ thread_local! {
 /// scope — every worker potentially waiting on peers that are busy running
 /// the very tasks being waited for is a deadlock.
 pub fn is_worker_thread() -> bool {
-    IS_WORKER.with(|w| w.get())
+    IS_WORKER.with(std::cell::Cell::get)
 }
 
 /// Locks a mutex, ignoring poisoning (a panicking task is already caught
 /// by its wrapper; the data behind these mutexes is always consistent).
 fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(|e| e.into_inner())
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// State shared between the pool handle and its workers.
@@ -237,7 +237,8 @@ impl<'pool, 'scope> Scope<'pool, 'scope> {
     fn join(&self) {
         let mut status = lock_unpoisoned(&self.state.status);
         while status.outstanding > 0 {
-            status = self.state.done.wait(status).unwrap_or_else(|e| e.into_inner());
+            status =
+                self.state.done.wait(status).unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 }
