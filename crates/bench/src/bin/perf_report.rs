@@ -4,8 +4,9 @@
 //! Times every hot stage of the reproduction (the fan-out dispatch
 //! microbench, Gram matrix, Jacobi eigendecomposition, blocked matmul,
 //! subspace model fit, batch detection, scenario materialization, the
-//! fused sharded ingest, the 90k-OD-pair large-mesh pipeline, and the
-//! end-to-end pipeline) twice: once with the pool pinned to a single
+//! fused sharded ingest, the 90k-OD-pair large-mesh pipeline, the
+//! end-to-end pipeline, and the fault-storm frame-ingest path) twice:
+//! once with the pool pinned to a single
 //! thread (the serial baseline) and once with the full pool. Emits a
 //! machine-readable `BENCH_pipeline.json` — stamped with the pool size and
 //! kind (`"pool": "persistent"`), raw `ODFLOW_THREADS`, ingest shard
@@ -41,6 +42,10 @@ use odflow::linalg::{eigen_symmetric, scatter, EigenMethod};
 use odflow::net::IngressResolver;
 use odflow::subspace::{SubspaceConfig, SubspaceDetector, SubspaceModel};
 use odflow_bench::{traffic_matrix, PERF_STAGES};
+
+/// Seed for the fault-storm stage (the harness seed, kept local so the
+/// stage workload is pinned independently of table/figure binaries).
+const HARNESS_SEED_LOCAL: u64 = odflow_bench::HARNESS_SEED;
 
 /// Which stages this invocation measures: all of them, or the `--stage`
 /// selection.
@@ -355,6 +360,40 @@ fn main() {
                 .unwrap()
                 .classified
                 .len()
+            },
+        ));
+    }
+
+    // Fault-storm robustness path: render each bin as NetFlow v5 wire
+    // frames, mutate them through the seeded fault schedule, and ingest
+    // via the lossy quarantine/repair path. The serial render→fault→decode
+    // stage dominates, so this stage tracks the cost of fault accounting
+    // itself — a regression here means the quarantine or sequence-tracking
+    // bookkeeping got slower.
+    if filter.enabled("fault_storm") {
+        let num_bins = if quick { 48 } else { 144 };
+        let config = ScenarioConfig { num_bins, total_demand: 800.0, ..Default::default() };
+        let scenario = Scenario::new(config, vec![]).unwrap();
+        let generator = scenario.generator();
+        let routes = scenario.plan.build_route_table(1.0).unwrap();
+        let ingress = IngressResolver::synthetic(&scenario.topology);
+        let pipe_cfg = PipelineConfig::abilene(0, num_bins);
+        let faults = odflow::gen::FaultSchedule::storm(HARNESS_SEED_LOCAL, num_bins).unwrap();
+        stages.push(run_stage(
+            "fault_storm",
+            format!("{num_bins} bins frames+faults"),
+            reps.min(2),
+            || {
+                let (outcome, storm) = generator
+                    .bin_scenario_faulted(
+                        pipe_cfg,
+                        ingress.clone(),
+                        routes.clone(),
+                        &faults,
+                        odflow::flow::RepairPolicy::default(),
+                    )
+                    .unwrap();
+                (outcome.quality.quarantine.frames_rejected(), storm.frames_offered)
             },
         ));
     }

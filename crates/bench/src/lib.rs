@@ -39,6 +39,7 @@ pub const PERF_STAGES: &[&str] = &[
     "large_mesh_pipeline",
     "large_mesh_detect",
     "pipeline",
+    "fault_storm",
 ];
 
 use odflow::experiment::{run_scenario, ExperimentConfig, ScenarioRun};

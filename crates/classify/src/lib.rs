@@ -26,6 +26,6 @@ pub use dominance::{
     is_well_known_service, DominanceConfig, DominantAttributes, WELL_KNOWN_SERVICE_PORTS,
 };
 pub use error::{ClassifyError, Result};
-pub use report::{score_events, MatchReport, ScoredEvent, TruthLabel};
+pub use report::{score_events, score_events_with_mask, MatchReport, ScoredEvent, TruthLabel};
 pub use rules::{classify, AnomalyObservation, Classification, RuleConfig};
 pub use taxonomy::AnomalyClass;

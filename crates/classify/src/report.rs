@@ -145,6 +145,26 @@ pub fn score_events(truth: &[TruthLabel], events: &[ScoredEvent], slack: usize) 
     }
 }
 
+/// [`score_events`] under a degraded measurement window: truth anomalies
+/// that lie **entirely** inside masked bins are excluded from the truth
+/// set before scoring — masking destroyed their evidence, so a detector
+/// that (correctly) stays silent there must not be charged a false
+/// negative. Truth anomalies with at least one unmasked bin remain fully
+/// scoreable.
+pub fn score_events_with_mask(
+    truth: &[TruthLabel],
+    events: &[ScoredEvent],
+    slack: usize,
+    masked_bins: &[usize],
+) -> MatchReport {
+    let detectable: Vec<TruthLabel> = truth
+        .iter()
+        .filter(|t| (t.start_bin..=t.end_bin).any(|b| !masked_bins.contains(&b)))
+        .cloned()
+        .collect();
+    score_events(&detectable, events, slack)
+}
+
 /// DOS and DDOS are interchangeable for scoring (the paper's Table 3
 /// groups them).
 fn labels_equivalent(truth: &str, assigned: &str) -> bool {
@@ -238,6 +258,37 @@ mod tests {
         let e = vec![event("DOS", 10, 12, &[5])];
         let r = score_events(&t, &e, 0);
         assert_eq!(r.correctly_classified, 1);
+    }
+
+    #[test]
+    fn fully_masked_truth_not_charged_as_miss() {
+        let t = vec![truth("DOS", 10, 12, &[5]), truth("SCAN", 50, 52, &[2])];
+        let e = vec![event("SCAN", 50, 52, &[2])];
+        // Plain scoring: the undetected DOS is a false negative.
+        assert_eq!(score_events(&t, &e, 0).false_negatives, 1);
+        // Masked scoring: bins 10-12 were destroyed by an outage, so the
+        // DOS was undetectable and recall is judged on the SCAN alone.
+        let r = score_events_with_mask(&t, &e, 0, &[10, 11, 12]);
+        assert_eq!(r.false_negatives, 0);
+        assert_eq!(r.true_positives, 1);
+        assert_eq!(r.recall(), 1.0);
+    }
+
+    #[test]
+    fn partially_masked_truth_still_scoreable() {
+        let t = vec![truth("DOS", 10, 12, &[5])];
+        let e: Vec<ScoredEvent> = vec![];
+        // Only bin 10 masked: bins 11-12 carried evidence, so the miss
+        // still counts.
+        let r = score_events_with_mask(&t, &e, 0, &[10]);
+        assert_eq!(r.false_negatives, 1);
+    }
+
+    #[test]
+    fn empty_mask_matches_plain_scoring() {
+        let t = vec![truth("DOS", 10, 12, &[5])];
+        let e = vec![event("DOS", 10, 12, &[5])];
+        assert_eq!(score_events_with_mask(&t, &e, 1, &[]), score_events(&t, &e, 1));
     }
 
     #[test]

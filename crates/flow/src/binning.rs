@@ -32,6 +32,9 @@ pub struct OdBinner {
     /// can no longer receive records. Kept exact (no sketch) — cell
     /// cardinalities at Abilene scale are modest after 1% sampling.
     distinct: Vec<HashSet<FlowKey>>,
+    /// Records accepted per bin — the raw signal behind the
+    /// [`DataQuality`](crate::DataQuality) outage/masking repair.
+    bin_records: Vec<u64>,
     records_accepted: u64,
 }
 
@@ -61,6 +64,7 @@ impl OdBinner {
             packets: vec![0.0; cells],
             flows: vec![0.0; cells],
             distinct: vec![HashSet::new(); cells],
+            bin_records: vec![0; num_bins],
             records_accepted: 0,
         })
     }
@@ -102,6 +106,7 @@ impl OdBinner {
         if self.distinct[cell].insert(record.key) {
             self.flows[cell] += 1.0;
         }
+        self.bin_records[bin] += 1;
         self.records_accepted += 1;
         Ok(())
     }
@@ -116,12 +121,13 @@ impl OdBinner {
         self.num_bins
     }
 
-    /// Consumes the binner into its raw `(bytes, packets, flows)` cell
-    /// vectors (row-major `bin x od`), without the non-empty check of
-    /// [`Self::finalize`] — the sharded merge concatenates shard rows and
-    /// applies the emptiness check to the whole window instead.
-    pub(crate) fn into_cells(self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
-        (self.bytes, self.packets, self.flows)
+    /// Consumes the binner into its raw `(bytes, packets, flows,
+    /// bin_records)` cell vectors (row-major `bin x od`; per-bin record
+    /// counts), without the non-empty check of [`Self::finalize`] — the
+    /// sharded merge concatenates shard rows and applies the emptiness
+    /// check to the whole window instead.
+    pub(crate) fn into_cells(self) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<u64>) {
+        (self.bytes, self.packets, self.flows, self.bin_records)
     }
 
     /// Finalizes into the three aligned traffic matrices.
@@ -133,19 +139,22 @@ impl OdBinner {
         if self.records_accepted == 0 {
             return Err(FlowError::NoData);
         }
-        let build = |t: TrafficType, data: Vec<f64>| -> TrafficMatrix {
-            TrafficMatrix {
+        let start_secs = self.start_secs;
+        let bin_secs = self.bin_secs;
+        let (num_bins, num_od) = (self.num_bins, self.num_od);
+        let build = |t: TrafficType, data: Vec<f64>| -> Result<TrafficMatrix> {
+            Ok(TrafficMatrix {
                 traffic_type: t,
-                start_secs: self.start_secs,
-                bin_secs: self.bin_secs,
-                data: Matrix::from_vec(self.num_bins, self.num_od, data)
-                    .expect("cell vector sized at construction"),
-            }
+                start_secs,
+                bin_secs,
+                data: Matrix::from_vec(num_bins, num_od, data)
+                    .map_err(|e| FlowError::Codec { reason: format!("cell vector shape: {e}") })?,
+            })
         };
         Ok(TrafficMatrixSet {
-            bytes: build(TrafficType::Bytes, self.bytes),
-            packets: build(TrafficType::Packets, self.packets),
-            flows: build(TrafficType::Flows, self.flows),
+            bytes: build(TrafficType::Bytes, self.bytes)?,
+            packets: build(TrafficType::Packets, self.packets)?,
+            flows: build(TrafficType::Flows, self.flows)?,
         })
     }
 }

@@ -132,9 +132,7 @@ impl AttributeDigest {
         if total <= 0.0 {
             return None;
         }
-        map.iter()
-            .map(|(k, c)| (*k, c.get(t) / total))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("shares are finite"))
+        map.iter().map(|(k, c)| (*k, c.get(t) / total)).max_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// Dominant source /24 block by measure `t`: `(block address, share)`.
@@ -192,7 +190,7 @@ impl AttributeDigest {
             return 0;
         }
         let mut weights: Vec<f64> = self.by_src_block.values().map(|c| c.get(t)).collect();
-        weights.sort_by(|a, b| b.partial_cmp(a).expect("finite counts"));
+        weights.sort_by(|a, b| b.total_cmp(a));
         let target = total * share.clamp(0.0, 1.0);
         let mut acc = 0.0;
         for (i, w) in weights.iter().enumerate() {

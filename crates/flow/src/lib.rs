@@ -34,6 +34,7 @@ pub mod netflow;
 mod od;
 mod packet;
 mod pipeline;
+mod quality;
 mod record;
 mod sampler;
 mod shard;
@@ -47,6 +48,10 @@ pub use matrix::{TrafficMatrix, TrafficMatrixSet, TrafficType, BIN_SECS};
 pub use od::{OdResolution, OdResolver, ResolutionStats};
 pub use packet::PacketObs;
 pub use pipeline::{MeasurementPipeline, PipelineConfig};
+pub use quality::{
+    BinStatus, DataQuality, ExporterSeq, ExporterSeqStats, QuarantineClass, QuarantineStats,
+    RepairPolicy,
+};
 pub use record::FlowRecord;
 pub use sampler::{sample_packet_count, PacketSampler, ABILENE_SAMPLING_RATE};
 pub use shard::{BinShard, IngestOutcome, ShardedIngest, DEFAULT_SHARD_BINS};

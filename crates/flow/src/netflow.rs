@@ -20,6 +20,7 @@
 
 use crate::error::{FlowError, Result};
 use crate::key::{FlowKey, Protocol};
+use crate::quality::{QuarantineClass, QuarantineStats};
 use crate::record::FlowRecord;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use odflow_net::IpAddr;
@@ -47,6 +48,8 @@ pub struct DatagramHeader {
     pub unix_secs: u32,
     /// Cumulative sequence number of the first record.
     pub flow_sequence: u32,
+    /// Exporter identity (the encoding router's PoP index).
+    pub engine_id: u8,
     /// Sampling interval (packets per sample), e.g. 100 for 1% sampling.
     pub sampling_interval: u16,
 }
@@ -151,38 +154,133 @@ pub fn decode_datagram(data: &[u8]) -> Result<(DatagramHeader, Vec<FlowRecord>)>
 
     let mut records = Vec::with_capacity(count as usize);
     for _ in 0..count {
-        let src_ip = IpAddr(buf.get_u32());
-        let dst_ip = IpAddr(buf.get_u32());
-        let _nexthop = buf.get_u32();
-        let input = buf.get_u16();
-        let _output = buf.get_u16();
-        let packets = buf.get_u32() as u64;
-        let bytes = buf.get_u32() as u64;
-        let first_ms = buf.get_u32();
-        let _last_ms = buf.get_u32();
-        let src_port = buf.get_u16();
-        let dst_port = buf.get_u16();
-        let _pad1 = buf.get_u8();
-        let _tcp_flags = buf.get_u8();
-        let prot = buf.get_u8();
-        let _tos = buf.get_u8();
-        let _src_as = buf.get_u16();
-        let _dst_as = buf.get_u16();
-        let _src_mask = buf.get_u8();
-        let _dst_mask = buf.get_u8();
-        let _pad2 = buf.get_u16();
-
-        records.push(FlowRecord {
-            key: FlowKey::new(src_ip, dst_ip, src_port, dst_port, Protocol::from_number(prot)),
-            router: engine_id as usize,
-            interface: input as u32,
-            window_start: (first_ms / 1000) as u64,
-            packets,
-            bytes,
-        });
+        records.push(decode_record(&mut buf, engine_id));
     }
 
-    Ok((DatagramHeader { version, count, unix_secs, flow_sequence, sampling_interval }, records))
+    Ok((
+        DatagramHeader { version, count, unix_secs, flow_sequence, engine_id, sampling_interval },
+        records,
+    ))
+}
+
+/// Decodes one fixed-size wire record. The caller has already verified the
+/// buffer holds at least [`RECORD_LEN`] bytes.
+fn decode_record(buf: &mut &[u8], engine_id: u8) -> FlowRecord {
+    let src_ip = IpAddr(buf.get_u32());
+    let dst_ip = IpAddr(buf.get_u32());
+    let _nexthop = buf.get_u32();
+    let input = buf.get_u16();
+    let _output = buf.get_u16();
+    let packets = buf.get_u32() as u64;
+    let bytes = buf.get_u32() as u64;
+    let first_ms = buf.get_u32();
+    let _last_ms = buf.get_u32();
+    let src_port = buf.get_u16();
+    let dst_port = buf.get_u16();
+    let _pad1 = buf.get_u8();
+    let _tcp_flags = buf.get_u8();
+    let prot = buf.get_u8();
+    let _tos = buf.get_u8();
+    let _src_as = buf.get_u16();
+    let _dst_as = buf.get_u16();
+    let _src_mask = buf.get_u8();
+    let _dst_mask = buf.get_u8();
+    let _pad2 = buf.get_u16();
+
+    FlowRecord {
+        key: FlowKey::new(src_ip, dst_ip, src_port, dst_port, Protocol::from_number(prot)),
+        router: engine_id as usize,
+        interface: input as u32,
+        window_start: (first_ms / 1000) as u64,
+        packets,
+        bytes,
+    }
+}
+
+/// Largest plausible mean packet size: the IPv4 maximum datagram is 65535
+/// bytes, so a flow averaging more than that per packet has a garbled
+/// `dOctets` field (e.g. a counter-overflow or bit-flip artifact).
+const MAX_BYTES_PER_PACKET: u64 = 65_535;
+
+/// Smallest plausible mean packet size: a bare IPv4 header is 20 bytes, so
+/// a flow averaging less has a garbled counter.
+const MIN_BYTES_PER_PACKET: u64 = 20;
+
+/// `true` when a record's byte/packet counters could describe real IPv4
+/// traffic. Garbled exports (bit flips, overflowed counters) fail one of
+/// these bounds with high probability.
+fn record_plausible(r: &FlowRecord) -> bool {
+    match (r.packets, r.bytes) {
+        (0, 0) => true, // an idle-template record adds nothing; harmless
+        (0, _) | (_, 0) => false,
+        (p, b) => b >= p.saturating_mul(MIN_BYTES_PER_PACKET) && b <= p * MAX_BYTES_PER_PACKET,
+    }
+}
+
+/// Decodes one export datagram, quarantining instead of erroring.
+///
+/// Malformed frames return `None` and increment exactly one quarantine
+/// class counter in `stats`; accepted frames additionally have each
+/// record's byte/packet counters checked for plausibility, with garbled
+/// records dropped into `implausible_records`. The conservation invariant
+/// ([`QuarantineStats::is_conserved`]) holds after any input sequence.
+///
+/// This is the ingest-facing entry point for hostile telemetry; the strict
+/// [`decode_datagram`] remains for trusted wire-equivalence checks.
+pub fn decode_datagram_lossy(
+    data: &[u8],
+    stats: &mut QuarantineStats,
+) -> Option<(DatagramHeader, Vec<FlowRecord>)> {
+    stats.frames_offered += 1;
+    if data.len() < HEADER_LEN {
+        stats.quarantine_frame(QuarantineClass::TruncatedHeader);
+        return None;
+    }
+    let mut buf = data;
+    let version = buf.get_u16();
+    if version != NETFLOW_VERSION {
+        stats.quarantine_frame(QuarantineClass::WrongVersion);
+        return None;
+    }
+    let count = buf.get_u16();
+    let _sys_uptime = buf.get_u32();
+    let unix_secs = buf.get_u32();
+    let _unix_nsecs = buf.get_u32();
+    let flow_sequence = buf.get_u32();
+    let _engine_type = buf.get_u8();
+    let engine_id = buf.get_u8();
+    let sampling_interval = buf.get_u16();
+
+    // The satellite bounds check: never trust `count` against the payload.
+    // A short payload means over-reading if trusted; a long payload means
+    // trailing bytes of unknown provenance. Both quarantine the frame.
+    let expected = count as usize * RECORD_LEN;
+    if buf.remaining() < expected {
+        stats.quarantine_frame(QuarantineClass::TruncatedFrame);
+        return None;
+    }
+    if buf.remaining() > expected {
+        stats.quarantine_frame(QuarantineClass::OversizedFrame);
+        return None;
+    }
+
+    stats.frames_accepted += 1;
+    stats.records_offered += u64::from(count);
+    let mut records = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let r = decode_record(&mut buf, engine_id);
+        if record_plausible(&r) {
+            stats.records_accepted += 1;
+            records.push(r);
+        } else {
+            stats.implausible_records += 1;
+        }
+    }
+
+    Some((
+        DatagramHeader { version, count, unix_secs, flow_sequence, engine_id, sampling_interval },
+        records,
+    ))
 }
 
 #[cfg(test)]
@@ -279,6 +377,90 @@ mod tests {
     fn empty_record_list_encodes_nothing() {
         let dgrams = encode_datagrams(&[], 0, 1, 100, 0);
         assert!(dgrams.is_empty());
+    }
+
+    /// Records whose counters pass the lossy plausibility check (the
+    /// `sample_records` mix includes sub-minimum byte/packet ratios that
+    /// the strict-path tests tolerate but quarantine would drop).
+    fn plausible_records(n: usize) -> Vec<FlowRecord> {
+        let mut records = sample_records(n);
+        for r in &mut records {
+            r.bytes = r.packets * 900;
+        }
+        records
+    }
+
+    #[test]
+    fn lossy_accepts_clean_frames_with_conservation() {
+        let records = plausible_records(65);
+        let dgrams = encode_datagrams(&records, 0, 7, 100, 0);
+        let mut q = QuarantineStats::default();
+        let mut all = Vec::new();
+        for d in &dgrams {
+            let (hdr, recs) = decode_datagram_lossy(d, &mut q).expect("clean frame");
+            assert_eq!(hdr.engine_id, 7);
+            all.extend(recs);
+        }
+        assert_eq!(all, records);
+        assert!(q.is_conserved());
+        assert_eq!(q.frames_accepted, 3);
+        assert_eq!(q.records_accepted, 65);
+        assert_eq!(q.frames_rejected(), 0);
+    }
+
+    #[test]
+    fn lossy_quarantines_each_class_once() {
+        let records = plausible_records(2);
+        let good = encode_datagrams(&records, 0, 1, 100, 0).remove(0);
+        let mut q = QuarantineStats::default();
+
+        assert!(decode_datagram_lossy(&good[..10], &mut q).is_none());
+        assert_eq!(q.truncated_header, 1);
+
+        let mut wrong = good.to_vec();
+        wrong[1] = 9;
+        assert!(decode_datagram_lossy(&wrong, &mut q).is_none());
+        assert_eq!(q.wrong_version, 1);
+
+        let mut short = good.to_vec();
+        short.truncate(good.len() - 7);
+        assert!(decode_datagram_lossy(&short, &mut q).is_none());
+        assert_eq!(q.truncated_frame, 1);
+
+        let mut long = good.to_vec();
+        long.extend_from_slice(&[0u8; 3]);
+        assert!(decode_datagram_lossy(&long, &mut q).is_none());
+        assert_eq!(q.oversized_frame, 1);
+
+        assert!(decode_datagram_lossy(&good, &mut q).is_some());
+        assert_eq!(q.frames_offered, 5);
+        assert_eq!(q.frames_accepted, 1);
+        assert!(q.is_conserved());
+    }
+
+    #[test]
+    fn lossy_drops_implausible_records() {
+        let mut records = plausible_records(3);
+        records[1].bytes = 0; // zeroed dOctets with live dPkts
+        let dgrams = encode_datagrams(&records, 0, 1, 100, 0);
+        let mut q = QuarantineStats::default();
+        let (_, decoded) = decode_datagram_lossy(&dgrams[0], &mut q).expect("frame accepted");
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(q.implausible_records, 1);
+        assert_eq!(q.records_accepted, 2);
+        assert!(q.is_conserved());
+    }
+
+    #[test]
+    fn overflowed_counter_is_implausible() {
+        let r = FlowRecord {
+            // A counter-overflow artifact: ~2^31 bytes claimed on 3 packets.
+            bytes: 1u64 << 31,
+            packets: 3,
+            ..plausible_records(1).remove(0)
+        };
+        assert!(!record_plausible(&r));
+        assert!(record_plausible(&plausible_records(1)[0]));
     }
 
     #[test]

@@ -30,8 +30,10 @@
 use crate::binning::OdBinner;
 use crate::error::{FlowError, Result};
 use crate::matrix::{TrafficMatrix, TrafficMatrixSet, TrafficType};
+use crate::netflow::decode_datagram_lossy;
 use crate::od::{OdResolution, OdResolver, ResolutionStats};
 use crate::pipeline::PipelineConfig;
+use crate::quality::{BinStatus, DataQuality, RepairPolicy};
 use crate::record::FlowRecord;
 use odflow_linalg::Matrix;
 use std::ops::Range;
@@ -139,6 +141,65 @@ pub struct IngestOutcome {
     pub stats: ResolutionStats,
     /// Out-of-window records dropped, summed across shards.
     pub dropped_out_of_window: u64,
+    /// Data-quality accounting: quarantine counters (wire path), exporter
+    /// sequence gaps, per-bin record counts, and per-bin repair status.
+    pub quality: DataQuality,
+}
+
+impl IngestOutcome {
+    /// Repairs collector outages in place, opt-in (the clean fused path
+    /// never calls this, so its matrices stay bit-identical to before).
+    ///
+    /// Runs of consecutive **empty** bins (zero accepted records) of at
+    /// most `policy.max_interp_gap` bins, with measured bins on both
+    /// sides, are filled by deterministic per-OD linear interpolation
+    /// across all three traffic views and marked
+    /// [`BinStatus::Imputed`]; longer runs — and runs touching a window
+    /// edge, which lack a neighbor — are left at zero and marked
+    /// [`BinStatus::Masked`] so the detector can decline to issue
+    /// verdicts on them. Serial over bins and OD pairs: bit-identical
+    /// for any `ODFLOW_THREADS`.
+    pub fn repair(&mut self, policy: RepairPolicy) {
+        let n = self.quality.bin_records.len();
+        let mut b = 0usize;
+        while b < n {
+            if self.quality.bin_records[b] != 0 {
+                b += 1;
+                continue;
+            }
+            let run_start = b;
+            while b < n && self.quality.bin_records[b] == 0 {
+                b += 1;
+            }
+            let run_end = b; // exclusive
+            let interior = run_start > 0 && run_end < n;
+            if interior && run_end - run_start <= policy.max_interp_gap {
+                let (left, right) = (run_start - 1, run_end);
+                let span = (right - left) as f64;
+                for m in [
+                    &mut self.matrices.bytes.data,
+                    &mut self.matrices.packets.data,
+                    &mut self.matrices.flows.data,
+                ] {
+                    for bin in run_start..run_end {
+                        let t = (bin - left) as f64 / span;
+                        for od in 0..m.ncols() {
+                            let lo = m[(left, od)];
+                            let hi = m[(right, od)];
+                            m[(bin, od)] = lo + t * (hi - lo);
+                        }
+                    }
+                }
+                for s in &mut self.quality.bins[run_start..run_end] {
+                    *s = BinStatus::Imputed;
+                }
+            } else {
+                for s in &mut self.quality.bins[run_start..run_end] {
+                    *s = BinStatus::Masked;
+                }
+            }
+        }
+    }
 }
 
 /// Factory and merge point for a deterministic set of [`BinShard`]s
@@ -293,6 +354,7 @@ impl ShardedIngest {
         let mut bytes = Vec::with_capacity(cells);
         let mut packets = Vec::with_capacity(cells);
         let mut flows = Vec::with_capacity(cells);
+        let mut bin_records = Vec::with_capacity(self.num_bins);
         let mut stats = ResolutionStats::default();
         let mut dropped = 0u64;
         let mut accepted = 0u64;
@@ -300,32 +362,39 @@ impl ShardedIngest {
             stats.merge(&shard.resolver.stats());
             dropped += shard.dropped_out_of_window;
             accepted += shard.binner.records_accepted();
-            let (b, p, f) = shard.binner.into_cells();
+            let (b, p, f, n) = shard.binner.into_cells();
             bytes.extend_from_slice(&b);
             packets.extend_from_slice(&p);
             flows.extend_from_slice(&f);
+            bin_records.extend_from_slice(&n);
         }
         if accepted == 0 {
             return Err(FlowError::NoData);
         }
 
-        let build = |t: TrafficType, data: Vec<f64>| -> TrafficMatrix {
-            TrafficMatrix {
+        let build = |t: TrafficType, data: Vec<f64>| -> Result<TrafficMatrix> {
+            Ok(TrafficMatrix {
                 traffic_type: t,
                 start_secs: self.start_secs,
                 bin_secs: self.bin_secs,
                 data: Matrix::from_vec(self.num_bins, self.num_od, data)
-                    .expect("shards tile the window"),
-            }
+                    .map_err(|e| FlowError::Codec { reason: format!("shard tiling: {e}") })?,
+            })
+        };
+        let quality = DataQuality {
+            bins: vec![BinStatus::Ok; bin_records.len()],
+            bin_records,
+            ..DataQuality::default()
         };
         Ok(IngestOutcome {
             matrices: TrafficMatrixSet {
-                bytes: build(TrafficType::Bytes, bytes),
-                packets: build(TrafficType::Packets, packets),
-                flows: build(TrafficType::Flows, flows),
+                bytes: build(TrafficType::Bytes, bytes)?,
+                packets: build(TrafficType::Packets, packets)?,
+                flows: build(TrafficType::Flows, flows)?,
             },
             stats,
             dropped_out_of_window: dropped,
+            quality,
         })
     }
 
@@ -359,6 +428,48 @@ impl ShardedIngest {
         .into_iter()
         .collect::<Result<Vec<BinShard>>>()?;
         self.merge(shards)
+    }
+
+    /// One-shot ingest of serialized NetFlow v5 export frames — the
+    /// hostile-telemetry entry point.
+    ///
+    /// Frames pass through [`decode_datagram_lossy`] **serially, in input
+    /// order** (quarantine counters and per-exporter sequence tracking are
+    /// order-sensitive, so this stage never parallelizes); surviving
+    /// records then take the same partition → parallel fill → merge path
+    /// as [`Self::ingest_records`]. The returned outcome's quality report
+    /// carries the quarantine and exporter-gap accounting alongside the
+    /// per-bin record counts. Bit-identical for any `ODFLOW_THREADS`.
+    ///
+    /// Callers expecting collector outages follow up with
+    /// [`IngestOutcome::repair`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::ingest_records`]; malformed frames are quarantined,
+    /// never errors.
+    pub fn ingest_datagrams(&self, frames: &[impl AsRef<[u8]>]) -> Result<IngestOutcome> {
+        let mut quality = DataQuality::clean(self.num_bins);
+        let mut records = Vec::new();
+        for frame in frames {
+            if let Some((hdr, recs)) =
+                decode_datagram_lossy(frame.as_ref(), &mut quality.quarantine)
+            {
+                let fresh = quality.exporters.observe(
+                    hdr.engine_id,
+                    hdr.flow_sequence,
+                    hdr.count,
+                    hdr.sampling_interval,
+                );
+                if fresh {
+                    records.extend(recs);
+                }
+            }
+        }
+        let mut outcome = self.ingest_records(&records)?;
+        outcome.quality.quarantine = quality.quarantine;
+        outcome.quality.exporters = quality.exporters;
+        Ok(outcome)
     }
 }
 
@@ -552,6 +663,120 @@ mod tests {
             } else {
                 reference = Some(merged);
             }
+        }
+    }
+
+    /// Records from one exporter PoP spread across the window's bins,
+    /// with byte/packet ratios that survive the lossy plausibility check.
+    fn exporter_stream(plan: &AddressPlan, pop: usize, num_bins: usize, n: u32) -> Vec<FlowRecord> {
+        let window_end = num_bins as u64 * 300;
+        (0..n)
+            .map(|i| {
+                let dst = ((i as usize % 10) + pop + 1) % 11;
+                record(plan, pop, dst, (i as u64 * 97) % window_end, i)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ingest_datagrams_matches_record_path_on_clean_frames() {
+        let num_bins = 8;
+        let (_, plan, engine, _) = setup(num_bins);
+        let stream = exporter_stream(&plan, 3, num_bins, 180);
+        let frames = crate::netflow::encode_datagrams(&stream, 0, 3, 100, 0);
+        let from_records = engine.ingest_records(&stream).unwrap();
+        let from_wire = engine.ingest_datagrams(&frames).unwrap();
+        assert_eq!(
+            from_wire.matrices.bytes.data.as_slice(),
+            from_records.matrices.bytes.data.as_slice()
+        );
+        assert_eq!(from_wire.quality.bin_records, from_records.quality.bin_records);
+        assert_eq!(from_wire.quality.bin_records.iter().sum::<u64>(), 180);
+        assert!(from_wire.quality.quarantine.is_conserved());
+        assert_eq!(from_wire.quality.quarantine.frames_accepted, 6);
+        assert_eq!(from_wire.quality.exporters.lost_flows_total(), 0);
+        assert!(from_wire.quality.is_pristine());
+    }
+
+    #[test]
+    fn ingest_datagrams_quarantines_and_estimates_loss() {
+        let num_bins = 8;
+        let (_, plan, engine, _) = setup(num_bins);
+        let stream = exporter_stream(&plan, 3, num_bins, 180);
+        let mut frames: Vec<Vec<u8>> = crate::netflow::encode_datagrams(&stream, 0, 3, 100, 0)
+            .iter()
+            .map(bytes::Bytes::to_vec)
+            .collect();
+        frames[2][0] = 0xFF; // garble frame 2's version field
+        let outcome = engine.ingest_datagrams(&frames).unwrap();
+        let q = &outcome.quality.quarantine;
+        assert!(q.is_conserved());
+        assert_eq!(q.frames_offered, 6);
+        assert_eq!(q.frames_accepted, 5);
+        assert_eq!(q.wrong_version, 1);
+        assert_eq!(q.records_accepted, 150);
+        // The rejected frame's 30 records show up as an export-sequence
+        // gap at the next accepted frame from this exporter.
+        assert_eq!(outcome.quality.exporters.lost_flows_total(), 30);
+        assert!(!outcome.quality.is_pristine());
+        assert_eq!(outcome.quality.bin_records.iter().sum::<u64>(), 150);
+    }
+
+    #[test]
+    fn repair_interpolates_short_gaps_and_masks_edges() {
+        let num_bins = 5;
+        let (_, plan, engine, _) = setup(num_bins);
+        // Records only in bins 0, 1, and 3: bin 2 is a one-bin interior
+        // outage, bin 4 an edge outage.
+        let mut stream = Vec::new();
+        for (salt, &bin) in [0usize, 1, 3].iter().enumerate() {
+            for i in 0..20u32 {
+                let dst = ((i as usize % 10) + 1) % 11;
+                stream.push(record(&plan, 0, dst, bin as u64 * 300 + 10, salt as u32 * 100 + i));
+            }
+        }
+        let mut outcome = engine.ingest_records(&stream).unwrap();
+        assert_eq!(outcome.quality.bin_records[2], 0);
+        assert!(outcome.quality.bins.iter().all(|s| *s == crate::BinStatus::Ok));
+
+        outcome.repair(crate::RepairPolicy::default());
+        assert_eq!(outcome.quality.imputed_bins(), vec![2]);
+        assert_eq!(outcome.quality.masked_bins(), vec![4]);
+        let m = &outcome.matrices.bytes.data;
+        for od in 0..m.ncols() {
+            let (lo, hi) = (m[(1, od)], m[(3, od)]);
+            assert_eq!(m[(2, od)], lo + 0.5 * (hi - lo), "od {od}: midpoint of neighbors");
+            assert_eq!(m[(4, od)], 0.0, "masked bins stay zero");
+        }
+        assert!(outcome.quality.imputed_fraction() > 0.0);
+    }
+
+    #[test]
+    fn repair_masks_gaps_longer_than_policy() {
+        let num_bins = 6;
+        let (_, plan, engine, _) = setup(num_bins);
+        // Bins 2 and 3 empty: a two-bin interior outage.
+        let mut stream = Vec::new();
+        for (salt, &bin) in [0usize, 1, 4, 5].iter().enumerate() {
+            for i in 0..10u32 {
+                let dst = ((i as usize % 10) + 1) % 11;
+                stream.push(record(&plan, 0, dst, bin as u64 * 300 + 10, salt as u32 * 100 + i));
+            }
+        }
+        let mut strict = engine.ingest_records(&stream).unwrap();
+        strict.repair(crate::RepairPolicy { max_interp_gap: 1 });
+        assert_eq!(strict.quality.masked_bins(), vec![2, 3]);
+        assert!(strict.quality.imputed_bins().is_empty());
+
+        let mut lenient = engine.ingest_records(&stream).unwrap();
+        lenient.repair(crate::RepairPolicy { max_interp_gap: 2 });
+        assert_eq!(lenient.quality.imputed_bins(), vec![2, 3]);
+        let m = &lenient.matrices.bytes.data;
+        for od in 0..m.ncols() {
+            let lo = m[(1, od)];
+            let hi = m[(4, od)];
+            assert_eq!(m[(2, od)], lo + (1.0 / 3.0) * (hi - lo), "od {od}");
+            assert_eq!(m[(3, od)], lo + (2.0 / 3.0) * (hi - lo), "od {od}");
         }
     }
 

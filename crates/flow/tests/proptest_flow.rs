@@ -120,6 +120,61 @@ proptest! {
     }
 
     #[test]
+    fn lossy_decode_survives_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        // The whole point of the lossy path: any byte soup off the wire is
+        // either decoded or quarantined — never a panic, never uncounted.
+        let mut q = odflow_flow::QuarantineStats::default();
+        let decoded = netflow::decode_datagram_lossy(&bytes, &mut q);
+        prop_assert_eq!(q.frames_offered, 1);
+        prop_assert!(q.is_conserved(), "conservation violated: {:?}", q);
+        match decoded {
+            Some((hdr, recs)) => {
+                prop_assert_eq!(q.frames_accepted, 1);
+                prop_assert_eq!(q.frames_rejected(), 0);
+                prop_assert_eq!(hdr.version, 5);
+                prop_assert_eq!(recs.len() as u64, q.records_accepted);
+            }
+            None => {
+                prop_assert_eq!(q.frames_accepted, 0);
+                prop_assert_eq!(q.frames_rejected(), 1, "rejected frame in no class: {:?}", q);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_valid_frames_stay_conserved(
+        records in proptest::collection::vec(arb_record(), 1..40),
+        flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..8),
+    ) {
+        // Start from well-formed datagrams, then flip a handful of bytes:
+        // whatever the corruption hits (version, count, counters, payload),
+        // every frame still lands in accepted or exactly one quarantine
+        // class.
+        let records: Vec<FlowRecord> = records
+            .into_iter()
+            .map(|mut r| { r.router = 3; r.interface %= 65_536; r })
+            .collect();
+        let mut dgrams: Vec<Vec<u8>> =
+            netflow::encode_datagrams(&records, 99, 3, 100, 0)
+                .iter()
+                .map(bytes::Bytes::to_vec)
+                .collect();
+        for (idx, val) in &flips {
+            let d = &mut dgrams[0];
+            let at = *idx as usize % d.len();
+            d[at] ^= *val;
+        }
+        let mut q = odflow_flow::QuarantineStats::default();
+        for d in &dgrams {
+            let _ = netflow::decode_datagram_lossy(d, &mut q);
+        }
+        prop_assert_eq!(q.frames_offered, dgrams.len() as u64);
+        prop_assert!(q.is_conserved(), "conservation violated: {:?}", q);
+    }
+
+    #[test]
     fn anonymization_idempotent_and_blockwise(addr in any::<u32>()) {
         let k = FlowKey::new(IpAddr(1), IpAddr(addr), 1, 2, Protocol::Udp);
         let once = k.with_anonymized_dst();

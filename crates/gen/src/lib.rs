@@ -21,7 +21,11 @@
 //!   timebin's raw flows can be regenerated on demand, so classification
 //!   never needs a multi-week flow archive;
 //! * [`FaultInjector`] — measurement-fault processes (drop / duplicate /
-//!   jitter / corrupt) for robustness studies.
+//!   jitter / corrupt) for robustness studies;
+//! * [`FaultSchedule`] — a seeded, timed fault-injection engine that
+//!   mutates NetFlow wire frames (corruption, truncation, duplication,
+//!   reordering, export loss, exporter outages, sampling drift, counter
+//!   overflow, clock skew) for end-to-end graceful-degradation tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,7 +42,9 @@ mod scenario;
 pub use anomaly::{AnomalyKind, InjectedAnomaly, ScanMode};
 pub use diurnal::{DiurnalModel, ABILENE_TZ_OFFSET_HOURS, DAY_SECS, WEEK_SECS};
 pub use error::{GenError, Result};
-pub use faults::{FaultConfig, FaultInjector, FaultStats};
+pub use faults::{
+    FaultConfig, FaultEvent, FaultInjector, FaultKind, FaultSchedule, FaultStats, FaultStormStats,
+};
 pub use flows::{draw_dst_port, draw_packet_bytes, synthesize_cell, BaselineParams};
 pub use gravity::GravityModel;
 pub use rng::{cell_rng, lognormal_noise, poisson, Stream};

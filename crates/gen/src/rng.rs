@@ -17,6 +17,8 @@ pub enum Stream {
     Baseline,
     /// Anomaly record synthesis, keyed by anomaly id.
     Anomaly(u64),
+    /// Fault-injection decisions, keyed by fault-event index.
+    Fault(u64),
 }
 
 impl Stream {
@@ -24,6 +26,7 @@ impl Stream {
         match self {
             Stream::Baseline => 0x5157_0000,
             Stream::Anomaly(id) => 0xA40A_0000 ^ id,
+            Stream::Fault(id) => 0x000F_A017_0000 ^ id,
         }
     }
 }

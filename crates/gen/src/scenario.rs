@@ -15,6 +15,7 @@
 use crate::anomaly::{AnomalyKind, InjectedAnomaly, ScanMode};
 use crate::diurnal::{DiurnalModel, ABILENE_TZ_OFFSET_HOURS};
 use crate::error::{GenError, Result};
+use crate::faults::{FaultSchedule, FaultStormStats};
 use crate::flows::{synthesize_cell_into, BaselineParams};
 use crate::gravity::GravityModel;
 use crate::rng::{cell_rng, Stream};
@@ -193,6 +194,21 @@ impl Scenario {
     /// The paper's full four-week study: four independent weekly scenarios.
     pub fn paper_four_weeks(seed: u64) -> Result<Vec<Scenario>> {
         (0..4).map(|w| Scenario::paper_week(seed, w)).collect()
+    }
+
+    /// A [`Scenario::paper_week`]-style Abilene scenario over an arbitrary
+    /// window length: the Table 3 anomaly mix drawn for `num_bins` bins
+    /// with the default demand. The fault-storm suite uses day-scale
+    /// windows (288 bins) so export frames can be rendered and mutated
+    /// bin-by-bin in reasonable time.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Scenario::new`].
+    pub fn paper_window(seed: u64, num_bins: usize) -> Result<Scenario> {
+        let config = ScenarioConfig { seed, num_bins, ..Default::default() };
+        let schedule = schedule_for(config.seed, num_bins, 0, 11, 1);
+        Scenario::new(config, schedule)
     }
 
     /// The synthetic large-mesh workload: [`LARGE_MESH_POPS`] PoPs
@@ -456,6 +472,120 @@ impl<'a> TraceGenerator<'a> {
         .into_iter()
         .collect::<odflow_flow::Result<Vec<_>>>()?;
         engine.merge(shards)
+    }
+
+    /// Renders one bin's records as NetFlow v5 export frames, one exporter
+    /// per PoP router, with per-exporter `flow_sequence` continuity across
+    /// bins carried in `seqs` (length = PoP count; caller starts at zeros
+    /// and passes the same slice for every consecutive bin).
+    ///
+    /// Records keep the exact [`records_for_bin`](Self::records_for_bin)
+    /// order within each exporter; frames are emitted in PoP order. The
+    /// export timestamp is the bin start, the sampling interval is
+    /// Abilene's 1% (interval 100).
+    pub fn frames_for_bin(&self, bin: usize, seqs: &mut [u32]) -> Vec<Vec<u8>> {
+        let n = self.scenario.topology.num_pops();
+        assert_eq!(seqs.len(), n, "one sequence counter per PoP exporter");
+        let mut by_router: Vec<Vec<FlowRecord>> = vec![Vec::new(); n];
+        self.records_for_bin_into(bin, &mut |r| {
+            if r.router < n {
+                by_router[r.router].push(r);
+            }
+        });
+        let interval = (1.0 / odflow_flow::ABILENE_SAMPLING_RATE).round() as u16;
+        let export_secs = self.bin_start(bin) as u32;
+        let mut frames = Vec::new();
+        for (router, recs) in by_router.iter().enumerate() {
+            if recs.is_empty() {
+                continue;
+            }
+            for frame in odflow_flow::netflow::encode_datagrams(
+                recs,
+                export_secs,
+                router as u8,
+                interval,
+                seqs[router],
+            ) {
+                frames.push(frame.to_vec());
+            }
+            seqs[router] = seqs[router].wrapping_add(recs.len() as u32);
+        }
+        frames
+    }
+
+    /// The fault-storm pipeline: renders every bin as NetFlow v5 export
+    /// frames, passes them through a [`FaultSchedule`], and ingests the
+    /// surviving stream through the lossy decode → quarantine → repair
+    /// path.
+    ///
+    /// Per bin (serially, in order — fault decisions, quarantine counters
+    /// and exporter sequence tracking are all order-sensitive):
+    ///
+    /// 1. [`frames_for_bin`](Self::frames_for_bin) renders the export
+    ///    frames with per-exporter sequence continuity;
+    /// 2. [`FaultSchedule::apply_to_frames`] mutates the stream;
+    /// 3. [`odflow_flow::netflow::decode_datagram_lossy`] quarantines
+    ///    malformed frames and implausible records, exact retransmits are
+    ///    deduplicated via sequence tracking.
+    ///
+    /// Surviving records then take the parallel
+    /// [`ShardedIngest::ingest_records`](odflow_flow::ShardedIngest::ingest_records)
+    /// path, and [`IngestOutcome::repair`](odflow_flow::IngestOutcome::repair)
+    /// interpolates or masks outage bins under `policy`. The result is
+    /// bit-identical for any `ODFLOW_THREADS` (the fault/decode stage is
+    /// serial; the fill stage is the determinism-pinned sharded path).
+    ///
+    /// # Errors
+    ///
+    /// As for [`bin_scenario`](Self::bin_scenario).
+    pub fn bin_scenario_faulted(
+        &self,
+        config: odflow_flow::PipelineConfig,
+        ingress: odflow_net::IngressResolver,
+        routes: odflow_net::RouteTable,
+        faults: &FaultSchedule,
+        policy: odflow_flow::RepairPolicy,
+    ) -> odflow_flow::Result<(odflow_flow::IngestOutcome, FaultStormStats)> {
+        let cfg = &self.scenario.config;
+        if config.start_secs != cfg.start_secs || config.bin_secs != cfg.bin_secs {
+            return Err(odflow_flow::FlowError::WindowMisaligned {
+                reason: format!(
+                    "pipeline window (start {} s, bins of {} s) vs scenario grid \
+                     (start {} s, bins of {} s)",
+                    config.start_secs, config.bin_secs, cfg.start_secs, cfg.bin_secs
+                ),
+            });
+        }
+        let engine =
+            odflow_flow::ShardedIngest::new(config, &self.scenario.topology, ingress, routes)?;
+        let mut quality = odflow_flow::DataQuality::clean(engine.num_bins());
+        let mut storm = FaultStormStats::default();
+        let mut seqs = vec![0u32; self.scenario.topology.num_pops()];
+        let mut records = Vec::new();
+        for bin in 0..self.num_bins() {
+            let frames = self.frames_for_bin(bin, &mut seqs);
+            let frames = faults.apply_to_frames(bin, frames, &mut storm);
+            for frame in &frames {
+                if let Some((hdr, recs)) =
+                    odflow_flow::netflow::decode_datagram_lossy(frame, &mut quality.quarantine)
+                {
+                    let fresh = quality.exporters.observe(
+                        hdr.engine_id,
+                        hdr.flow_sequence,
+                        hdr.count,
+                        hdr.sampling_interval,
+                    );
+                    if fresh {
+                        records.extend(recs);
+                    }
+                }
+            }
+        }
+        let mut outcome = engine.ingest_records(&records)?;
+        outcome.quality.quarantine = quality.quarantine;
+        outcome.quality.exporters = quality.exporters;
+        outcome.repair(policy);
+        Ok((outcome, storm))
     }
 
     /// Renders only the records an anomaly contributes to a bin (for
@@ -908,6 +1038,97 @@ mod tests {
         let outcome = g.bin_scenario(cfg, ingress, routes).unwrap();
         assert_eq!(outcome.matrices.num_bins(), 280);
         assert!(outcome.dropped_out_of_window > 0, "trailing bins must be counted");
+    }
+
+    #[test]
+    fn faulted_path_with_no_faults_matches_record_path() {
+        use odflow_flow::{PipelineConfig, RepairPolicy};
+        use odflow_net::IngressResolver;
+        let config = ScenarioConfig { num_bins: 24, total_demand: 400.0, ..Default::default() };
+        let s = Scenario::new(config, vec![]).unwrap();
+        let g = s.generator();
+        let routes = s.plan.build_route_table(1.0).unwrap();
+        let ingress = IngressResolver::synthetic(&s.topology);
+        let cfg = PipelineConfig::abilene(0, 24);
+        let clean = g.bin_scenario(cfg, ingress.clone(), routes.clone()).unwrap();
+        let no_faults = FaultSchedule::new(1, vec![]).unwrap();
+        let (faulted, storm) = g
+            .bin_scenario_faulted(cfg, ingress, routes, &no_faults, RepairPolicy::default())
+            .unwrap();
+        assert_eq!(storm.frames_dropped_outage + storm.frames_dropped_loss, 0);
+        assert!(storm.frames_offered > 0);
+        assert_eq!(faulted.matrices.bytes.data.as_slice(), clean.matrices.bytes.data.as_slice());
+        assert_eq!(
+            faulted.matrices.packets.data.as_slice(),
+            clean.matrices.packets.data.as_slice()
+        );
+        assert_eq!(faulted.matrices.flows.data.as_slice(), clean.matrices.flows.data.as_slice());
+        assert!(faulted.quality.quarantine.is_conserved());
+        assert_eq!(faulted.quality.quarantine.frames_rejected(), 0);
+        assert_eq!(faulted.quality.exporters.lost_flows_total(), 0);
+        assert!(faulted.quality.masked_bins().is_empty());
+    }
+
+    #[test]
+    fn faulted_path_is_deterministic_across_thread_counts() {
+        use odflow_flow::{BinStatus, PipelineConfig, RepairPolicy};
+        use odflow_net::IngressResolver;
+        let config = ScenarioConfig { num_bins: 48, total_demand: 400.0, ..Default::default() };
+        let s = Scenario::new(config, vec![]).unwrap();
+        let g = s.generator();
+        let routes = s.plan.build_route_table(1.0).unwrap();
+        let ingress = IngressResolver::synthetic(&s.topology);
+        let cfg = PipelineConfig::abilene(0, 48);
+        let faults = FaultSchedule::storm(99, 48).unwrap();
+        let run = |threads: usize| {
+            odflow_par::with_thread_limit(threads, || {
+                g.bin_scenario_faulted(
+                    cfg,
+                    ingress.clone(),
+                    routes.clone(),
+                    &faults,
+                    RepairPolicy::default(),
+                )
+                .unwrap()
+            })
+        };
+        let (a, sa) = run(1);
+        let (b, sb) = run(4);
+        assert_eq!(sa, sb);
+        assert_eq!(a.quality.quarantine, b.quality.quarantine);
+        assert_eq!(a.quality.bins, b.quality.bins);
+        assert_eq!(a.matrices.bytes.data.as_slice(), b.matrices.bytes.data.as_slice());
+        assert_eq!(a.matrices.packets.data.as_slice(), b.matrices.packets.data.as_slice());
+        assert_eq!(a.matrices.flows.data.as_slice(), b.matrices.flows.data.as_slice());
+        // The storm leaves real damage behind.
+        assert!(a.quality.quarantine.frames_rejected() > 0);
+        assert!(sa.frames_dropped_outage > 0);
+        assert!(a.quality.bins.contains(&BinStatus::Masked));
+        assert!(a.quality.quarantine.is_conserved());
+    }
+
+    #[test]
+    fn frames_carry_sequence_continuity_across_bins() {
+        let config = ScenarioConfig { num_bins: 4, total_demand: 300.0, ..Default::default() };
+        let s = Scenario::new(config, vec![]).unwrap();
+        let g = s.generator();
+        let mut seqs = vec![0u32; s.topology.num_pops()];
+        let mut exporters = odflow_flow::ExporterSeqStats::default();
+        let mut q = odflow_flow::QuarantineStats::default();
+        for bin in 0..4 {
+            for f in g.frames_for_bin(bin, &mut seqs) {
+                let (hdr, _) =
+                    odflow_flow::netflow::decode_datagram_lossy(&f, &mut q).expect("clean frame");
+                assert!(exporters.observe(
+                    hdr.engine_id,
+                    hdr.flow_sequence,
+                    hdr.count,
+                    hdr.sampling_interval
+                ));
+            }
+        }
+        assert_eq!(exporters.lost_flows_total(), 0, "continuous sequences show no loss");
+        assert_eq!(q.frames_rejected(), 0);
     }
 
     #[test]

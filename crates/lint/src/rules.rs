@@ -10,6 +10,7 @@
 //! | `no-raw-threads` | all fan-out goes through `odflow_par` (pooled, deterministic) |
 //! | `unsafe-containment` | `unsafe` lives only in the vendored `scoped_pool` shim |
 //! | `env-read-containment` | process environment is read only via the sanctioned plumbing |
+//! | `no-panic-in-ingest` | the `crates/flow` measurement path degrades, it never aborts |
 //!
 //! Checkers are heuristic token matchers, deliberately biased toward
 //! explainable findings: a false positive is answered with a justified
@@ -55,6 +56,12 @@ pub const RULES: &[RuleInfo] = &[
         name: "env-read-containment",
         summary: "std::env reads/writes are banned outside crates/bench; thread-count \
                   plumbing goes through odflow_par::THREADS_ENV",
+    },
+    RuleInfo {
+        name: "no-panic-in-ingest",
+        summary: "the crates/flow measurement path must survive hostile wire input: \
+                  `.unwrap()`/`.expect()`/`panic!` are banned in non-test flow code; \
+                  quarantine-and-account instead",
     },
 ];
 
@@ -113,6 +120,9 @@ impl FileClass {
             }
             // odflow_par is the sanctioned home of thread management.
             "no-raw-threads" => !self.member("par"),
+            // The ingest path (flow crate library sources) must degrade
+            // gracefully; integration tests and benches may still assert.
+            "no-panic-in-ingest" => self.member("flow") && self.rel.starts_with("crates/flow/src/"),
             "unsafe-containment" => !self.is_scoped_pool(),
             _ => false,
         }
@@ -150,6 +160,9 @@ pub fn scan_file(fc: &FileClass, lexed: &Lexed) -> Vec<Finding> {
     }
     if fc.rule_applies("ordered-iteration") {
         ordered_iteration(toks, &mut out);
+    }
+    if fc.rule_applies("no-panic-in-ingest") {
+        panic_in_ingest(toks, &mut out);
     }
     out.sort_by_key(|f| (f.line, f.col));
     out
@@ -287,6 +300,100 @@ fn unsafe_containment(fc: &FileClass, toks: &[Token], out: &mut Vec<Finding>) {
             message: format!("compilation root `{}` must carry `#![forbid(unsafe_code)]`", fc.rel),
         });
     }
+}
+
+/// The panic-family macros banned on the ingest path. `debug_assert*` is
+/// deliberately absent: it compiles out of release builds, so it documents
+/// an internal invariant without making the collector abortable.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// The no-panic-in-ingest checker: `.unwrap()` / `.expect(…)` method calls
+/// and panic-family macro invocations outside `#[cfg(test)]`-gated items.
+///
+/// The flow crate decodes bytes that arrive off the wire; a reachable
+/// panic there turns one malformed frame into a dead collector. Errors
+/// must flow into the quarantine/`DataQuality` accounting instead.
+fn panic_in_ingest(toks: &[Token], out: &mut Vec<Finding>) {
+    const RULE: &str = "no-panic-in-ingest";
+    let test_region = cfg_test_mask(toks);
+    for (i, t) in toks.iter().enumerate() {
+        if test_region[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(Finding {
+                rule: RULE,
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`.{}()` can abort the collector on hostile wire input; return an \
+                     error or quarantine-and-account via `DataQuality` instead",
+                    t.text
+                ),
+            });
+        }
+        if PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(Finding {
+                rule: RULE,
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}!` makes the ingest path abortable; degrade gracefully (reject \
+                     the frame, mask the bin) and account for it in `DataQuality`",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Marks every token inside a `#[cfg(test)]`-gated item: from the `#` of
+/// the attribute through the item's closing brace (or terminating `;` for
+/// brace-less items such as `#[cfg(test)] use …;`).
+fn cfg_test_mask(toks: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i + 6 < toks.len() {
+        let is_attr = toks[i].is_punct('#')
+            && toks[i + 1].is_punct('[')
+            && toks[i + 2].is_ident("cfg")
+            && toks[i + 3].is_punct('(')
+            && toks[i + 4].is_ident("test")
+            && toks[i + 5].is_punct(')')
+            && toks[i + 6].is_punct(']');
+        if !is_attr {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut j = i + 7;
+        let end = loop {
+            match toks.get(j) {
+                None => break toks.len(),
+                Some(t) if t.is_punct(';') && depth == 0 => break j + 1,
+                Some(t) if t.is_punct('{') => depth += 1,
+                Some(t) if t.is_punct('}') && depth > 0 => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break j + 1;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        };
+        for m in &mut mask[i..end] {
+            *m = true;
+        }
+        i = end;
+    }
+    mask
 }
 
 /// Detects the inner attribute `#![forbid(unsafe_code)]`.
@@ -773,8 +880,76 @@ mod tests {
 
     #[test]
     fn rule_table_consistent() {
-        assert_eq!(RULES.len(), 5);
+        assert_eq!(RULES.len(), 6);
         assert!(is_known_rule("ordered-iteration"));
+        assert!(is_known_rule("no-panic-in-ingest"));
         assert!(!is_known_rule("made-up-rule"));
+    }
+
+    fn flow_src() -> FileClass {
+        FileClass {
+            rel: "crates/flow/src/netflow.rs".into(),
+            class: CrateClass::Member("flow".into()),
+            is_compilation_root: false,
+        }
+    }
+
+    #[test]
+    fn unwrap_and_expect_flagged_in_flow_src() {
+        let src = "fn f(x: Option<u32>) -> u32 { let a = x.unwrap(); \
+                   let b = x.expect(\"present\"); a + b }";
+        let f = scan(&flow_src(), src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|d| d.rule == "no-panic-in-ingest"));
+    }
+
+    #[test]
+    fn panic_family_macros_flagged_in_flow_src() {
+        let src = "fn f(n: u8) { match n { 0 => panic!(\"zero\"), 1 => todo!(), \
+                   2 => unimplemented!(), _ => unreachable!() } }";
+        let f = scan(&flow_src(), src);
+        assert_eq!(f.len(), 4, "{f:?}");
+    }
+
+    #[test]
+    fn fallible_combinators_and_debug_asserts_unflagged() {
+        let src = "fn f(x: Option<u32>) -> u32 { debug_assert!(true); \
+                   debug_assert_eq!(1, 1, \"invariant\"); \
+                   x.unwrap_or(0) + x.unwrap_or_default() + x.unwrap_or_else(|| 1) }";
+        assert!(scan(&flow_src(), src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_exempt_from_panic_rule() {
+        let src = "fn prod(x: Option<u32>) -> Option<u32> { x }\n\
+                   #[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { \
+                   let v = prod(Some(1)).unwrap(); assert_eq!(v, 1); \
+                   if v == 2 { panic!(\"nope\"); } }\n}";
+        assert!(scan(&flow_src(), src).is_empty());
+        // The same calls outside the gated module do fire.
+        let bare = "fn prod(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert_eq!(scan(&flow_src(), bare).len(), 1);
+    }
+
+    #[test]
+    fn panic_rule_scoped_to_flow_library_sources() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        // Other crates keep their unwraps (fail-fast harness style).
+        assert!(scan(&member("subspace"), src).is_empty());
+        // Flow integration tests under tests/ are test code.
+        let it = FileClass {
+            rel: "crates/flow/tests/proptest_flow.rs".into(),
+            class: CrateClass::Member("flow".into()),
+            is_compilation_root: false,
+        };
+        assert!(scan(&it, src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_use_item_masks_only_itself() {
+        let src = "#[cfg(test)]\nuse helpers::make_fixture;\n\
+                   fn prod(x: Option<u32>) -> u32 { x.unwrap() }";
+        let f = scan(&flow_src(), src);
+        assert_eq!(f.len(), 1, "the unwrap after the gated use must fire: {f:?}");
     }
 }

@@ -7,7 +7,10 @@ pub fn stamps() -> (std::time::Instant, std::time::SystemTime) {
 }
 
 pub fn epoch_secs() -> u64 {
-    std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_secs()
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
 }
 
 pub fn unseeded() -> u64 {

@@ -1,0 +1,14 @@
+//! Negative fixture: graceful-degradation idiom the ingest rule must not
+//! flag — fallible combinators, `debug_assert*`, and error returns.
+
+pub fn decode(buf: &[u8]) -> Result<u16, String> {
+    debug_assert!(buf.len() <= 1500, "datagram exceeds MTU");
+    let first = buf.first().copied().ok_or_else(|| "empty frame".to_string())?;
+    let second = buf.get(1).copied().unwrap_or_default();
+    debug_assert_eq!(first & 0x80, 0, "reserved bit clear by construction");
+    Ok(u16::from(first) << 8 | u16::from(second.min(0x7F)))
+}
+
+pub fn total(parts: &[u16]) -> u32 {
+    parts.iter().map(|&p| u32::from(p)).sum::<u32>().checked_add(0).unwrap_or(u32::MAX)
+}

@@ -1,0 +1,28 @@
+//! Positive fixture: every abortable construct the ingest rule names,
+//! plus a `#[cfg(test)]` module proving test code stays exempt.
+
+pub fn decode(buf: &[u8]) -> u16 {
+    let first = buf.first().copied().unwrap();
+    let second: u8 = buf.get(1).copied().expect("second byte");
+    if first == 0xFF {
+        panic!("reserved marker");
+    }
+    match second {
+        0 => unreachable!(),
+        1 => todo!(),
+        2 => unimplemented!(),
+        _ => u16::from(first) << 8 | u16::from(second),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_assert_hard() {
+        let v = super::decode(&[1, 7]).checked_sub(0).unwrap();
+        assert_eq!(v, 263);
+        if v == 0 {
+            panic!("impossible");
+        }
+    }
+}

@@ -121,6 +121,47 @@ fn env_reads_fire_outside_par_and_bench() {
 }
 
 #[test]
+fn panic_in_ingest_fires_on_every_abortable_construct() {
+    let (diags, _) = check_source(&member("flow"), &fixture("panic_fire.rs"));
+    // unwrap + expect + panic! + unreachable! + todo! + unimplemented!,
+    // with the #[cfg(test)] module's unwrap/panic! exempt.
+    assert_eq!(count(&diags, "no-panic-in-ingest"), 6, "{diags:?}");
+    assert_eq!(diags.len(), 6);
+}
+
+#[test]
+fn panic_in_ingest_silent_on_graceful_idiom() {
+    let (diags, _) = check_source(&member("flow"), &fixture("panic_clean.rs"));
+    assert!(diags.is_empty(), "{:?}", rules_of(&diags));
+}
+
+#[test]
+fn panic_in_ingest_scoped_to_flow_sources() {
+    // Other crates keep the fail-fast harness style.
+    let (diags, _) = check_source(&member("gen"), &fixture("panic_fire.rs"));
+    assert!(diags.is_empty(), "{:?}", rules_of(&diags));
+    // Flow integration tests are test code by location.
+    let it = FileClass {
+        rel: "crates/flow/tests/fixture.rs".into(),
+        class: CrateClass::Member("flow".into()),
+        is_compilation_root: false,
+    };
+    let (diags, _) = check_source(&it, &fixture("panic_fire.rs"));
+    assert!(diags.is_empty(), "{:?}", rules_of(&diags));
+}
+
+#[test]
+fn panic_in_ingest_honors_justified_allow() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n\
+               // lint:allow(no-panic-in-ingest) -- index proven in-bounds above\n\
+               x.unwrap()\n\
+               }";
+    let (diags, used) = check_source(&member("flow"), src);
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(used, 1);
+}
+
+#[test]
 fn unused_allow_is_itself_an_error() {
     let (diags, used) = check_source(&member("flow"), &fixture("unused_allow.rs"));
     assert_eq!(used, 0);

@@ -7,8 +7,9 @@
 //! full statistic timeseries (the material of the paper's Figure 1) plus
 //! the flagged bins.
 
-use crate::error::Result;
+use crate::error::{Result, SubspaceError};
 use crate::model::{StateSplit, SubspaceConfig, SubspaceModel};
+use odflow_flow::{BinStatus, DataQuality};
 use odflow_linalg::{vecops, Matrix};
 
 /// Which statistic fired.
@@ -79,6 +80,73 @@ impl Analysis {
             return 0.0;
         }
         self.anomalous_bins().len() as f64 / self.spe.len() as f64
+    }
+}
+
+/// Imputed-bin fraction above which the quality-aware path stops trusting
+/// the fitted residual variance at full confidence and widens the
+/// Jackson–Mudholkar band (see
+/// [`SubspaceDetector::analyze_with_quality`]).
+pub const IMPUTED_FRACTION_BOUND: f64 = 0.02;
+
+/// Confidence-level multiplier used when widening: the SPE threshold is
+/// recomputed at `alpha * WIDEN_ALPHA_FACTOR` (a smaller α means a larger
+/// `δ²_α`, i.e. fewer low-confidence alarms).
+pub const WIDEN_ALPHA_FACTOR: f64 = 0.1;
+
+/// Why a bin's statistical verdict was withheld or weakened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DegradedReason {
+    /// The bin was masked by repair (collector outage too long to
+    /// interpolate): its row is synthetic, so no verdict is possible.
+    MaskedBin,
+    /// The bin's row was linearly interpolated across a short outage; it
+    /// is scored, but the values are estimates, not measurements.
+    ImputedBin,
+    /// The bin was scored against a widened SPE threshold because the
+    /// window-wide imputed fraction exceeded [`IMPUTED_FRACTION_BOUND`].
+    WidenedThreshold {
+        /// Fraction of the window's bins that were imputed.
+        imputed_fraction: f64,
+    },
+}
+
+/// Per-bin quality-aware verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BinVerdict {
+    /// Clean bin at full confidence: anomalous iff it appears in the
+    /// detection list.
+    Scored,
+    /// Verdict withheld ([`DegradedReason::MaskedBin`]) or weakened.
+    Degraded(DegradedReason),
+}
+
+impl BinVerdict {
+    /// `true` unless the verdict was withheld entirely.
+    pub fn is_scored(&self) -> bool {
+        !matches!(self, BinVerdict::Degraded(DegradedReason::MaskedBin))
+    }
+}
+
+/// [`Analysis`] augmented with per-bin quality verdicts.
+#[derive(Debug, Clone)]
+pub struct QualityAnalysis {
+    /// The underlying analysis. Masked bins carry zero SPE/T² and never
+    /// appear in `detections`.
+    pub analysis: Analysis,
+    /// One verdict per bin, aligned with the analysis series.
+    pub verdicts: Vec<BinVerdict>,
+    /// The effective SPE threshold used (widened when `widened`).
+    pub spe_threshold: f64,
+    /// `true` when the imputed fraction exceeded
+    /// [`IMPUTED_FRACTION_BOUND`] and the SPE band was widened.
+    pub widened: bool,
+}
+
+impl QualityAnalysis {
+    /// Bins whose verdicts were withheld (masked).
+    pub fn unscored_bins(&self) -> Vec<usize> {
+        self.verdicts.iter().enumerate().filter(|(_, v)| !v.is_scored()).map(|(b, _)| b).collect()
     }
 }
 
@@ -176,6 +244,151 @@ impl SubspaceDetector {
         }
 
         Ok(Analysis { model, state_norm_sq, spe, t2, detections })
+    }
+
+    /// Quality-aware [`analyze`](Self::analyze): consumes the ingest
+    /// path's [`DataQuality`] report and degrades gracefully instead of
+    /// scoring repaired data as if it were measured.
+    ///
+    /// * **Masked** bins (outages too long to interpolate) are excluded
+    ///   from the model fit and never scored: their SPE/T² entries are 0,
+    ///   they produce no detections, and their verdict is
+    ///   [`DegradedReason::MaskedBin`].
+    /// * **Imputed** bins are scored (their rows are plausible estimates)
+    ///   but their verdicts carry [`DegradedReason::ImputedBin`].
+    /// * When the imputed fraction exceeds [`IMPUTED_FRACTION_BOUND`],
+    ///   the SPE threshold is recomputed at
+    ///   `alpha * `[`WIDEN_ALPHA_FACTOR`] — the residual variance estimate
+    ///   is contaminated by interpolation, so only higher-confidence
+    ///   exceedances alarm — and every scored clean bin's verdict becomes
+    ///   [`DegradedReason::WidenedThreshold`].
+    ///
+    /// A pristine quality report reproduces [`analyze`](Self::analyze)
+    /// bit for bit. Scoring runs over the same fixed-grain chunk
+    /// decomposition, so the output is identical for every
+    /// `ODFLOW_THREADS`.
+    ///
+    /// # Errors
+    ///
+    /// [`SubspaceError::DimensionMismatch`] when the quality report's bin
+    /// count differs from the matrix rows; model-fitting errors propagate
+    /// (including [`SubspaceError::InsufficientData`] when masking leaves
+    /// fewer clean bins than normal-subspace dimensions).
+    pub fn analyze_with_quality(
+        &self,
+        x: &Matrix,
+        quality: &DataQuality,
+    ) -> Result<QualityAnalysis> {
+        let n = x.nrows();
+        if quality.bins.len() != n {
+            return Err(SubspaceError::DimensionMismatch { expected: n, got: quality.bins.len() });
+        }
+        let p = x.ncols();
+        let masked: Vec<bool> = quality.bins.iter().map(|s| *s == BinStatus::Masked).collect();
+        let any_masked = masked.iter().any(|&m| m);
+
+        // Masked rows are synthetic zeros — folding them into the fit
+        // would teach the model a fake "dead network" mode and shift the
+        // mean. Fit on the surviving rows only.
+        let model = if any_masked {
+            let clean_rows: Vec<usize> = (0..n).filter(|&b| !masked[b]).collect();
+            let mut data = Vec::with_capacity(clean_rows.len() * p);
+            for &b in &clean_rows {
+                data.extend_from_slice(x.row(b)?);
+            }
+            let train = Matrix::from_vec(clean_rows.len(), p, data)?;
+            SubspaceModel::fit(&train, self.config)?
+        } else {
+            SubspaceModel::fit(x, self.config)?
+        };
+
+        let imputed_fraction = quality.imputed_fraction();
+        let widened = imputed_fraction > IMPUTED_FRACTION_BOUND;
+        let spe_threshold = if widened {
+            model.spe_threshold_at(self.config.alpha * WIDEN_ALPHA_FACTOR)?
+        } else {
+            model.spe_threshold()
+        };
+
+        struct ChunkScores {
+            state_norm_sq: Vec<f64>,
+            spe: Vec<f64>,
+            t2: Vec<f64>,
+            detections: Vec<Detection>,
+        }
+
+        let score_chunk = |bins: std::ops::Range<usize>| -> Result<ChunkScores> {
+            let mut out = ChunkScores {
+                state_norm_sq: Vec::with_capacity(bins.len()),
+                spe: Vec::with_capacity(bins.len()),
+                t2: Vec::with_capacity(bins.len()),
+                detections: Vec::new(),
+            };
+            let mut split = StateSplit::with_dimension(p);
+            for bin in bins {
+                let row = x.row(bin)?;
+                out.state_norm_sq.push(vecops::norm_sq(row));
+                if masked[bin] {
+                    out.spe.push(0.0);
+                    out.t2.push(0.0);
+                    continue;
+                }
+                model.split_into(row, &mut split)?;
+                let s = vecops::norm_sq(&split.residual);
+                let t = model.t2_of_centered(&split.centered)?;
+                if s > spe_threshold {
+                    out.detections.push(Detection {
+                        bin,
+                        kind: StatisticKind::Spe,
+                        value: s,
+                        threshold: spe_threshold,
+                    });
+                }
+                if t > model.t2_threshold() {
+                    out.detections.push(Detection {
+                        bin,
+                        kind: StatisticKind::T2,
+                        value: t,
+                        threshold: model.t2_threshold(),
+                    });
+                }
+                out.spe.push(s);
+                out.t2.push(t);
+            }
+            Ok(out)
+        };
+
+        let mut state_norm_sq = Vec::with_capacity(n);
+        let mut spe = Vec::with_capacity(n);
+        let mut t2 = Vec::with_capacity(n);
+        let mut detections = Vec::new();
+        for chunk in odflow_par::map_chunks(n, SCORE_CHUNK_BINS, score_chunk) {
+            let chunk = chunk?;
+            state_norm_sq.extend(chunk.state_norm_sq);
+            spe.extend(chunk.spe);
+            t2.extend(chunk.t2);
+            detections.extend(chunk.detections);
+        }
+
+        let verdicts: Vec<BinVerdict> = quality
+            .bins
+            .iter()
+            .map(|s| match s {
+                BinStatus::Masked => BinVerdict::Degraded(DegradedReason::MaskedBin),
+                BinStatus::Imputed => BinVerdict::Degraded(DegradedReason::ImputedBin),
+                BinStatus::Ok if widened => {
+                    BinVerdict::Degraded(DegradedReason::WidenedThreshold { imputed_fraction })
+                }
+                BinStatus::Ok => BinVerdict::Scored,
+            })
+            .collect();
+
+        Ok(QualityAnalysis {
+            analysis: Analysis { model, state_norm_sq, spe, t2, detections },
+            verdicts,
+            spe_threshold,
+            widened,
+        })
     }
 }
 
@@ -282,6 +495,105 @@ mod tests {
     fn severity_infinite_for_zero_threshold() {
         let d = Detection { bin: 0, kind: StatisticKind::Spe, value: 1.0, threshold: 0.0 };
         assert!(d.severity().is_infinite());
+    }
+
+    #[test]
+    fn pristine_quality_reproduces_analyze_bit_for_bit() {
+        let x = traffic_with_spikes(400, 10, &[(200, 3, 200.0)]);
+        let det = SubspaceDetector::default();
+        let plain = det.analyze(&x).unwrap();
+        let qa = det.analyze_with_quality(&x, &DataQuality::clean(400)).unwrap();
+        assert_eq!(qa.analysis.spe, plain.spe);
+        assert_eq!(qa.analysis.t2, plain.t2);
+        assert_eq!(qa.analysis.state_norm_sq, plain.state_norm_sq);
+        assert_eq!(qa.analysis.detections, plain.detections);
+        assert!(!qa.widened);
+        assert_eq!(qa.spe_threshold.to_bits(), plain.model.spe_threshold().to_bits());
+        assert!(qa.verdicts.iter().all(|v| *v == BinVerdict::Scored));
+    }
+
+    #[test]
+    fn masked_bins_never_alarm_and_stay_out_of_fit() {
+        // Plant an enormous spike in a masked bin: without masking this
+        // alarms loudly; with masking it must produce no detection at all.
+        let mut x = traffic_with_spikes(400, 10, &[]);
+        for j in 0..10 {
+            x[(120, j)] = 0.0; // the repaired row an outage leaves behind
+        }
+        x[(120, 4)] = 50_000.0;
+        let mut q = DataQuality::clean(400);
+        q.bins[120] = odflow_flow::BinStatus::Masked;
+        let qa = SubspaceDetector::default().analyze_with_quality(&x, &q).unwrap();
+        assert!(qa.analysis.detections_at(120).is_empty(), "masked bin must not alarm");
+        assert_eq!(qa.analysis.spe[120], 0.0);
+        assert_eq!(qa.analysis.t2[120], 0.0);
+        assert_eq!(qa.verdicts[120], BinVerdict::Degraded(DegradedReason::MaskedBin));
+        assert!(!qa.verdicts[120].is_scored());
+        assert_eq!(qa.unscored_bins(), vec![120]);
+        assert_eq!(qa.analysis.model.num_train_bins(), 399, "masked row excluded from fit");
+        // Series still span every bin.
+        assert_eq!(qa.analysis.spe.len(), 400);
+    }
+
+    #[test]
+    fn clean_spike_still_detected_alongside_masked_bins() {
+        let mut x = traffic_with_spikes(400, 10, &[(250, 3, 200.0)]);
+        for j in 0..10 {
+            x[(120, j)] = 0.0;
+        }
+        let mut q = DataQuality::clean(400);
+        q.bins[120] = odflow_flow::BinStatus::Masked;
+        let qa = SubspaceDetector::default().analyze_with_quality(&x, &q).unwrap();
+        assert!(
+            qa.analysis.anomalous_bins().contains(&250),
+            "clean-bin anomaly must survive degradation"
+        );
+    }
+
+    #[test]
+    fn heavy_imputation_widens_spe_threshold() {
+        let x = traffic_with_spikes(400, 10, &[]);
+        let mut q = DataQuality::clean(400);
+        for b in 0..20 {
+            q.bins[b] = odflow_flow::BinStatus::Imputed; // 5% > bound
+        }
+        let det = SubspaceDetector::default();
+        let qa = det.analyze_with_quality(&x, &q).unwrap();
+        assert!(qa.widened);
+        assert!(
+            qa.spe_threshold > qa.analysis.model.spe_threshold(),
+            "widened band {} must exceed nominal {}",
+            qa.spe_threshold,
+            qa.analysis.model.spe_threshold()
+        );
+        assert_eq!(
+            qa.verdicts[0],
+            BinVerdict::Degraded(DegradedReason::ImputedBin),
+            "imputed bins keep the more specific reason"
+        );
+        assert!(matches!(
+            qa.verdicts[30],
+            BinVerdict::Degraded(DegradedReason::WidenedThreshold { .. })
+        ));
+    }
+
+    #[test]
+    fn light_imputation_keeps_nominal_threshold() {
+        let x = traffic_with_spikes(400, 10, &[]);
+        let mut q = DataQuality::clean(400);
+        q.bins[7] = odflow_flow::BinStatus::Imputed; // 0.25% < bound
+        let qa = SubspaceDetector::default().analyze_with_quality(&x, &q).unwrap();
+        assert!(!qa.widened);
+        assert_eq!(qa.verdicts[7], BinVerdict::Degraded(DegradedReason::ImputedBin));
+        assert!(qa.verdicts[7].is_scored());
+        assert_eq!(qa.verdicts[8], BinVerdict::Scored);
+    }
+
+    #[test]
+    fn quality_length_mismatch_rejected() {
+        let x = traffic_with_spikes(100, 8, &[]);
+        let q = DataQuality::clean(99);
+        assert!(SubspaceDetector::default().analyze_with_quality(&x, &q).is_err());
     }
 
     #[test]

@@ -6,12 +6,12 @@
 //! threshold exceedance, and merge the resulting (traffic type, time,
 //! OD flow) triples into final [`AnomalyEvent`]s.
 
-use crate::detector::{Analysis, StatisticKind, SubspaceDetector};
+use crate::detector::{Analysis, BinVerdict, StatisticKind, SubspaceDetector};
 use crate::error::Result;
 use crate::events::{merge_detections, AnomalyEvent, DetectionTriple};
 use crate::identify::{identify_spe, identify_t2};
 use crate::model::SubspaceConfig;
-use odflow_flow::{TrafficMatrixSet, TrafficType};
+use odflow_flow::{DataQuality, TrafficMatrixSet, TrafficType};
 
 /// The full network-wide diagnosis of one observation window.
 #[derive(Debug, Clone)]
@@ -79,6 +79,70 @@ pub fn diagnose(set: &TrafficMatrixSet, config: SubspaceConfig) -> Result<Diagno
 
     let events = merge_detections(&triples);
     Ok(Diagnosis { analyses, triples, events })
+}
+
+/// A [`Diagnosis`] carrying the per-bin quality verdicts of the
+/// degradation-aware path.
+#[derive(Debug, Clone)]
+pub struct QualityDiagnosis {
+    /// The merged diagnosis. Masked bins never contribute detections,
+    /// triples, or events.
+    pub diagnosis: Diagnosis,
+    /// One verdict per bin (shared by all three traffic views — quality
+    /// is a property of the ingest window, not of a view).
+    pub verdicts: Vec<BinVerdict>,
+    /// `true` when the SPE band was widened on any view.
+    pub widened: bool,
+}
+
+/// [`diagnose`] through the quality-aware scoring path: masked bins are
+/// excluded from model fits and produce no events, and a heavily imputed
+/// window widens the SPE band (see
+/// [`SubspaceDetector::analyze_with_quality`]).
+///
+/// # Errors
+///
+/// As for [`diagnose`], plus a dimension mismatch when the quality
+/// report's bin count differs from the matrices' rows.
+pub fn diagnose_with_quality(
+    set: &TrafficMatrixSet,
+    config: SubspaceConfig,
+    quality: &DataQuality,
+) -> Result<QualityDiagnosis> {
+    let detector = SubspaceDetector::new(config);
+    let mut analyses = Vec::with_capacity(3);
+    let mut triples = Vec::new();
+    let mut verdicts = Vec::new();
+    let mut widened = false;
+
+    for t in [TrafficType::Bytes, TrafficType::Packets, TrafficType::Flows] {
+        let matrix = set.get(t);
+        let qa = detector.analyze_with_quality(&matrix.data, quality)?;
+        widened |= qa.widened;
+        for bin in qa.analysis.anomalous_bins() {
+            let row = matrix.data.row(bin)?;
+            let mut flows: Vec<usize> = Vec::new();
+            for d in qa.analysis.detections_at(bin) {
+                let result = match d.kind {
+                    StatisticKind::Spe => identify_spe(&qa.analysis.model, row, bin),
+                    StatisticKind::T2 => identify_t2(&qa.analysis.model, row, bin),
+                };
+                if let Ok(id) = result {
+                    for f in id.od_flows {
+                        if !flows.contains(&f) {
+                            flows.push(f);
+                        }
+                    }
+                }
+            }
+            triples.push(DetectionTriple { traffic_type: t, bin, od_flows: flows });
+        }
+        verdicts = qa.verdicts;
+        analyses.push((t, qa.analysis));
+    }
+
+    let events = merge_detections(&triples);
+    Ok(QualityDiagnosis { diagnosis: Diagnosis { analyses, triples, events }, verdicts, widened })
 }
 
 #[cfg(test)]
@@ -177,6 +241,36 @@ mod tests {
         let set = matrix_set(500, 10, &[], &[], &[]);
         let d = diagnose(&set, SubspaceConfig::default()).unwrap();
         assert!(d.num_events() <= 6, "clean window produced {} events", d.num_events());
+    }
+
+    #[test]
+    fn masked_bin_spike_yields_no_event_but_clean_spike_survives() {
+        use crate::detector::BinVerdict;
+        use odflow_flow::{BinStatus, DataQuality};
+        // A huge flow-view spike at bin 150 — but the bin is masked, so
+        // the quality-aware diagnosis must stay silent there while still
+        // flagging the clean spike at 300.
+        let set = matrix_set(400, 10, &[], &[], &[(150, 3, 500.0), (300, 7, 320.0)]);
+        let mut q = DataQuality::clean(400);
+        q.bins[150] = BinStatus::Masked;
+        let qd = diagnose_with_quality(&set, SubspaceConfig::default(), &q).unwrap();
+        assert!(
+            !qd.diagnosis.events.iter().any(|e| e.covers_bin(150)),
+            "masked bin must not produce an event: {:?}",
+            qd.diagnosis.events
+        );
+        assert!(
+            qd.diagnosis.events.iter().any(|e| e.covers_bin(300)),
+            "clean spike must still be detected"
+        );
+        assert_eq!(qd.verdicts.len(), 400);
+        assert!(!qd.verdicts[150].is_scored());
+        assert_eq!(qd.verdicts[300], BinVerdict::Scored);
+        assert!(!qd.widened);
+        // The plain diagnosis on the same set *does* flag bin 150 — the
+        // degradation is doing real work.
+        let plain = diagnose(&set, SubspaceConfig::default()).unwrap();
+        assert!(plain.events.iter().any(|e| e.covers_bin(150)));
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //! * [`diagnose`] — the whole pipeline across the three traffic views.
 //! * [`OnlineDetector`] — the streaming extension the paper's §6 points
 //!   toward.
+//! * [`SubspaceDetector::analyze_with_quality`] / [`diagnose_with_quality`]
+//!   — graceful degradation under measurement faults: masked bins are
+//!   never scored, imputed bins are marked, and heavily imputed windows
+//!   widen the Jackson–Mudholkar band instead of alarming on repairs.
 //!
 //! ## Quick example
 //!
@@ -53,8 +57,11 @@ mod streaming;
 #[cfg(test)]
 pub(crate) mod testutil;
 
-pub use detector::{Analysis, Detection, StatisticKind, SubspaceDetector};
-pub use diagnose::{diagnose, Diagnosis};
+pub use detector::{
+    Analysis, BinVerdict, DegradedReason, Detection, QualityAnalysis, StatisticKind,
+    SubspaceDetector, IMPUTED_FRACTION_BOUND, WIDEN_ALPHA_FACTOR,
+};
+pub use diagnose::{diagnose, diagnose_with_quality, Diagnosis, QualityDiagnosis};
 pub use eigenflow::EigenflowDecomposition;
 pub use error::{Result, SubspaceError};
 pub use events::{count_by_combination, merge_detections, AnomalyEvent, DetectionTriple, TypeSet};

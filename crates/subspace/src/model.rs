@@ -194,6 +194,25 @@ impl SubspaceModel {
         self.t2_threshold
     }
 
+    /// Recomputes the Jackson–Mudholkar SPE threshold `δ²_α` at a
+    /// different confidence level. The quality-aware scoring path widens
+    /// the detection band this way (smaller `alpha` → larger threshold)
+    /// when too much of the window was imputed to trust the fitted
+    /// residual variance at full confidence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates threshold-computation errors; a degenerate residual
+    /// yields 0 exactly as at fit time.
+    pub fn spe_threshold_at(&self, alpha: f64) -> Result<f64> {
+        let eigenvalues = self.decomp.eigenvalues_padded(self.p);
+        match q_threshold(&eigenvalues, self.config.k, alpha) {
+            Ok(t) => Ok(t),
+            Err(odflow_stats::StatsError::InvalidParameter { .. }) => Ok(0.0),
+            Err(e) => Err(e.into()),
+        }
+    }
+
     /// `true` when training data was exactly low-rank (see struct docs).
     pub fn degenerate_residual(&self) -> bool {
         self.degenerate_residual

@@ -8,9 +8,10 @@
 //! [`SharedOnlineDetector`] wraps it for concurrent producer/consumer use
 //! (collector thread feeding bins, operator thread reading alarms).
 
-use crate::detector::{Detection, StatisticKind};
+use crate::detector::{DegradedReason, Detection, StatisticKind};
 use crate::error::{Result, SubspaceError};
 use crate::model::{StateSplit, SubspaceConfig, SubspaceModel};
+use odflow_flow::BinStatus;
 use odflow_linalg::{vecops, Matrix};
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -26,12 +27,20 @@ pub struct StreamVerdict {
     pub t2: f64,
     /// Detections fired by this observation (0-2 entries).
     pub detections: Vec<Detection>,
+    /// `Some` when the verdict was withheld or weakened by data quality
+    /// (masked or imputed input bin); `None` for a clean measurement.
+    pub degraded: Option<DegradedReason>,
 }
 
 impl StreamVerdict {
     /// `true` if either statistic exceeded its threshold.
     pub fn is_anomalous(&self) -> bool {
         !self.detections.is_empty()
+    }
+
+    /// `true` when the observation was actually scored (not masked).
+    pub fn is_scored(&self) -> bool {
+        !matches!(self.degraded, Some(DegradedReason::MaskedBin))
     }
 }
 
@@ -141,7 +150,81 @@ impl OnlineDetector {
             }
         }
 
-        Ok(StreamVerdict { bin, spe, t2, detections })
+        Ok(StreamVerdict { bin, spe, t2, detections, degraded: None })
+    }
+
+    /// Consumes one *masked* bin (a collector outage too long to repair):
+    /// the stream position advances but no statistic is evaluated, no
+    /// alarm can fire, and nothing enters the refit window. The verdict
+    /// carries [`DegradedReason::MaskedBin`].
+    pub fn push_masked(&mut self) -> StreamVerdict {
+        let bin = self.next_bin;
+        self.next_bin += 1;
+        StreamVerdict {
+            bin,
+            spe: 0.0,
+            t2: 0.0,
+            detections: Vec::new(),
+            degraded: Some(DegradedReason::MaskedBin),
+        }
+    }
+
+    /// Quality-aware [`push`](Self::push): routes the observation by its
+    /// ingest [`BinStatus`].
+    ///
+    /// * [`BinStatus::Ok`] scores normally.
+    /// * [`BinStatus::Imputed`] scores against the same thresholds (the
+    ///   row is a plausible estimate) but is **never** folded into the
+    ///   refit window — interpolated rows must not train the normal
+    ///   model — and the verdict carries [`DegradedReason::ImputedBin`].
+    /// * [`BinStatus::Masked`] skips scoring entirely
+    ///   ([`push_masked`](Self::push_masked)); `x` is ignored.
+    ///
+    /// # Errors
+    ///
+    /// As for [`push`](Self::push); masked pushes never fail.
+    pub fn push_with_status(&mut self, x: &[f64], status: BinStatus) -> Result<StreamVerdict> {
+        match status {
+            BinStatus::Ok => self.push(x),
+            BinStatus::Masked => Ok(self.push_masked()),
+            BinStatus::Imputed => {
+                if x.len() != self.model.num_od_pairs() {
+                    return Err(SubspaceError::DimensionMismatch {
+                        expected: self.model.num_od_pairs(),
+                        got: x.len(),
+                    });
+                }
+                let bin = self.next_bin;
+                self.next_bin += 1;
+                self.model.split_into(x, &mut self.scratch)?;
+                let spe = vecops::norm_sq(&self.scratch.residual);
+                let t2 = self.model.t2_of_centered(&self.scratch.centered)?;
+                let mut detections = Vec::new();
+                if spe > self.model.spe_threshold() {
+                    detections.push(Detection {
+                        bin,
+                        kind: StatisticKind::Spe,
+                        value: spe,
+                        threshold: self.model.spe_threshold(),
+                    });
+                }
+                if t2 > self.model.t2_threshold() {
+                    detections.push(Detection {
+                        bin,
+                        kind: StatisticKind::T2,
+                        value: t2,
+                        threshold: self.model.t2_threshold(),
+                    });
+                }
+                Ok(StreamVerdict {
+                    bin,
+                    spe,
+                    t2,
+                    detections,
+                    degraded: Some(DegradedReason::ImputedBin),
+                })
+            }
+        }
     }
 
     /// Refits the model on the current window.
@@ -174,6 +257,12 @@ impl SharedOnlineDetector {
     /// Scores one observation (exclusive lock).
     pub fn push(&self, x: &[f64]) -> Result<StreamVerdict> {
         self.inner.write().push(x)
+    }
+
+    /// Quality-aware push (exclusive lock) — see
+    /// [`OnlineDetector::push_with_status`].
+    pub fn push_with_status(&self, x: &[f64], status: BinStatus) -> Result<StreamVerdict> {
+        self.inner.write().push_with_status(x, status)
     }
 
     /// Reads the current thresholds (shared lock) as `(spe, t2)`.
@@ -263,6 +352,48 @@ mod tests {
         let train = traffic(100, 8, 0);
         let mut det = OnlineDetector::new(&train, SubspaceConfig::default(), 0).unwrap();
         assert!(matches!(det.push(&[1.0, 2.0]), Err(SubspaceError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn masked_push_skips_scoring_and_refit_window() {
+        let train = traffic(100, 8, 0);
+        let mut det = OnlineDetector::new(&train, SubspaceConfig::default(), 0).unwrap();
+        let before = det.window.len();
+        let v = det.push_masked();
+        assert_eq!(v.bin, 0);
+        assert!(!v.is_anomalous());
+        assert!(!v.is_scored());
+        assert_eq!(v.degraded, Some(DegradedReason::MaskedBin));
+        assert_eq!(det.window.len(), before, "masked bin must not enter window");
+        assert_eq!(det.bins_seen(), 1);
+        // A masked push via the status router ignores the payload entirely.
+        let v2 = det.push_with_status(&[], BinStatus::Masked).unwrap();
+        assert_eq!(v2.bin, 1);
+    }
+
+    #[test]
+    fn imputed_push_scores_but_never_trains() {
+        let train = traffic(100, 8, 0);
+        let mut det = OnlineDetector::new(&train, SubspaceConfig::default(), 10_000).unwrap();
+        let before = det.window.len();
+        let row = traffic(1, 8, 100).row(0).unwrap().to_vec();
+        let v = det.push_with_status(&row, BinStatus::Imputed).unwrap();
+        assert_eq!(v.degraded, Some(DegradedReason::ImputedBin));
+        assert!(v.is_scored());
+        assert_eq!(det.window.len(), before, "imputed bin must not enter window");
+        // Same row, clean status: identical statistics, and it trains.
+        let mut det2 = OnlineDetector::new(&train, SubspaceConfig::default(), 10_000).unwrap();
+        let v2 = det2.push_with_status(&row, BinStatus::Ok).unwrap();
+        assert_eq!(v.spe.to_bits(), v2.spe.to_bits());
+        assert_eq!(v.t2.to_bits(), v2.t2.to_bits());
+        assert!(v2.degraded.is_none());
+    }
+
+    #[test]
+    fn imputed_push_rejects_wrong_dimension() {
+        let train = traffic(100, 8, 0);
+        let mut det = OnlineDetector::new(&train, SubspaceConfig::default(), 0).unwrap();
+        assert!(det.push_with_status(&[1.0], BinStatus::Imputed).is_err());
     }
 
     #[test]

@@ -12,14 +12,15 @@ use odflow_classify::{
     classify, AnomalyClass, AnomalyObservation, RuleConfig, ScoredEvent, TruthLabel,
 };
 use odflow_flow::{
-    AttributeDigest, OdResolution, OdResolver, PipelineConfig, ResolutionStats, TrafficMatrixSet,
-    TrafficType,
+    AttributeDigest, DataQuality, OdResolution, OdResolver, PipelineConfig, RepairPolicy,
+    ResolutionStats, TrafficMatrixSet, TrafficType,
 };
-use odflow_gen::{Scenario, TraceGenerator};
+use odflow_gen::{FaultSchedule, FaultStormStats, Scenario, TraceGenerator};
 use odflow_linalg::Matrix;
 use odflow_net::IngressResolver;
 use odflow_subspace::{
-    diagnose, Analysis, AnomalyEvent, Diagnosis, SubspaceConfig, SubspaceDetector,
+    diagnose, diagnose_with_quality, Analysis, AnomalyEvent, BinVerdict, Diagnosis, SubspaceConfig,
+    SubspaceDetector,
 };
 
 /// Configuration of a full experiment run.
@@ -130,6 +131,78 @@ pub fn run_scenario(
 
     let truth = truth_labels(scenario);
     Ok(ScenarioRun { matrices, resolution, diagnosis, classified, truth })
+}
+
+/// The complete result of one fault-storm scenario run.
+#[derive(Debug)]
+pub struct FaultedScenarioRun {
+    /// Everything [`run_scenario`] produces, computed through the
+    /// degradation-aware path.
+    pub run: ScenarioRun,
+    /// The ingest path's quality report (quarantine, exporter gaps,
+    /// per-bin status after repair).
+    pub quality: DataQuality,
+    /// The fault engine's own accounting of what it injected.
+    pub storm: FaultStormStats,
+    /// Per-bin quality verdicts from the detection stage.
+    pub verdicts: Vec<BinVerdict>,
+    /// `true` when the SPE band was widened by heavy imputation.
+    pub widened: bool,
+}
+
+impl FaultedScenarioRun {
+    /// Bins whose verdicts were withheld (masked by repair).
+    pub fn masked_bins(&self) -> Vec<usize> {
+        self.quality.masked_bins()
+    }
+}
+
+/// [`run_scenario`] under a deterministic fault storm: renders each bin as
+/// NetFlow v5 wire frames, mutates them through `faults`, ingests via the
+/// lossy quarantine-and-account path, repairs short outages under
+/// `policy`, and runs the quality-aware diagnosis (masked bins are never
+/// scored; heavy imputation widens the SPE band).
+///
+/// Bit-identical for any `ODFLOW_THREADS`: the render→fault→decode stage
+/// is serial by construction, and both the record fill and the scoring
+/// stage use fixed-grain chunk decompositions.
+///
+/// # Errors
+///
+/// As for [`run_scenario`].
+pub fn run_scenario_faulted(
+    scenario: &Scenario,
+    config: &ExperimentConfig,
+    faults: &FaultSchedule,
+    policy: RepairPolicy,
+) -> Result<FaultedScenarioRun, Box<dyn std::error::Error>> {
+    let generator = scenario.generator();
+
+    let routes = scenario.plan.build_route_table(1.0)?;
+    let ingress = IngressResolver::synthetic(&scenario.topology);
+    let mut pipe_cfg =
+        PipelineConfig::abilene(scenario.config.start_secs, scenario.config.num_bins);
+    pipe_cfg.bin_secs = scenario.config.bin_secs;
+    let (outcome, storm) =
+        generator.bin_scenario_faulted(pipe_cfg, ingress, routes, faults, policy)?;
+    let (matrices, resolution, quality) = (outcome.matrices, outcome.stats, outcome.quality);
+
+    let qd = diagnose_with_quality(&matrices, config.subspace, &quality)?;
+
+    let mut classified = Vec::with_capacity(qd.diagnosis.events.len());
+    for event in &qd.diagnosis.events {
+        let c = classify_event(scenario, &generator, &matrices, event, config);
+        classified.push(c);
+    }
+
+    let truth = truth_labels(scenario);
+    Ok(FaultedScenarioRun {
+        run: ScenarioRun { matrices, resolution, diagnosis: qd.diagnosis, classified, truth },
+        quality,
+        storm,
+        verdicts: qd.verdicts,
+        widened: qd.widened,
+    })
 }
 
 /// Fits a subspace model to one traffic matrix and scores every bin — the

@@ -140,6 +140,116 @@ fn outage_produces_dip_event() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Fault-storm suite: the full pipeline under deterministic adversity. CI
+// runs these tests pinned at ODFLOW_THREADS=1 and =4 (filter: `fault_storm`).
+// ---------------------------------------------------------------------------
+
+use odflow::classify::score_events_with_mask;
+use odflow::experiment::{run_scenario_faulted, FaultedScenarioRun};
+use odflow::flow::RepairPolicy;
+use odflow::gen::FaultSchedule;
+use odflow::subspace::{BinVerdict, DegradedReason};
+
+/// One day with Table-3 anomalies in clean bins plus one whose evidence a
+/// long exporter outage destroys, run through the standard fault storm.
+///
+/// Storm layout over 288 bins: loss 23–28, corruption 51–56, truncation
+/// 77–82, duplication 103–108, reorder 129, drift 149–154, overflow
+/// 175–180, outages 207 and 236–239, clock skew 267. The injections below
+/// are placed against that map.
+fn fault_storm_day() -> (Scenario, FaultSchedule) {
+    let schedule = vec![
+        anomaly(1, AnomalyKind::Dos, 140, 2, vec![(2, 9)], 900.0, 0),
+        anomaly(2, AnomalyKind::Scan, 190, 2, vec![(4, 7)], 800.0, 139),
+        // Entirely inside the 236–239 outage: undetectable by design.
+        anomaly(3, AnomalyKind::Dos, 236, 2, vec![(5, 1)], 900.0, 0),
+    ];
+    let config = ScenarioConfig { seed: 0xE2E, num_bins: 288, ..Default::default() };
+    let scenario = Scenario::new(config, schedule).unwrap();
+    let faults = FaultSchedule::storm(0xFA017, 288).unwrap();
+    (scenario, faults)
+}
+
+fn run_fault_storm_day() -> FaultedScenarioRun {
+    let (scenario, faults) = fault_storm_day();
+    run_scenario_faulted(&scenario, &ExperimentConfig::default(), &faults, RepairPolicy::default())
+        .unwrap()
+}
+
+#[test]
+fn fault_storm_clean_bin_anomalies_still_detected() {
+    let fr = run_fault_storm_day();
+    let masked = fr.masked_bins();
+    assert!(!masked.is_empty(), "the 4-bin outage must mask bins");
+    assert!(masked.contains(&237), "masked bins {masked:?} should cover the long outage");
+
+    // Scoring under the mask: the outage-buried DOS is excluded from the
+    // truth set, the two clean-bin anomalies must both be found.
+    let report = score_events_with_mask(&fr.run.truth, &fr.run.scored_events(), 2, &masked);
+    assert_eq!(report.false_negatives, 0, "clean-bin anomalies must survive the storm: {report:?}");
+    assert_eq!(report.true_positives, 2, "{report:?}");
+}
+
+#[test]
+fn fault_storm_masked_bins_degrade_instead_of_alarming() {
+    let fr = run_fault_storm_day();
+    let masked = fr.masked_bins();
+    assert_eq!(fr.verdicts.len(), 288);
+
+    // Every masked bin is verdicted Degraded(MaskedBin), never Scored.
+    for &b in &masked {
+        assert_eq!(
+            fr.verdicts[b],
+            BinVerdict::Degraded(DegradedReason::MaskedBin),
+            "bin {b} was masked by repair"
+        );
+    }
+    // And no classified event claims evidence from a masked bin — the
+    // detector must stay silent where the data was destroyed, including
+    // over the outage-buried DOS injection.
+    for c in &fr.run.classified {
+        assert!(
+            !masked.iter().any(|&b| c.event.covers_bin(b)),
+            "event {:?} alarms on masked bins {masked:?}",
+            c.event
+        );
+    }
+
+    // The ingest accounting stayed conserved through the whole storm.
+    assert!(fr.quality.quarantine.is_conserved(), "{:?}", fr.quality.quarantine);
+    assert!(fr.quality.quarantine.frames_rejected() > 0, "corruption must quarantine frames");
+    assert!(fr.storm.frames_dropped_outage > 0);
+    assert!(fr.quality.exporters.lost_flows_total() > 0, "loss must show up as sequence gaps");
+}
+
+#[test]
+fn fault_storm_bit_identical_across_thread_counts() {
+    let run_at = |threads: usize| {
+        odflow::par::with_thread_limit(threads, || {
+            let (scenario, faults) = fault_storm_day();
+            run_scenario_faulted(
+                &scenario,
+                &ExperimentConfig::default(),
+                &faults,
+                RepairPolicy::default(),
+            )
+            .unwrap()
+        })
+    };
+    let a = run_at(1);
+    let b = run_at(4);
+    assert_eq!(a.run.matrices.bytes.data.as_slice(), b.run.matrices.bytes.data.as_slice());
+    assert_eq!(a.run.matrices.packets.data.as_slice(), b.run.matrices.packets.data.as_slice());
+    assert_eq!(a.run.matrices.flows.data.as_slice(), b.run.matrices.flows.data.as_slice());
+    assert_eq!(a.quality.bins, b.quality.bins);
+    assert_eq!(a.quality.quarantine, b.quality.quarantine);
+    assert_eq!(a.verdicts, b.verdicts);
+    assert_eq!(a.widened, b.widened);
+    assert_eq!(a.storm, b.storm);
+    assert_eq!(a.run.scored_events(), b.run.scored_events());
+}
+
 #[test]
 fn detection_identifies_correct_od_flow() {
     let scenario =
