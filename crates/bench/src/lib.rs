@@ -32,6 +32,7 @@ pub const PERF_STAGES: &[&str] = &[
     "gram",
     "matmul",
     "eigen",
+    "eigen_tridiag",
     "model_fit",
     "detector",
     "generator",

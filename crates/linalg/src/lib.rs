@@ -2,9 +2,10 @@
 //!
 //! Self-contained dense linear algebra used by the `odflow` workspace:
 //! a row-major [`Matrix`], symmetric eigendecomposition by the cyclic Jacobi
-//! method ([`eigen_symmetric`]), thin SVD via the Gram eigenproblem
-//! ([`thin_svd`]), column centering/standardization, and covariance /
-//! correlation matrices.
+//! method ([`eigen_symmetric`]) or by blocked Householder tridiagonalization
+//! with implicit-shift QR ([`eigen_symmetric_tridiagonal`]), thin SVD via
+//! the Gram eigenproblem ([`thin_svd`]), column centering/standardization,
+//! and covariance / correlation matrices.
 //!
 //! The paper this workspace reproduces (Lakhina, Crovella & Diot,
 //! *Characterization of Network-Wide Anomalies in Traffic Flows*, IMC 2004)
@@ -33,24 +34,26 @@ mod center;
 mod cov;
 mod eigen;
 mod error;
+mod householder;
 mod matrix;
 mod randomized;
 mod solve;
 mod svd;
+mod tridiag;
 pub mod vecops;
 
 pub use backend::{
-    truncated_svd, DenseJacobiBackend, EigenBackend, EigenMethod, RandomizedTruncatedBackend,
-    AUTO_DENSE_MAX_DIM,
+    truncated_svd, DenseJacobiBackend, DenseTridiagonalBackend, EigenBackend, EigenMethod,
+    RandomizedTruncatedBackend, AUTO_DENSE_MAX_DIM, AUTO_TRIDIAG_MIN_DIM,
 };
 pub use center::{center_columns, column_means, standardize_columns, Centering};
 pub use cov::{correlation, covariance, scatter};
 pub use eigen::{
-    eigen_symmetric, eigen_symmetric_with, EigenDecomposition, JacobiOptions, JacobiOrdering,
-    JACOBI_PARALLEL_MIN_DIM,
+    eigen_symmetric, eigen_symmetric_auto, eigen_symmetric_tridiagonal, eigen_symmetric_with,
+    EigenDecomposition, JacobiOptions, JacobiOrdering, JACOBI_PARALLEL_MIN_DIM,
 };
 pub use error::{LinalgError, Result};
 pub use matrix::Matrix;
 pub use randomized::{randomized_thin_svd, RandomizedSvdOptions, DEFAULT_SKETCH_SEED};
 pub use solve::solve;
-pub use svd::{thin_svd, Svd};
+pub use svd::{thin_svd, thin_svd_with, Svd};

@@ -306,6 +306,34 @@ impl Matrix {
         Ok(self.rows_iter().map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum()).collect())
     }
 
+    /// Symmetric matrix-vector product `self * v` through the unrolled
+    /// [`crate::vecops::dot4`] row kernel, fanned out over row blocks on
+    /// the persistent [`odflow_par`] pool.
+    ///
+    /// The matrix must be square and is read full-row (both triangles), so
+    /// callers keep it explicitly symmetric — exactly how the blocked
+    /// Householder tridiagonalization maintains its working matrix. Each
+    /// output element is one `dot4` whose summation order depends only on
+    /// the dimension, so results are bit-identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::NotSquare`] for rectangular input,
+    /// [`LinalgError::ShapeMismatch`] when `v.len() != self.ncols()`.
+    pub fn symv(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { op: "symv", shape: self.shape() });
+        }
+        if self.cols != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "symv",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        Ok(symv_block(&self.data, self.cols, 0, v))
+    }
+
     /// Vector-matrix product `v^T * self`, returned as a plain vector.
     pub fn vecmat(&self, v: &[f64]) -> Result<Vec<f64>> {
         if self.rows != v.len() {
@@ -569,6 +597,38 @@ fn matmul_tile_1x4(a_row: &[f64], b: &[f64], out: &mut [f64], m: usize, k0: usiz
     }
 }
 
+/// Rows per parallel task in [`symv_block`]; fixed so the decomposition —
+/// and therefore the result — depends only on the problem size.
+const SYMV_ROW_BLOCK: usize = 64;
+
+/// Trailing-block symmetric matvec: for an `n x n` row-major `data` and a
+/// vector `v` of length `n - lo`, returns `y[i - lo] = data[i, lo..n] · v`
+/// for `i in lo..n`.
+///
+/// This is the workhorse of the blocked Householder panel (`w = A v` over
+/// the not-yet-reduced trailing block, addressed in place — no submatrix
+/// copies). Rows fan out over the pool in [`SYMV_ROW_BLOCK`] blocks and
+/// each row is one [`crate::vecops::dot4`], so the arithmetic per output
+/// element is a pure function of `(n, lo)` — bit-identical for every
+/// thread count.
+pub(crate) fn symv_block(data: &[f64], n: usize, lo: usize, v: &[f64]) -> Vec<f64> {
+    let m = n - lo;
+    debug_assert_eq!(v.len(), m);
+    let per_row = odflow_par::map_chunks(m, SYMV_ROW_BLOCK, |rows| {
+        let mut out = Vec::with_capacity(rows.len());
+        for r in rows {
+            let i = lo + r;
+            out.push(crate::vecops::dot4(&data[i * n + lo..(i + 1) * n], v));
+        }
+        out
+    });
+    let mut y = Vec::with_capacity(m);
+    for block in per_row {
+        y.extend_from_slice(&block);
+    }
+    y
+}
+
 impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f64;
 
@@ -758,6 +818,43 @@ mod tests {
         assert_eq!(a.vecmat(&[1.0, 1.0]).unwrap(), vec![4.0, 6.0]);
         assert!(a.matvec(&[1.0]).is_err());
         assert!(a.vecmat(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn symv_matches_matvec_on_symmetric_input() {
+        let n = 70; // spans two SYMV_ROW_BLOCK panels
+        let a = Matrix::from_fn(n, n, |i, j| {
+            let (lo, hi) = (i.min(j), i.max(j));
+            ((lo * 7 + hi * 3) % 17) as f64 - 8.0
+        });
+        let v: Vec<f64> = (0..n).map(|i| ((i * 11) % 5) as f64 - 2.0).collect();
+        let fast = a.symv(&v).unwrap();
+        let reference = a.matvec(&v).unwrap();
+        // Not bit-identical (dot4 vs dot accumulation order) but tight.
+        let scale: f64 = reference.iter().map(|x| x.abs()).fold(1.0, f64::max);
+        for (f, r) in fast.iter().zip(&reference) {
+            assert!((f - r).abs() <= 1e-12 * scale, "{f} vs {r}");
+        }
+    }
+
+    #[test]
+    fn symv_is_thread_count_invariant() {
+        let n = 130;
+        let a = Matrix::from_fn(n, n, |i, j| 1.0 / ((i + j + 1) as f64));
+        let v: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).cos()).collect();
+        let serial = odflow_par::with_thread_limit(1, || a.symv(&v).unwrap());
+        for &threads in &[4usize, 64] {
+            let par = odflow_par::with_thread_limit(threads, || a.symv(&v).unwrap());
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn symv_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(a.symv(&[1.0, 2.0, 3.0]), Err(LinalgError::NotSquare { .. })));
+        let b = Matrix::identity(3);
+        assert!(matches!(b.symv(&[1.0, 2.0]), Err(LinalgError::ShapeMismatch { .. })));
     }
 
     #[test]

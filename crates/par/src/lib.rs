@@ -167,6 +167,18 @@ fn chunk_ranges(n: usize, grain: usize) -> (usize, usize) {
     (n.div_ceil(grain), grain)
 }
 
+/// `true` when a region with `num_tasks` tasks started now by this thread
+/// would take the serial inline fallback — the same predicate
+/// [`run_region`] applies. Combinators use it to skip building their
+/// per-task synchronization scaffolding (Mutex slot vectors) entirely on
+/// the serial path: the work runs in identical chunk order with identical
+/// arithmetic either way, so the fast path is bitwise-invisible — it only
+/// removes allocation and lock overhead from serial hot loops (tight
+/// Jacobi sweeps under `with_thread_limit(1)`, nested regions on workers).
+fn runs_serially(num_tasks: usize) -> bool {
+    num_tasks <= 1 || max_threads() <= 1 || scoped_pool::is_worker_thread()
+}
+
 /// The region core: runs task indices `0..num_tasks`, handing chunk indices
 /// to pool workers through a dynamic claim counter and joining on the
 /// region latch before returning.
@@ -247,6 +259,14 @@ pub fn parallel_chunks<T: Send>(
     if data.is_empty() {
         return;
     }
+    if runs_serially(data.len().div_ceil(chunk_len)) {
+        // Same chunk order and arithmetic as the region path, minus the
+        // per-chunk Mutex slots.
+        for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(idx, chunk);
+        }
+        return;
+    }
     let slots: Vec<ChunkSlot<'_, T>> =
         data.chunks_mut(chunk_len).enumerate().map(|c| Mutex::new(Some(c))).collect();
     run_region(slots.len(), &|t| {
@@ -267,6 +287,10 @@ pub fn map_chunks<A: Send>(
     map: impl Fn(Range<usize>) -> A + Sync,
 ) -> Vec<A> {
     let (tasks, grain) = chunk_ranges(n, grain);
+    if runs_serially(tasks) {
+        // Chunk-order collection without the Mutex slot vector.
+        return (0..tasks).map(|t| map(t * grain..((t + 1) * grain).min(n))).collect();
+    }
     let slots: Vec<Mutex<Option<A>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
     run_region(tasks, &|t| {
         let lo = t * grain;
@@ -480,6 +504,43 @@ mod tests {
     fn chunk_grain_zero_is_clamped() {
         let out = map_chunks(5, 0, |r| r.len());
         assert_eq!(out, vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn serial_fast_paths_are_bitwise_identical_to_region_paths() {
+        // The slot-free serial fast paths in `parallel_chunks`/`map_chunks`
+        // must be invisible: same chunk order, same arithmetic, bitwise
+        // equal outputs against a genuinely parallel run.
+        let src: Vec<f64> = (0..997).map(|i| ((i * 53) % 211) as f64 * 1e-3 + 1e-9).collect();
+
+        let run_map = |threads| {
+            with_thread_limit(threads, || {
+                map_chunks(src.len(), 37, |r| src[r].iter().map(|x| x * x + 0.1).sum::<f64>())
+            })
+        };
+        let serial = run_map(1);
+        let parallel = run_map(8);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let run_chunks = |threads| {
+            let mut data = src.clone();
+            with_thread_limit(threads, || {
+                parallel_chunks(&mut data, 41, |idx, chunk| {
+                    for v in chunk.iter_mut() {
+                        *v = v.mul_add(1.5, idx as f64 * 1e-6);
+                    }
+                });
+            });
+            data
+        };
+        let serial = run_chunks(1);
+        let parallel = run_chunks(8);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! flows".
 
 use crate::error::{Result, SubspaceError};
-use odflow_linalg::{center_columns, thin_svd, truncated_svd, Centering, EigenMethod, Matrix};
+use odflow_linalg::{center_columns, thin_svd_with, truncated_svd, Centering, EigenMethod, Matrix};
 
 /// The eigenflow decomposition of an `n x p` OD traffic matrix.
 #[derive(Debug, Clone)]
@@ -46,18 +46,28 @@ impl EigenflowDecomposition {
     /// the paper requires ("the multivariate mean ... for eigenflows is
     /// equal to zero by construction").
     ///
-    /// This is the exact dense path (full spectrum). Use [`Self::fit_with`]
-    /// to select a backend — at large-mesh scale (`p ≈ 90 000`) the dense
-    /// Gram matrix is out of reach by design.
+    /// This is the exact dense path (full spectrum): cyclic Jacobi below
+    /// the tridiagonal crossover dimension, blocked Householder +
+    /// implicit-shift QR at or above it (see
+    /// [`odflow_linalg::AUTO_TRIDIAG_MIN_DIM`]). Use [`Self::fit_with`] to
+    /// pin a backend — at large-mesh scale (`p ≈ 90 000`) the dense Gram
+    /// matrix
+    /// is out of reach by design.
     ///
     /// # Errors
     ///
     /// * [`SubspaceError::InsufficientData`] unless `n >= 2` and `p >= 2`.
     /// * [`SubspaceError::Numeric`] for non-finite input.
     pub fn fit(x: &Matrix) -> Result<Self> {
+        Self::fit_full(x, EigenMethod::Auto)
+    }
+
+    /// The shared full-spectrum dense path: center, thin-SVD with the
+    /// requested dense eigensolver, record the exact total energy.
+    fn fit_full(x: &Matrix, method: EigenMethod) -> Result<Self> {
         let (n, _) = Self::check_shape(x)?;
         let (centered, centering) = center_columns(x)?;
-        let svd = thin_svd(&centered, 0.0)?;
+        let svd = thin_svd_with(&centered, 0.0, method)?;
         let total_energy: f64 = svd.sigma.iter().map(|s| s * s).sum();
         Ok(EigenflowDecomposition {
             eigenflows: svd.u,
@@ -73,12 +83,13 @@ impl EigenflowDecomposition {
     /// Computes the decomposition with an explicit eigen-backend,
     /// retaining (at least) the top `rank` eigenflows.
     ///
-    /// `EigenMethod::DenseJacobi` (or `Auto` at small `p`) takes exactly
-    /// the [`Self::fit`] path — full spectrum, bit-identical results. The
-    /// randomized backend keeps `rank + oversample` triplets and records
-    /// the unseen tail energy in [`Self::total_energy`] (computed from the
-    /// centered data's Frobenius norm, which costs one pass — never a
-    /// `p x p` matrix).
+    /// The dense methods (`DenseJacobi`, `DenseTridiagonal`, or `Auto`
+    /// resolving to either) take exactly the [`Self::fit`] full-spectrum
+    /// path — bit-identical to `fit` whenever `Auto` would pick the same
+    /// solver. The randomized backend keeps `rank + oversample` triplets
+    /// and records the unseen tail energy in [`Self::total_energy`]
+    /// (computed from the centered data's Frobenius norm, which costs one
+    /// pass — never a `p x p` matrix).
     ///
     /// # Errors
     ///
@@ -87,7 +98,9 @@ impl EigenflowDecomposition {
     pub fn fit_with(x: &Matrix, rank: usize, method: EigenMethod) -> Result<Self> {
         let (n, p) = Self::check_shape(x)?;
         match method.resolve(p) {
-            EigenMethod::DenseJacobi => Self::fit(x),
+            dense @ (EigenMethod::DenseJacobi | EigenMethod::DenseTridiagonal) => {
+                Self::fit_full(x, dense)
+            }
             resolved => {
                 let (centered, centering) = center_columns(x)?;
                 let total_energy = {
@@ -298,6 +311,21 @@ mod tests {
             assert_eq!(via.total_energy.to_bits(), direct.total_energy.to_bits());
             assert!(!via.truncated);
         }
+    }
+
+    #[test]
+    fn fit_with_tridiagonal_is_full_spectrum_and_agrees() {
+        let x = diurnal_matrix(90, 12);
+        let jac = EigenflowDecomposition::fit_with(&x, 4, EigenMethod::DenseJacobi).unwrap();
+        let tri = EigenflowDecomposition::fit_with(&x, 4, EigenMethod::DenseTridiagonal).unwrap();
+        assert!(!tri.truncated);
+        assert_eq!(jac.rank(), tri.rank());
+        // Agreement on eigenvalues (σ²) at eigensolver precision.
+        let scale = 1.0 + jac.singular_values[0] * jac.singular_values[0];
+        for (a, b) in jac.singular_values.iter().zip(&tri.singular_values) {
+            assert!((a * a - b * b).abs() <= 1e-10 * scale, "{a} vs {b}");
+        }
+        assert!((jac.total_energy - tri.total_energy).abs() <= 1e-10 * (1.0 + jac.total_energy));
     }
 
     #[test]

@@ -1,13 +1,17 @@
-//! Backend equivalence: the randomized truncated eigensolver must agree
-//! with the exact dense Jacobi path wherever both can run.
+//! Backend equivalence: the randomized truncated eigensolver and the
+//! blocked tridiagonal solver must agree with the exact dense Jacobi path
+//! wherever both can run.
 //!
 //! Pinned properties, at Abilene scale (`p = 121`) and across
-//! `ODFLOW_THREADS ∈ {1, typical}`:
+//! `ODFLOW_THREADS ∈ {1, typical, oversubscribed}`:
 //!
 //! * top-`k` covariance eigenvalues within relative tolerance,
 //! * near-zero principal angles between the two normal subspaces,
 //! * **identical** SPE/T² anomaly verdicts (same bins, same statistics),
-//! * the randomized path itself bit-identical for every thread count.
+//! * the randomized and tridiagonal paths each bit-identical for every
+//!   thread count,
+//! * the default Abilene-scale detection output **byte-identical** for
+//!   every thread count.
 
 use odflow_linalg::{thin_svd, EigenMethod, Matrix};
 use odflow_par::with_thread_limit;
@@ -124,6 +128,103 @@ fn abilene_scale_backends_agree() {
 }
 
 #[test]
+fn tridiagonal_backend_agrees_with_jacobi_at_abilene_scale() {
+    // Same contract the randomized backend is held to, for the blocked
+    // tridiagonal solver: eigenvalues, principal angles, and — decisively —
+    // identical SPE/T² verdicts on the paper's p = 121 with injected spikes.
+    let x = traffic(400, 121, &[(150, 40, 4000.0), (290, 7, 3500.0)]);
+    let k = 4;
+    let jac = SubspaceModel::fit(
+        &x,
+        SubspaceConfig { method: EigenMethod::DenseJacobi, ..SubspaceConfig::default() },
+    )
+    .unwrap();
+    let tri = SubspaceModel::fit(
+        &x,
+        SubspaceConfig { method: EigenMethod::DenseTridiagonal, ..SubspaceConfig::default() },
+    )
+    .unwrap();
+    assert_models_agree(&jac, &tri, k, &x);
+
+    let jac_det = SubspaceDetector::new(SubspaceConfig {
+        method: EigenMethod::DenseJacobi,
+        ..SubspaceConfig::default()
+    })
+    .analyze(&x)
+    .unwrap();
+    let tri_det = SubspaceDetector::new(SubspaceConfig {
+        method: EigenMethod::DenseTridiagonal,
+        ..SubspaceConfig::default()
+    })
+    .analyze(&x)
+    .unwrap();
+    assert_eq!(jac_det.anomalous_bins(), tri_det.anomalous_bins());
+    for (a, b) in jac_det.detections.iter().zip(&tri_det.detections) {
+        assert_eq!(a.bin, b.bin);
+        assert_eq!(a.kind, b.kind);
+    }
+    assert!(tri_det.anomalous_bins().contains(&150));
+    assert!(tri_det.anomalous_bins().contains(&290));
+}
+
+#[test]
+fn tridiagonal_fit_is_thread_count_invariant() {
+    let x = traffic(300, 121, &[(100, 11, 3000.0)]);
+    let cfg = SubspaceConfig { method: EigenMethod::DenseTridiagonal, ..SubspaceConfig::default() };
+    let serial = with_thread_limit(1, || SubspaceModel::fit(&x, cfg).unwrap());
+    // 4 = typical, 64 = heavily oversubscribed on this container.
+    for &threads in &[4usize, 64] {
+        let par = with_thread_limit(threads, || SubspaceModel::fit(&x, cfg).unwrap());
+        assert_eq!(
+            serial.decomposition().singular_values,
+            par.decomposition().singular_values,
+            "singular values must be bit-identical (threads={threads})"
+        );
+        assert_eq!(
+            serial.decomposition().loadings.as_slice(),
+            par.decomposition().loadings.as_slice(),
+            "loadings must be bit-identical (threads={threads})"
+        );
+        assert_eq!(
+            serial.decomposition().eigenflows.as_slice(),
+            par.decomposition().eigenflows.as_slice(),
+            "eigenflows must be bit-identical (threads={threads})"
+        );
+        assert_eq!(serial.spe_threshold().to_bits(), par.spe_threshold().to_bits());
+        assert_eq!(serial.t2_threshold().to_bits(), par.t2_threshold().to_bits());
+    }
+}
+
+#[test]
+fn abilene_default_detection_is_byte_identical_across_thread_counts() {
+    // The release gate behind `AUTO_TRIDIAG_MIN_DIM`: the default
+    // (Auto-method) detection pipeline at the paper's p = 121 produces
+    // byte-identical output — statistics, thresholds, verdicts — for
+    // serial, typical, and oversubscribed pools.
+    let x = traffic(400, 121, &[(150, 40, 4000.0), (290, 7, 3500.0)]);
+    let analyze =
+        |threads| with_thread_limit(threads, || SubspaceDetector::default().analyze(&x).unwrap());
+    let serial = analyze(1);
+    for &threads in &[4usize, 64] {
+        let par = analyze(threads);
+        assert_eq!(serial.anomalous_bins(), par.anomalous_bins(), "threads={threads}");
+        assert_eq!(serial.detections.len(), par.detections.len());
+        for (a, b) in serial.detections.iter().zip(&par.detections) {
+            assert_eq!(a.bin, b.bin, "threads={threads}");
+            assert_eq!(a.kind, b.kind, "threads={threads}");
+            assert_eq!(a.value.to_bits(), b.value.to_bits(), "threads={threads}");
+            assert_eq!(a.threshold.to_bits(), b.threshold.to_bits(), "threads={threads}");
+        }
+        for (a, b) in serial.spe.iter().zip(&par.spe) {
+            assert_eq!(a.to_bits(), b.to_bits(), "SPE series (threads={threads})");
+        }
+        for (a, b) in serial.t2.iter().zip(&par.t2) {
+            assert_eq!(a.to_bits(), b.to_bits(), "T² series (threads={threads})");
+        }
+    }
+}
+
+#[test]
 fn randomized_fit_is_thread_count_invariant() {
     let x = traffic(300, 121, &[(100, 11, 3000.0)]);
     let cfg = SubspaceConfig { method: randomized(3), ..SubspaceConfig::default() };
@@ -180,14 +281,26 @@ proptest! {
         let k = 4;
         let x = traffic(n, p, &[(spike_bin, p / 3, spike_mag)]);
         let dense_cfg = SubspaceConfig { k, ..SubspaceConfig::default() };
+        let tri_cfg =
+            SubspaceConfig { k, method: EigenMethod::DenseTridiagonal, ..SubspaceConfig::default() };
         let rnd_cfg = SubspaceConfig { k, method: randomized(seed), ..SubspaceConfig::default() };
 
         // Serial and typical-width pools must agree bit-for-bit per
-        // backend, and the two backends must agree on everything above.
+        // backend, and all three backends must agree on everything above.
         let dense = with_thread_limit(1, || SubspaceModel::fit(&x, dense_cfg).unwrap());
+        let tri_serial = with_thread_limit(1, || SubspaceModel::fit(&x, tri_cfg).unwrap());
+        let tri_typical = with_thread_limit(threads, || SubspaceModel::fit(&x, tri_cfg).unwrap());
         let rnd_serial = with_thread_limit(1, || SubspaceModel::fit(&x, rnd_cfg).unwrap());
         let rnd_typical = with_thread_limit(threads, || SubspaceModel::fit(&x, rnd_cfg).unwrap());
 
+        prop_assert_eq!(
+            tri_serial.decomposition().singular_values.clone(),
+            tri_typical.decomposition().singular_values.clone()
+        );
+        prop_assert_eq!(
+            tri_serial.decomposition().loadings.as_slice(),
+            tri_typical.decomposition().loadings.as_slice()
+        );
         prop_assert_eq!(
             rnd_serial.decomposition().singular_values.clone(),
             rnd_typical.decomposition().singular_values.clone()
@@ -197,6 +310,7 @@ proptest! {
             rnd_typical.decomposition().loadings.as_slice()
         );
         assert_models_agree(&dense, &rnd_serial, k, &x);
+        assert_models_agree(&dense, &tri_serial, k, &x);
 
         // And both backends flag the injected spike through *some*
         // statistic (a training-window spike this large can be absorbed
