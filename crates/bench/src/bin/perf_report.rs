@@ -6,7 +6,8 @@
 //! solver plus pinned tridiagonal/Jacobi stages), blocked matmul,
 //! subspace model fit, batch detection, scenario materialization, the
 //! fused sharded ingest, the 90k-OD-pair large-mesh pipeline, the
-//! end-to-end pipeline, and the fault-storm frame-ingest path) twice:
+//! end-to-end pipeline, the fault-storm frame-ingest path, and the
+//! daemon's loopback-socket serve path) twice:
 //! once with the pool pinned to a single
 //! thread (the serial baseline) and once with the full pool. Emits a
 //! machine-readable `BENCH_pipeline.json` — stamped with the pool size and
@@ -45,6 +46,10 @@ use odflow::linalg::{
 use odflow::net::IngressResolver;
 use odflow::subspace::{SubspaceConfig, SubspaceDetector, SubspaceModel};
 use odflow_bench::{traffic_matrix, PERF_STAGES};
+use odflow_serve::{
+    replay_scenario, Daemon, DaemonHandle, LoadGenConfig, ServeConfig, TenantConfig, TenantSpec,
+    Transport,
+};
 
 /// Seed for the fault-storm stage (the harness seed, kept local so the
 /// stage workload is pinned independently of table/figure binaries).
@@ -419,6 +424,61 @@ fn main() {
                 (outcome.quality.quarantine.frames_rejected(), storm.frames_offered)
             },
         ));
+    }
+
+    // Daemon serve path over a real loopback socket: bind a one-tenant
+    // TCP daemon, replay the scenario's NetFlow v5 export frames through
+    // the deterministic load generator, drain, and flush. The measured
+    // cycle is the full ingest service — envelope decode, bounded-queue
+    // handoff, per-tenant binning, online detection as bins close — plus
+    // genuine socket I/O, so a regression here catches serving overhead
+    // that none of the in-process stages pay. A final untimed cycle
+    // reports the operational numbers the stage exists to track:
+    // sustained records/sec, p99 enqueue latency, and backpressure drops.
+    if filter.enabled("serve_ingest") {
+        let num_bins = if quick { 24 } else { 96 };
+        let config = ScenarioConfig { num_bins, total_demand: 800.0, ..Default::default() };
+        let scenario = Scenario::new(config, vec![]).unwrap();
+        let routes = scenario.plan.build_route_table(1.0).unwrap();
+        let ingress = IngressResolver::synthetic(&scenario.topology);
+        let cycle = || -> DaemonHandle {
+            let spec = TenantSpec {
+                config: TenantConfig::abilene("bench", 0, num_bins),
+                topology: scenario.topology.clone(),
+                ingress: ingress.clone(),
+                routes: routes.clone(),
+            };
+            let daemon = Daemon::bind(ServeConfig {
+                tcp_bind: Some("127.0.0.1:0".to_owned()),
+                tenants: vec![spec],
+                ..ServeConfig::default()
+            })
+            .unwrap();
+            let addr = daemon.tcp_addr().unwrap();
+            let handle = daemon.handle();
+            let pool = scoped_pool::Pool::new(1);
+            pool.scoped(|scope| {
+                scope.execute(move || {
+                    let _ = daemon.run();
+                });
+                replay_scenario(&scenario, addr, &LoadGenConfig::new(Transport::Tcp)).unwrap();
+            });
+            pool.shutdown();
+            handle
+        };
+        let label = format!("{num_bins} bins tcp loopback");
+        stages.push(run_stage("serve_ingest", label, reps.min(2), &cycle));
+        let start = Instant::now();
+        let handle = cycle();
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        let counters = handle.tenant_counters(0).expect("bench tenant counters");
+        let get = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::SeqCst);
+        println!(
+            "  serve_ingest: {:.0} records/s sustained, p99 enqueue {} us, {} frames shed",
+            get(&counters.records_decoded) as f64 / secs,
+            handle.enqueue_p99_nanos() / 1_000,
+            get(&counters.frames_dropped_backpressure),
+        );
     }
 
     match write_json(&out_path, quick, &stages) {

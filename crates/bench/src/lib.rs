@@ -41,6 +41,7 @@ pub const PERF_STAGES: &[&str] = &[
     "large_mesh_detect",
     "pipeline",
     "fault_storm",
+    "serve_ingest",
 ];
 
 use odflow::experiment::{run_scenario, ExperimentConfig, ScenarioRun};

@@ -116,6 +116,32 @@ impl OdBinner {
         self.records_accepted
     }
 
+    /// Records accepted into bin `bin` so far, or `None` outside the
+    /// window.
+    pub fn bin_record_count(&self, bin: usize) -> Option<u64> {
+        self.bin_records.get(bin).copied()
+    }
+
+    /// The accumulated row of one bin for one traffic view, or `None`
+    /// outside the window.
+    ///
+    /// This is the streaming tap: a long-running collector closes bins as
+    /// its export watermark advances and feeds each closed row straight
+    /// into an online detector, while the binner keeps accumulating later
+    /// bins. Reading a row does not freeze it — the caller decides when a
+    /// bin can no longer receive records.
+    pub fn bin_row(&self, bin: usize, t: TrafficType) -> Option<&[f64]> {
+        if bin >= self.num_bins {
+            return None;
+        }
+        let cells = match t {
+            TrafficType::Bytes => &self.bytes,
+            TrafficType::Packets => &self.packets,
+            TrafficType::Flows => &self.flows,
+        };
+        cells.get(bin * self.num_od..(bin + 1) * self.num_od)
+    }
+
     /// Number of bins in this binner's window.
     pub fn num_bins(&self) -> usize {
         self.num_bins

@@ -113,6 +113,40 @@ fn encode_record(buf: &mut BytesMut, r: &FlowRecord) {
     buf.put_u16(0); // pad2
 }
 
+/// Total wire length in bytes of a frame whose header declares `count`
+/// records: the fixed header plus `count` fixed-size records.
+///
+/// The TCP length-prefix path uses this to sanity-bound a declared frame
+/// length before buffering it; the decoders use it (via
+/// [`check_frame_bounds`]) to verify a received payload. Keeping both on
+/// one formula is the point — the boundary arithmetic must never fork
+/// between transports.
+#[must_use]
+pub const fn frame_wire_len(count: u16) -> usize {
+    HEADER_LEN + count as usize * RECORD_LEN
+}
+
+/// Checks a frame's record payload length against its header-declared
+/// record count — the single frame-boundary authority shared by the UDP
+/// datagram path and the TCP length-prefix path.
+///
+/// `payload_len` is the byte count *after* the [`HEADER_LEN`]-byte header.
+/// Returns `None` when the payload holds exactly `count` records, otherwise
+/// the quarantine class describing the mismatch: a short payload means
+/// over-reading if `count` were trusted; a long payload means trailing
+/// bytes of unknown provenance. Both quarantine the frame.
+#[must_use]
+pub fn check_frame_bounds(count: u16, payload_len: usize) -> Option<QuarantineClass> {
+    let expected = count as usize * RECORD_LEN;
+    if payload_len < expected {
+        Some(QuarantineClass::TruncatedFrame)
+    } else if payload_len > expected {
+        Some(QuarantineClass::OversizedFrame)
+    } else {
+        None
+    }
+}
+
 /// Decodes one export datagram into its header and flow records.
 ///
 /// The record's `router` field is recovered from `engine_id` and
@@ -142,11 +176,11 @@ pub fn decode_datagram(data: &[u8]) -> Result<(DatagramHeader, Vec<FlowRecord>)>
     let engine_id = buf.get_u8();
     let sampling_interval = buf.get_u16();
 
-    let expected = count as usize * RECORD_LEN;
-    if buf.remaining() != expected {
+    if check_frame_bounds(count, buf.remaining()).is_some() {
         return Err(FlowError::Codec {
             reason: format!(
-                "count {count} implies {expected} payload bytes, got {}",
+                "count {count} implies {} payload bytes, got {}",
+                count as usize * RECORD_LEN,
                 buf.remaining()
             ),
         });
@@ -251,16 +285,10 @@ pub fn decode_datagram_lossy(
     let engine_id = buf.get_u8();
     let sampling_interval = buf.get_u16();
 
-    // The satellite bounds check: never trust `count` against the payload.
-    // A short payload means over-reading if trusted; a long payload means
-    // trailing bytes of unknown provenance. Both quarantine the frame.
-    let expected = count as usize * RECORD_LEN;
-    if buf.remaining() < expected {
-        stats.quarantine_frame(QuarantineClass::TruncatedFrame);
-        return None;
-    }
-    if buf.remaining() > expected {
-        stats.quarantine_frame(QuarantineClass::OversizedFrame);
+    // Never trust `count` against the payload; the shared boundary helper
+    // classifies any mismatch and the whole frame is quarantined.
+    if let Some(class) = check_frame_bounds(count, buf.remaining()) {
+        stats.quarantine_frame(class);
         return None;
     }
 
@@ -461,6 +489,29 @@ mod tests {
         };
         assert!(!record_plausible(&r));
         assert!(record_plausible(&plausible_records(1)[0]));
+    }
+
+    #[test]
+    fn frame_bounds_helper_classifies_both_sides() {
+        assert_eq!(check_frame_bounds(2, 2 * RECORD_LEN), None);
+        assert_eq!(check_frame_bounds(0, 0), None);
+        assert_eq!(
+            check_frame_bounds(2, 2 * RECORD_LEN - 1),
+            Some(QuarantineClass::TruncatedFrame)
+        );
+        assert_eq!(
+            check_frame_bounds(2, 2 * RECORD_LEN + 1),
+            Some(QuarantineClass::OversizedFrame)
+        );
+        assert_eq!(check_frame_bounds(0, 1), Some(QuarantineClass::OversizedFrame));
+    }
+
+    #[test]
+    fn frame_wire_len_matches_encoder_output() {
+        let records = sample_records(30);
+        let dgrams = encode_datagrams(&records, 0, 1, 100, 0);
+        assert_eq!(dgrams[0].len(), frame_wire_len(30));
+        assert_eq!(frame_wire_len(0), HEADER_LEN);
     }
 
     #[test]

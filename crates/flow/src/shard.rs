@@ -118,6 +118,19 @@ impl BinShard {
         self.binner.records_accepted()
     }
 
+    /// The accumulated row of **global** bin `bin` for one traffic view,
+    /// or `None` when this shard does not own that bin — the streaming tap
+    /// behind [`OdBinner::bin_row`], re-indexed into window coordinates.
+    pub fn bin_row(&self, bin: usize, t: TrafficType) -> Option<&[f64]> {
+        self.binner.bin_row(bin.checked_sub(self.first_bin)?, t)
+    }
+
+    /// Records accepted so far into **global** bin `bin`, or `None` when
+    /// this shard does not own that bin.
+    pub fn bin_record_count(&self, bin: usize) -> Option<u64> {
+        self.binner.bin_record_count(bin.checked_sub(self.first_bin)?)
+    }
+
     /// Finalizes a *full-window* shard into the traffic matrices — the
     /// serial pipeline's endgame. Multi-shard engines use
     /// [`ShardedIngest::merge`] instead, which concatenates without
@@ -778,6 +791,31 @@ mod tests {
             assert_eq!(m[(2, od)], lo + (1.0 / 3.0) * (hi - lo), "od {od}");
             assert_eq!(m[(3, od)], lo + (2.0 / 3.0) * (hi - lo), "od {od}");
         }
+    }
+
+    #[test]
+    fn bin_row_taps_match_merged_matrices() {
+        let num_bins = 6;
+        let (_, plan, engine, _) = setup(num_bins);
+        let stream = mixed_stream(&plan, num_bins);
+        let mut shard = engine.make_shard(0..num_bins).unwrap();
+        for r in &stream {
+            shard.push_sampled_record(*r).unwrap();
+        }
+        let rows: Vec<Vec<f64>> =
+            (0..num_bins).map(|b| shard.bin_row(b, TrafficType::Bytes).unwrap().to_vec()).collect();
+        let counts: Vec<u64> = (0..num_bins).map(|b| shard.bin_record_count(b).unwrap()).collect();
+        assert!(shard.bin_row(num_bins, TrafficType::Bytes).is_none());
+        let merged = engine.merge(vec![shard]).unwrap();
+        for (b, row) in rows.iter().enumerate() {
+            assert_eq!(merged.matrices.bytes.data.row(b).unwrap(), row.as_slice());
+        }
+        assert_eq!(counts, merged.quality.bin_records);
+        // A shard that does not own the bin answers None, not a panic.
+        let tail = engine.make_shard(4..6).unwrap();
+        assert!(tail.bin_row(0, TrafficType::Bytes).is_none());
+        assert!(tail.bin_record_count(3).is_none());
+        assert!(tail.bin_row(4, TrafficType::Flows).is_some());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! | `no-raw-threads` | all fan-out goes through `odflow_par` (pooled, deterministic) |
 //! | `unsafe-containment` | `unsafe` lives only in the vendored `scoped_pool` shim |
 //! | `env-read-containment` | process environment is read only via the sanctioned plumbing |
-//! | `no-panic-in-ingest` | the `crates/flow` measurement path degrades, it never aborts |
+//! | `no-panic-in-ingest` | the `crates/flow`/`crates/serve` wire paths degrade, they never abort |
 //!
 //! Checkers are heuristic token matchers, deliberately biased toward
 //! explainable findings: a false positive is answered with a justified
@@ -59,9 +59,9 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         name: "no-panic-in-ingest",
-        summary: "the crates/flow measurement path must survive hostile wire input: \
-                  `.unwrap()`/`.expect()`/`panic!` are banned in non-test flow code; \
-                  quarantine-and-account instead",
+        summary: "the crates/flow measurement path and the crates/serve daemon must \
+                  survive hostile wire input: `.unwrap()`/`.expect()`/`panic!` are \
+                  banned in their non-test sources; quarantine-and-account instead",
     },
 ];
 
@@ -120,9 +120,14 @@ impl FileClass {
             }
             // odflow_par is the sanctioned home of thread management.
             "no-raw-threads" => !self.member("par"),
-            // The ingest path (flow crate library sources) must degrade
-            // gracefully; integration tests and benches may still assert.
-            "no-panic-in-ingest" => self.member("flow") && self.rel.starts_with("crates/flow/src/"),
+            // The ingest path (flow crate library sources) and the serving
+            // daemon (serve crate sources, binaries included — one hostile
+            // frame must never abort a collector) must degrade gracefully;
+            // integration tests and benches may still assert.
+            "no-panic-in-ingest" => {
+                (self.member("flow") && self.rel.starts_with("crates/flow/src/"))
+                    || (self.member("serve") && self.rel.starts_with("crates/serve/src/"))
+            }
             "unsafe-containment" => !self.is_scoped_pool(),
             _ => false,
         }
@@ -310,9 +315,10 @@ const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"]
 /// The no-panic-in-ingest checker: `.unwrap()` / `.expect(…)` method calls
 /// and panic-family macro invocations outside `#[cfg(test)]`-gated items.
 ///
-/// The flow crate decodes bytes that arrive off the wire; a reachable
-/// panic there turns one malformed frame into a dead collector. Errors
-/// must flow into the quarantine/`DataQuality` accounting instead.
+/// The flow crate decodes bytes that arrive off the wire, and the serve
+/// daemon keeps sockets open to whoever sends them; a reachable panic in
+/// either turns one malformed frame into a dead collector. Errors must
+/// flow into the quarantine/`DataQuality` accounting instead.
 fn panic_in_ingest(toks: &[Token], out: &mut Vec<Finding>) {
     const RULE: &str = "no-panic-in-ingest";
     let test_region = cfg_test_mask(toks);
@@ -940,6 +946,30 @@ mod tests {
         let it = FileClass {
             rel: "crates/flow/tests/proptest_flow.rs".into(),
             class: CrateClass::Member("flow".into()),
+            is_compilation_root: false,
+        };
+        assert!(scan(&it, src).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_covers_serve_sources_and_binaries() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        for rel in ["crates/serve/src/daemon.rs", "crates/serve/src/bin/odflow_serve.rs"] {
+            let fc = FileClass {
+                rel: rel.into(),
+                class: CrateClass::Member("serve".into()),
+                is_compilation_root: rel.contains("/bin/"),
+            };
+            let f = scan(&fc, src);
+            assert!(
+                f.iter().any(|d| d.rule == "no-panic-in-ingest"),
+                "{rel} must be covered: {f:?}"
+            );
+        }
+        // Serve integration tests stay fail-fast test code.
+        let it = FileClass {
+            rel: "crates/serve/tests/loopback_e2e.rs".into(),
+            class: CrateClass::Member("serve".into()),
             is_compilation_root: false,
         };
         assert!(scan(&it, src).is_empty());

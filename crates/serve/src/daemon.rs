@@ -1,0 +1,639 @@
+//! The long-running multi-tenant detection daemon.
+//!
+//! Topology of one running daemon:
+//!
+//! ```text
+//!  UDP socket ──┐                 ┌─ bounded queue ─ tenant 0 worker ─ binner ─ detector
+//!  TCP streams ─┼─ tenant router ─┼─ bounded queue ─ tenant 1 worker ─ binner ─ detector
+//!  (listeners)  │   (admission)   └─ ...
+//!  metrics HTTP ┘
+//! ```
+//!
+//! Listener tasks own the sockets and do nothing but envelope parsing and
+//! queue admission — never decoding, never blocking on a full queue.
+//! Each tenant worker owns its [`TenantPipeline`] outright, so the whole
+//! measurement path is single-threaded per tenant and deterministic.
+//! All tasks run on the daemon's own [`scoped_pool::Pool`], sized to the
+//! task count (every task is a long-lived loop; a smaller pool would
+//! deadlock).
+//!
+//! ## Shutdown contract
+//!
+//! A drain request — [`DaemonHandle::drain`], or the wire control message
+//! ([`crate::wire::CONTROL_DRAIN`] addressed to
+//! [`CONTROL_TENANT`]) on either transport — stops the listeners, closes
+//! the tenant queues, and lets each worker consume its backlog to the
+//! end before flushing. Frames admitted before the drain are never lost;
+//! frames arriving after it are refused by the closed queues and
+//! counted. [`Daemon::run`] returns only when every tenant has flushed.
+
+use crate::metrics::{monotonic_now, ServeMetrics, TenantCounters};
+use crate::queue::{BoundedQueue, Pop};
+use crate::tenant::{TenantConfig, TenantFlush, TenantPipeline};
+use crate::wire::{self, MessageReader, CONTROL_TENANT};
+use crate::ServeError;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// One tenant's full provisioning: detection configuration plus the
+/// routing state its resolver needs.
+#[derive(Debug)]
+pub struct TenantSpec {
+    /// Pipeline and detection configuration.
+    pub config: TenantConfig,
+    /// The tenant's backbone topology (defines its OD space).
+    pub topology: odflow_net::Topology,
+    /// Ingress attribution state.
+    pub ingress: odflow_net::IngressResolver,
+    /// Egress longest-prefix-match table.
+    pub routes: odflow_net::RouteTable,
+}
+
+/// Daemon-level configuration.
+#[derive(Debug)]
+pub struct ServeConfig {
+    /// UDP bind address (e.g. `127.0.0.1:0`); `None` disables UDP.
+    pub udp_bind: Option<String>,
+    /// TCP bind address; `None` disables TCP.
+    pub tcp_bind: Option<String>,
+    /// Metrics HTTP bind address; `None` disables the endpoint.
+    pub metrics_bind: Option<String>,
+    /// The hosted tenants, in tenant-index (wire envelope byte) order.
+    pub tenants: Vec<TenantSpec>,
+    /// Poll granularity for socket timeouts and worker wakeups.
+    pub tick: Duration,
+    /// Start with tenant workers paused (admission keeps running) — used
+    /// by the backpressure tests to fill queues deterministically. A
+    /// drain overrides the pause so shutdown always completes.
+    pub start_paused: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            udp_bind: None,
+            tcp_bind: None,
+            metrics_bind: None,
+            tenants: Vec::new(),
+            tick: Duration::from_millis(5),
+            start_paused: false,
+        }
+    }
+}
+
+/// Shared control/observation state behind [`DaemonHandle`].
+#[derive(Debug)]
+struct Control {
+    draining: AtomicBool,
+    paused: AtomicBool,
+    metrics: ServeMetrics,
+}
+
+/// A cloneable handle for controlling and observing a running daemon
+/// from other threads.
+#[derive(Debug, Clone)]
+pub struct DaemonHandle {
+    control: Arc<Control>,
+}
+
+impl DaemonHandle {
+    /// Requests a graceful drain-and-flush shutdown.
+    pub fn drain(&self) {
+        self.control.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once a drain has been requested.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.control.draining.load(Ordering::SeqCst)
+    }
+
+    /// Pauses tenant workers (admission keeps running).
+    pub fn pause(&self) {
+        self.control.paused.store(true, Ordering::SeqCst);
+    }
+
+    /// Resumes paused tenant workers.
+    pub fn resume(&self) {
+        self.control.paused.store(false, Ordering::SeqCst);
+    }
+
+    /// The current metrics page, identical to `GET /metrics`.
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        self.control.metrics.render()
+    }
+
+    /// The counter block of tenant `idx`.
+    #[must_use]
+    pub fn tenant_counters(&self, idx: usize) -> Option<Arc<TenantCounters>> {
+        self.control.metrics.tenant(idx).map(Arc::clone)
+    }
+
+    /// p99 upper bound of the admission enqueue-latency histogram, in
+    /// nanoseconds (0 until a frame has been enqueued).
+    #[must_use]
+    pub fn enqueue_p99_nanos(&self) -> u64 {
+        self.control.metrics.enqueue_latency.quantile(0.99)
+    }
+}
+
+/// How one tenant's pipeline ended.
+#[derive(Debug)]
+pub enum TenantEnd {
+    /// The pipeline drained and flushed normally.
+    Flushed(Box<TenantFlush>),
+    /// The flush failed (e.g. a window that never accepted a record).
+    Failed {
+        /// The tenant's name.
+        name: String,
+        /// Why the flush failed.
+        reason: String,
+    },
+}
+
+/// Everything a drained daemon returns, tenants in index order.
+#[derive(Debug)]
+pub struct DaemonReport {
+    /// Per-tenant end states.
+    pub tenants: Vec<TenantEnd>,
+}
+
+/// A frame admitted to a tenant queue, stamped for latency accounting.
+#[derive(Debug)]
+struct QueuedFrame {
+    frame: Vec<u8>,
+    queued: Instant,
+}
+
+/// A bound-but-not-yet-running daemon. Binding is separate from running
+/// so callers can read the ephemeral socket addresses (port 0 binds)
+/// before traffic starts.
+#[derive(Debug)]
+pub struct Daemon {
+    control: Arc<Control>,
+    pipelines: Vec<TenantPipeline>,
+    queue_caps: Vec<usize>,
+    udp: Option<UdpSocket>,
+    tcp: Option<TcpListener>,
+    metrics_listener: Option<TcpListener>,
+    tick: Duration,
+}
+
+impl Daemon {
+    /// Builds every tenant pipeline and binds the configured sockets.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Config`] for an empty tenant list or more tenants
+    ///   than the one-byte envelope can address.
+    /// * [`ServeError::Io`] on bind failure.
+    /// * [`ServeError::Flow`] on invalid tenant pipeline configuration.
+    pub fn bind(config: ServeConfig) -> Result<Daemon, ServeError> {
+        if config.tenants.is_empty() {
+            return Err(ServeError::Config("at least one tenant is required".to_owned()));
+        }
+        if config.tenants.len() >= usize::from(CONTROL_TENANT) {
+            return Err(ServeError::Config(format!(
+                "at most {} tenants fit the one-byte envelope",
+                usize::from(CONTROL_TENANT) - 1
+            )));
+        }
+        let queue_caps: Vec<usize> = config.tenants.iter().map(|s| s.config.queue_frames).collect();
+        let mut pipelines = Vec::with_capacity(config.tenants.len());
+        for spec in config.tenants {
+            pipelines.push(TenantPipeline::new(
+                spec.config,
+                &spec.topology,
+                spec.ingress,
+                spec.routes,
+            )?);
+        }
+        let metrics = ServeMetrics {
+            tenants: pipelines.iter().map(|p| (p.name().to_owned(), p.counters())).collect(),
+            ..ServeMetrics::default()
+        };
+        let udp = match &config.udp_bind {
+            Some(addr) => Some(UdpSocket::bind(addr.as_str())?),
+            None => None,
+        };
+        let tcp = match &config.tcp_bind {
+            Some(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let metrics_listener = match &config.metrics_bind {
+            Some(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        Ok(Daemon {
+            control: Arc::new(Control {
+                draining: AtomicBool::new(false),
+                paused: AtomicBool::new(config.start_paused),
+                metrics,
+            }),
+            pipelines,
+            queue_caps,
+            udp,
+            tcp,
+            metrics_listener,
+            tick: config.tick,
+        })
+    }
+
+    /// The bound UDP address, when UDP is enabled.
+    #[must_use]
+    pub fn udp_addr(&self) -> Option<SocketAddr> {
+        self.udp.as_ref().and_then(|s| s.local_addr().ok())
+    }
+
+    /// The bound TCP address, when TCP is enabled.
+    #[must_use]
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
+    /// The bound metrics address, when the endpoint is enabled.
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
+    /// A control/observation handle, cloneable across threads.
+    #[must_use]
+    pub fn handle(&self) -> DaemonHandle {
+        DaemonHandle { control: Arc::clone(&self.control) }
+    }
+
+    /// Runs the daemon to completion: serves until a drain request,
+    /// drains every queue, flushes every tenant, and reports. Blocks the
+    /// calling thread; use [`Self::handle`] (taken before `run`) to
+    /// control the daemon from elsewhere.
+    #[must_use]
+    pub fn run(self) -> DaemonReport {
+        let Daemon { control, pipelines, queue_caps, udp, tcp, metrics_listener, tick } = self;
+        let n = pipelines.len();
+        let queues: Vec<Arc<BoundedQueue<QueuedFrame>>> =
+            queue_caps.iter().map(|&c| Arc::new(BoundedQueue::new(c))).collect();
+        let results: Mutex<Vec<Option<TenantEnd>>> = Mutex::new((0..n).map(|_| None).collect());
+        let listener_count = usize::from(udp.is_some()) + usize::from(tcp.is_some());
+        let sources = AtomicUsize::new(listener_count);
+        let n_tasks = listener_count + usize::from(metrics_listener.is_some()) + n;
+        let pool = scoped_pool::Pool::new(n_tasks.max(1));
+
+        let admission = Admission { control: &control, queues: &queues };
+        pool.scoped(|scope| {
+            let adm = &admission;
+            let sources_ref = &sources;
+            let queues_ref = &queues;
+            let close_on_last_source = move || {
+                if sources_ref.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    for q in queues_ref {
+                        q.close();
+                    }
+                }
+            };
+            if let Some(socket) = udp {
+                scope.execute(move || {
+                    run_udp_listener(&socket, adm, tick);
+                    close_on_last_source();
+                });
+            }
+            if let Some(listener) = tcp {
+                scope.execute(move || {
+                    run_tcp_listener(&listener, adm, tick);
+                    close_on_last_source();
+                });
+            }
+            if let Some(listener) = metrics_listener {
+                let control_ref = &control;
+                scope.execute(move || run_metrics_endpoint(&listener, control_ref, tick));
+            }
+            for (idx, pipeline) in pipelines.into_iter().enumerate() {
+                let queue = Arc::clone(&queues[idx]);
+                let control_ref = &control;
+                let results_ref = &results;
+                scope.execute(move || {
+                    let end = run_tenant_worker(pipeline, &queue, control_ref, sources_ref, tick);
+                    let mut slots = results_ref.lock().unwrap_or_else(PoisonError::into_inner);
+                    if let Some(slot) = slots.get_mut(idx) {
+                        *slot = Some(end);
+                    }
+                });
+            }
+        });
+        pool.shutdown();
+
+        let slots = results.into_inner().unwrap_or_else(PoisonError::into_inner);
+        DaemonReport {
+            tenants: slots
+                .into_iter()
+                .map(|s| {
+                    s.unwrap_or(TenantEnd::Failed {
+                        name: String::new(),
+                        reason: "worker never reported".to_owned(),
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The shared admission path: envelope → control or tenant queue.
+struct Admission<'a> {
+    control: &'a Control,
+    queues: &'a [Arc<BoundedQueue<QueuedFrame>>],
+}
+
+impl Admission<'_> {
+    fn draining(&self) -> bool {
+        self.control.draining.load(Ordering::SeqCst)
+    }
+
+    /// Routes one enveloped frame. Never blocks: a full queue sheds the
+    /// frame and counts the drop.
+    fn admit(&self, tenant: u8, frame: &[u8]) {
+        if tenant == CONTROL_TENANT {
+            if wire::is_drain_control(tenant, frame) {
+                TenantCounters::add(&self.control.metrics.control_messages, 1);
+                self.control.draining.store(true, Ordering::SeqCst);
+            } else {
+                TenantCounters::add(&self.control.metrics.envelope_errors, 1);
+            }
+            return;
+        }
+        let idx = usize::from(tenant);
+        let (Some(queue), Some(counters)) =
+            (self.queues.get(idx), self.control.metrics.tenant(idx))
+        else {
+            TenantCounters::add(&self.control.metrics.unknown_tenant, 1);
+            return;
+        };
+        TenantCounters::add(&counters.frames_offered, 1);
+        let item = QueuedFrame { frame: frame.to_vec(), queued: monotonic_now() };
+        if queue.try_push(item).is_ok() {
+            TenantCounters::add(&counters.frames_enqueued, 1);
+            let depth = queue.len() as u64;
+            TenantCounters::set(&counters.queue_depth, depth);
+            TenantCounters::raise(&counters.queue_depth_peak, depth);
+        } else {
+            TenantCounters::add(&counters.frames_dropped_backpressure, 1);
+        }
+    }
+}
+
+/// UDP listener loop: one datagram, one envelope, one admission.
+fn run_udp_listener(socket: &UdpSocket, adm: &Admission<'_>, tick: Duration) {
+    if socket.set_read_timeout(Some(tick)).is_err() {
+        TenantCounters::add(&adm.control.metrics.io_errors, 1);
+        return;
+    }
+    let mut buf = vec![0u8; 65536];
+    while !adm.draining() {
+        match socket.recv_from(&mut buf) {
+            Ok((len, _peer)) => {
+                TenantCounters::add(&adm.control.metrics.udp_datagrams, 1);
+                match wire::decode_datagram(&buf[..len]) {
+                    Some((tenant, frame)) => adm.admit(tenant, frame),
+                    None => TenantCounters::add(&adm.control.metrics.envelope_errors, 1),
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => {
+                TenantCounters::add(&adm.control.metrics.io_errors, 1);
+                std::thread::sleep(tick);
+            }
+        }
+    }
+}
+
+/// TCP listener loop: non-blocking accept plus a round-robin read sweep
+/// over the open connections, reassembling length-prefixed messages.
+///
+/// The drain flag is sampled at the top of each sweep and honoured at
+/// the bottom, so the sweep that *parses* a drain message still finishes
+/// processing every connection's already-received bytes, and one final
+/// full sweep runs after the flag is seen — messages sent before the
+/// drain on any connection are admitted before the listener exits.
+fn run_tcp_listener(listener: &TcpListener, adm: &Admission<'_>, tick: Duration) {
+    let mut conns: Vec<(TcpStream, MessageReader)> = Vec::new();
+    let mut buf = vec![0u8; 65536];
+    loop {
+        let draining = adm.draining();
+        let mut progressed = false;
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        TenantCounters::add(&adm.control.metrics.io_errors, 1);
+                        continue;
+                    }
+                    TenantCounters::add(&adm.control.metrics.tcp_connections, 1);
+                    conns.push((stream, MessageReader::new()));
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    TenantCounters::add(&adm.control.metrics.io_errors, 1);
+                    break;
+                }
+            }
+        }
+        let mut i = 0;
+        while i < conns.len() {
+            let mut drop_conn = false;
+            while let Some((stream, reader)) = conns.get_mut(i) {
+                match stream.read(&mut buf) {
+                    Ok(0) => {
+                        drop_conn = true;
+                        break;
+                    }
+                    Ok(nread) => {
+                        progressed = true;
+                        reader.extend(&buf[..nread]);
+                        loop {
+                            match reader.next_message() {
+                                Ok(Some((tenant, frame))) => {
+                                    TenantCounters::add(&adm.control.metrics.tcp_messages, 1);
+                                    adm.admit(tenant, &frame);
+                                }
+                                Ok(None) => break,
+                                Err(_oversized) => {
+                                    TenantCounters::add(&adm.control.metrics.envelope_errors, 1);
+                                    drop_conn = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if drop_conn {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        TenantCounters::add(&adm.control.metrics.io_errors, 1);
+                        drop_conn = true;
+                        break;
+                    }
+                }
+            }
+            if drop_conn {
+                conns.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        if draining {
+            break;
+        }
+        if !progressed {
+            std::thread::sleep(tick);
+        }
+    }
+}
+
+/// Metrics endpoint loop: a hand-rolled HTTP/1.0 responder for
+/// `GET /metrics` (anything else is a 404).
+fn run_metrics_endpoint(listener: &TcpListener, control: &Control, tick: Duration) {
+    while !control.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+                let mut req = [0u8; 1024];
+                let n = stream.read(&mut req).unwrap_or(0);
+                let (status, body) = if req[..n].starts_with(b"GET /metrics") {
+                    ("200 OK", control.metrics.render())
+                } else {
+                    ("404 Not Found", "not found\n".to_owned())
+                };
+                let response = format!(
+                    "HTTP/1.0 {status}\r\nContent-Type: text/plain; charset=utf-8\r\n\
+                     Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                );
+                if stream.write_all(response.as_bytes()).is_err() {
+                    TenantCounters::add(&control.metrics.io_errors, 1);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(tick),
+            Err(_) => {
+                TenantCounters::add(&control.metrics.io_errors, 1);
+                std::thread::sleep(tick);
+            }
+        }
+    }
+}
+
+/// Tenant worker loop: dequeue, stamp latency, ingest; on queue closure
+/// (or an idle drain with no listeners left) flush and report.
+fn run_tenant_worker(
+    mut pipeline: TenantPipeline,
+    queue: &BoundedQueue<QueuedFrame>,
+    control: &Control,
+    sources: &AtomicUsize,
+    tick: Duration,
+) -> TenantEnd {
+    let counters = pipeline.counters();
+    loop {
+        // A pause holds the worker (admission keeps filling the queue);
+        // a drain overrides it so shutdown always completes.
+        if control.paused.load(Ordering::SeqCst) && !control.draining.load(Ordering::SeqCst) {
+            std::thread::sleep(tick);
+            continue;
+        }
+        match queue.pop_timeout(tick) {
+            Pop::Item(item) => {
+                let nanos = u64::try_from(item.queued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                control.metrics.enqueue_latency.record(nanos);
+                pipeline.ingest_frame(&item.frame);
+                TenantCounters::set(&counters.queue_depth, queue.len() as u64);
+            }
+            Pop::Empty => {
+                // With no listeners configured nobody closes the queues;
+                // an idle drain is the end of input.
+                if control.draining.load(Ordering::SeqCst)
+                    && sources.load(Ordering::Acquire) == 0
+                    && queue.is_empty()
+                {
+                    break;
+                }
+            }
+            Pop::Closed => break,
+        }
+    }
+    let name = pipeline.name().to_owned();
+    match pipeline.flush() {
+        Ok(flush) => TenantEnd::Flushed(Box::new(flush)),
+        Err(e) => TenantEnd::Failed { name, reason: e.to_string() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odflow_net::IngressResolver;
+
+    fn spec(name: &str, num_bins: usize) -> TenantSpec {
+        let scenario = odflow_gen::Scenario::paper_window(5, num_bins).unwrap();
+        let routes = scenario.plan.build_route_table(1.0).unwrap();
+        let ingress = IngressResolver::synthetic(&scenario.topology);
+        TenantSpec {
+            config: TenantConfig::abilene(name, 0, num_bins),
+            topology: scenario.topology,
+            ingress,
+            routes,
+        }
+    }
+
+    #[test]
+    fn bind_rejects_degenerate_configs() {
+        assert!(matches!(Daemon::bind(ServeConfig::default()), Err(ServeError::Config(_))));
+    }
+
+    #[test]
+    fn bound_daemon_exposes_ephemeral_addresses() {
+        let config = ServeConfig {
+            udp_bind: Some("127.0.0.1:0".to_owned()),
+            tcp_bind: Some("127.0.0.1:0".to_owned()),
+            metrics_bind: Some("127.0.0.1:0".to_owned()),
+            tenants: vec![spec("t0", 6)],
+            ..ServeConfig::default()
+        };
+        let daemon = Daemon::bind(config).unwrap();
+        assert!(daemon.udp_addr().is_some());
+        assert!(daemon.tcp_addr().is_some());
+        assert!(daemon.metrics_addr().is_some());
+        let handle = daemon.handle();
+        assert!(!handle.is_draining());
+        assert!(handle.tenant_counters(0).is_some());
+        assert!(handle.tenant_counters(1).is_none());
+        assert!(handle.metrics_text().contains("tenant=\"t0\""));
+    }
+
+    #[test]
+    fn idle_drain_reports_empty_window_failure() {
+        // No listeners, no frames: drain immediately; the flush fails
+        // with NoData and the daemon reports it rather than panicking.
+        let daemon =
+            Daemon::bind(ServeConfig { tenants: vec![spec("t0", 6)], ..ServeConfig::default() })
+                .unwrap();
+        let handle = daemon.handle();
+        handle.drain();
+        let report = daemon.run();
+        assert_eq!(report.tenants.len(), 1);
+        assert!(matches!(
+            &report.tenants[0],
+            TenantEnd::Failed { name, .. } if name == "t0"
+        ));
+    }
+}

@@ -1,0 +1,201 @@
+//! Bounded MPSC queues with drop-and-account backpressure.
+//!
+//! Every inter-stage hand-off in the daemon goes through a
+//! [`BoundedQueue`]: admission (`try_push`) **never blocks and never
+//! grows the queue past its capacity** — an overloaded tenant sheds the
+//! newest frames and the caller counts the drop. Consumption
+//! (`pop_timeout`) blocks with a timeout so workers stay responsive to
+//! drain/pause control without spinning.
+//!
+//! Built on `std::sync` (`Mutex` + `Condvar`); lock poisoning is
+//! recovered via `PoisonError::into_inner`, so no code path here can
+//! panic — the queue sits on the daemon's no-panic hot path.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Result of a [`BoundedQueue::pop_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Pop<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The timeout elapsed with the queue still empty (and open).
+    Empty,
+    /// The queue is closed and fully drained; no item will ever arrive.
+    Closed,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity FIFO shared between socket admission and one tenant
+/// worker.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            state: Mutex::new(State { items: VecDeque::with_capacity(capacity), closed: false }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The fixed capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Non-blocking enqueue. Returns the item back when the queue is
+    /// full or closed — the caller drops it and increments its
+    /// backpressure counter; nothing in this path waits or allocates
+    /// beyond the ring.
+    ///
+    /// # Errors
+    ///
+    /// `Err(item)` when the queue is at capacity or closed.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut s = self.lock();
+        if s.closed || s.items.len() >= self.capacity {
+            return Err(item);
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking dequeue with a timeout. Returns [`Pop::Closed`] only
+    /// once the queue is both closed and empty, so a drain never loses
+    /// accepted items.
+    pub fn pop_timeout(&self, timeout: Duration) -> Pop<T> {
+        let mut s = self.lock();
+        if let Some(item) = s.items.pop_front() {
+            return Pop::Item(item);
+        }
+        if s.closed {
+            return Pop::Closed;
+        }
+        let (mut s, _) =
+            self.not_empty.wait_timeout(s, timeout).unwrap_or_else(PoisonError::into_inner);
+        if let Some(item) = s.items.pop_front() {
+            return Pop::Item(item);
+        }
+        if s.closed {
+            return Pop::Closed;
+        }
+        Pop::Empty
+    }
+
+    /// Current queue depth.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// `true` when nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: further pushes fail, and consumers see
+    /// [`Pop::Closed`] once the backlog drains. Idempotent.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_capacity_bound() {
+        let q = BoundedQueue::new(3);
+        assert_eq!(q.capacity(), 3);
+        for i in 0..3 {
+            assert!(q.try_push(i).is_ok());
+        }
+        // The fourth push is shed, not buffered and not blocking.
+        assert_eq!(q.try_push(99), Err(99));
+        assert_eq!(q.len(), 3);
+        for i in 0..3 {
+            assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Item(i));
+        }
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Empty);
+    }
+
+    #[test]
+    fn close_drains_backlog_before_reporting_closed() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(3), "closed queue rejects pushes");
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Item(1));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Item(2));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Closed);
+        q.close(); // idempotent
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::<i32>::Closed);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.try_push(7).is_ok());
+        assert_eq!(q.try_push(8), Err(8));
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        use std::sync::Arc;
+        let q = Arc::new(BoundedQueue::new(64));
+        let total = 500u64;
+        let pool = scoped_pool::Pool::new(1);
+        let mut got = 0u64;
+        pool.scoped(|scope| {
+            let q2 = Arc::clone(&q);
+            scope.execute(move || {
+                for i in 0..total {
+                    // Spin until accepted: the test producer must not
+                    // lose items, unlike daemon admission.
+                    let mut item = i;
+                    while let Err(back) = q2.try_push(item) {
+                        item = back;
+                        std::thread::yield_now();
+                    }
+                }
+                q2.close();
+            });
+            loop {
+                match q.pop_timeout(Duration::from_millis(5)) {
+                    Pop::Item(_) => got += 1,
+                    Pop::Empty => {}
+                    Pop::Closed => break,
+                }
+            }
+        });
+        pool.shutdown();
+        assert_eq!(got, total);
+    }
+}

@@ -1,0 +1,423 @@
+//! One tenant's streaming pipeline: frames in, bins closed, verdicts out.
+//!
+//! A tenant is one monitored mesh — its own topology, routing state, and
+//! detection configuration. The daemon runs each tenant's pipeline on a
+//! dedicated worker thread; everything here is therefore plain `&mut
+//! self` single-threaded code, which is what makes the end state
+//! deterministic: frames decode **serially, in arrival order** (the
+//! quarantine and exporter-sequence accounting are order-sensitive) and
+//! records fill a **single full-window shard**, the degenerate grain the
+//! workspace's equivalence tests pin to the batch path.
+//!
+//! Bins close as the export-timestamp watermark passes their end; each
+//! closed bin's bytes row feeds the [`OnlineDetector`] (once a training
+//! prefix has accumulated). At drain, [`TenantPipeline::flush`] merges
+//! the shard into the same [`IngestOutcome`] → repair → `diagnose`
+//! endgame as batch `run_scenario`, so daemon and batch verdicts are
+//! directly comparable.
+
+use crate::metrics::{monotonic_now, TenantCounters};
+use crate::ServeError;
+use odflow_flow::netflow::decode_datagram_lossy;
+use odflow_flow::{
+    BinShard, BinStatus, DataQuality, IngestOutcome, PipelineConfig, RepairPolicy, ShardedIngest,
+    TrafficType,
+};
+use odflow_linalg::Matrix;
+use odflow_subspace::{
+    diagnose, Diagnosis, OnlineDetector, StatisticKind, StreamVerdict, SubspaceConfig,
+};
+use std::sync::Arc;
+
+/// Static configuration of one tenant's pipeline.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// Tenant name, used as the metrics label.
+    pub name: String,
+    /// Ingest window/binning configuration (sampler fields unused — the
+    /// daemon consumes pre-sampled export records).
+    pub pipeline: PipelineConfig,
+    /// Subspace detection configuration, for both the online detector and
+    /// the flush-time batch diagnosis.
+    pub subspace: SubspaceConfig,
+    /// Bins of training prefix before the online detector fits; `0`
+    /// disables online detection (flush-time diagnosis still runs).
+    pub train_bins: usize,
+    /// Online detector refit cadence (observations; `0` = never refit).
+    pub refit_every: usize,
+    /// Capacity of the tenant's frame queue, in frames.
+    pub queue_frames: usize,
+    /// Outage-repair policy applied at flush.
+    pub repair: RepairPolicy,
+}
+
+impl TenantConfig {
+    /// The paper's Abilene configuration: 5-minute bins from `start_secs`,
+    /// online detection after a `num_bins / 2` training prefix.
+    #[must_use]
+    pub fn abilene(name: &str, start_secs: u64, num_bins: usize) -> TenantConfig {
+        TenantConfig {
+            name: name.to_owned(),
+            pipeline: PipelineConfig::abilene(start_secs, num_bins),
+            subspace: SubspaceConfig::default(),
+            train_bins: num_bins / 2,
+            refit_every: 0,
+            queue_frames: 1024,
+            repair: RepairPolicy::default(),
+        }
+    }
+}
+
+/// Everything a drained tenant hands back.
+#[derive(Debug)]
+pub struct TenantFlush {
+    /// The tenant's name.
+    pub name: String,
+    /// The merged, repaired ingest outcome — matrices plus quality
+    /// accounting, exactly as the batch wire path produces.
+    pub outcome: IngestOutcome,
+    /// Flush-time batch diagnosis over the full window, when it succeeded.
+    pub diagnosis: Option<Diagnosis>,
+    /// Why the diagnosis failed, when it did (e.g. backpressure shed so
+    /// many frames the matrices degenerated). The daemon still returns the
+    /// matrices and counters — a partial flush beats a lost one.
+    pub diagnosis_error: Option<String>,
+    /// Verdicts the online detector issued while the daemon ran, in bin
+    /// order.
+    pub live_verdicts: Vec<StreamVerdict>,
+}
+
+/// The per-tenant streaming state machine. Owned by exactly one worker
+/// thread; all cross-thread observation goes through the shared
+/// [`TenantCounters`].
+#[derive(Debug)]
+pub struct TenantPipeline {
+    config: TenantConfig,
+    engine: ShardedIngest,
+    shard: BinShard,
+    /// Wire-path accounting (quarantine + exporter sequences); grafted
+    /// onto the merged outcome at flush, mirroring `ingest_datagrams`.
+    quality: DataQuality,
+    detector: Option<OnlineDetector>,
+    /// Next bin index awaiting closure.
+    next_close: usize,
+    /// Highest export timestamp seen (trace-epoch seconds).
+    watermark_secs: u64,
+    live_verdicts: Vec<StreamVerdict>,
+    counters: Arc<TenantCounters>,
+}
+
+impl TenantPipeline {
+    /// Builds the pipeline over its routing state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Flow`] on invalid window/OD-space configuration.
+    pub fn new(
+        config: TenantConfig,
+        topology: &odflow_net::Topology,
+        ingress: odflow_net::IngressResolver,
+        routes: odflow_net::RouteTable,
+    ) -> Result<TenantPipeline, ServeError> {
+        let engine = ShardedIngest::new(config.pipeline, topology, ingress, routes)?;
+        let num_bins = engine.num_bins();
+        let shard = engine.make_shard(0..num_bins)?;
+        Ok(TenantPipeline {
+            config,
+            engine,
+            shard,
+            quality: DataQuality::clean(num_bins),
+            detector: None,
+            next_close: 0,
+            watermark_secs: 0,
+            live_verdicts: Vec::new(),
+            counters: Arc::new(TenantCounters::default()),
+        })
+    }
+
+    /// The shared counter block; the daemon registers this with its
+    /// metrics so admission and rendering observe the same atomics.
+    #[must_use]
+    pub fn counters(&self) -> Arc<TenantCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// The tenant's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// Offers one NetFlow v5 frame exactly as it came off a socket.
+    ///
+    /// Never fails and never panics: malformed frames are quarantined,
+    /// duplicate exporter sequences deduplicated, unplaceable records
+    /// counted — all into the shared counters and the flush-time quality
+    /// report.
+    pub fn ingest_frame(&mut self, frame: &[u8]) {
+        let t0 = monotonic_now();
+        let Some((hdr, records)) = decode_datagram_lossy(frame, &mut self.quality.quarantine)
+        else {
+            TenantCounters::add(&self.counters.frames_quarantined, 1);
+            TenantCounters::add(&self.counters.decode_nanos, elapsed_nanos(t0));
+            return;
+        };
+        let fresh = self.quality.exporters.observe(
+            hdr.engine_id,
+            hdr.flow_sequence,
+            hdr.count,
+            hdr.sampling_interval,
+        );
+        TenantCounters::add(&self.counters.decode_nanos, elapsed_nanos(t0));
+        if !fresh {
+            return;
+        }
+
+        let t1 = monotonic_now();
+        TenantCounters::add(&self.counters.records_decoded, records.len() as u64);
+        for record in records {
+            // A full-window shard counts out-of-window records quietly;
+            // any other error (misroute, bad OD index) is impossible by
+            // construction but still must not panic or abort the frame.
+            if self.shard.push_sampled_record(record).is_err() {
+                TenantCounters::add(&self.counters.ingest_errors, 1);
+            }
+        }
+        TenantCounters::add(&self.counters.ingest_nanos, elapsed_nanos(t1));
+
+        self.advance_watermark(u64::from(hdr.unix_secs));
+    }
+
+    /// Raises the watermark and closes every bin whose end it has passed.
+    fn advance_watermark(&mut self, export_secs: u64) {
+        if export_secs > self.watermark_secs {
+            self.watermark_secs = export_secs;
+        }
+        let (start_secs, bin_secs) =
+            (self.config.pipeline.start_secs, self.config.pipeline.bin_secs);
+        if self.watermark_secs >= start_secs {
+            let wm_bin = (self.watermark_secs - start_secs) / bin_secs;
+            TenantCounters::raise(&self.counters.watermark_bin, wm_bin);
+        }
+        while self.next_close < self.engine.num_bins()
+            && self.watermark_secs >= start_secs + (self.next_close as u64 + 1) * bin_secs
+        {
+            self.close_bin();
+        }
+    }
+
+    /// Closes bin `self.next_close`: snapshots its bytes row, fits or
+    /// feeds the online detector, and advances.
+    fn close_bin(&mut self) {
+        let t0 = monotonic_now();
+        let bin = self.next_close;
+        self.next_close += 1;
+        let row: Vec<f64> = self.shard.bin_row(bin, TrafficType::Bytes).unwrap_or(&[]).to_vec();
+        let status = match self.shard.bin_record_count(bin) {
+            Some(n) if n > 0 => BinStatus::Ok,
+            _ => BinStatus::Masked,
+        };
+
+        if self.detector.is_none()
+            && self.config.train_bins > 0
+            && self.next_close == self.config.train_bins
+        {
+            self.fit_detector();
+        } else if let Some(detector) = self.detector.as_mut() {
+            match detector.push_with_status(&row, status) {
+                Ok(verdict) => {
+                    for d in &verdict.detections {
+                        let c = match d.kind {
+                            StatisticKind::Spe => &self.counters.alarms_spe,
+                            StatisticKind::T2 => &self.counters.alarms_t2,
+                        };
+                        TenantCounters::add(c, 1);
+                    }
+                    if verdict.degraded.is_some() {
+                        TenantCounters::add(&self.counters.verdicts_degraded, 1);
+                    }
+                    self.live_verdicts.push(verdict);
+                }
+                Err(_) => TenantCounters::add(&self.counters.ingest_errors, 1),
+            }
+        }
+        TenantCounters::add(&self.counters.bins_closed, 1);
+        TenantCounters::add(&self.counters.detect_nanos, elapsed_nanos(t0));
+    }
+
+    /// Fits the online detector on the accumulated training prefix. A
+    /// degenerate prefix (e.g. all-zero rows after heavy shedding) leaves
+    /// the detector off and counts an error — flush diagnosis still runs.
+    fn fit_detector(&mut self) {
+        let train = self.config.train_bins;
+        let mut data = Vec::new();
+        for b in 0..train {
+            match self.shard.bin_row(b, TrafficType::Bytes) {
+                Some(row) => data.extend_from_slice(row),
+                None => {
+                    TenantCounters::add(&self.counters.ingest_errors, 1);
+                    return;
+                }
+            }
+        }
+        let cols = data.len() / train.max(1);
+        let fitted = Matrix::from_vec(train, cols, data).ok().and_then(|m| {
+            OnlineDetector::new(&m, self.config.subspace, self.config.refit_every).ok()
+        });
+        if fitted.is_none() {
+            TenantCounters::add(&self.counters.ingest_errors, 1);
+        }
+        self.detector = fitted;
+    }
+
+    /// Drains the pipeline: closes every remaining bin, merges the shard,
+    /// grafts the wire-path quality accounting, repairs outage bins, and
+    /// runs the batch diagnosis — the same endgame as the batch wire path,
+    /// so the flush is comparable to `run_scenario` output.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Flow`] when the window never accepted a record
+    /// (`FlowError::NoData`) — there is nothing to report.
+    pub fn flush(mut self) -> Result<TenantFlush, ServeError> {
+        while self.next_close < self.engine.num_bins() {
+            self.close_bin();
+        }
+        TenantCounters::set(
+            &self.counters.exporter_lost_flows,
+            self.quality.exporters.lost_flows_total(),
+        );
+        let mut outcome = self.engine.merge(vec![self.shard])?;
+        outcome.quality.quarantine = self.quality.quarantine;
+        outcome.quality.exporters = self.quality.exporters;
+        outcome.repair(self.config.repair);
+        let (diagnosis, diagnosis_error) = match diagnose(&outcome.matrices, self.config.subspace) {
+            Ok(d) => (Some(d), None),
+            Err(e) => (None, Some(e.to_string())),
+        };
+        Ok(TenantFlush {
+            name: self.config.name,
+            outcome,
+            diagnosis,
+            diagnosis_error,
+            live_verdicts: self.live_verdicts,
+        })
+    }
+}
+
+/// Nanoseconds since `t0`, saturating into `u64`.
+fn elapsed_nanos(t0: std::time::Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odflow_gen::Scenario;
+    use odflow_net::IngressResolver;
+
+    const NUM_BINS: usize = 12;
+
+    fn tenant_over(scenario: &Scenario, train_bins: usize) -> TenantPipeline {
+        let routes = scenario.plan.build_route_table(1.0).unwrap();
+        let ingress = IngressResolver::synthetic(&scenario.topology);
+        let mut config = TenantConfig::abilene("t0", 0, NUM_BINS);
+        config.train_bins = train_bins;
+        TenantPipeline::new(config, &scenario.topology, ingress, routes).unwrap()
+    }
+
+    fn scenario_frames(scenario: &Scenario) -> Vec<Vec<u8>> {
+        let generator = scenario.generator();
+        let mut seqs = vec![0u32; scenario.topology.num_pops()];
+        (0..NUM_BINS).flat_map(|b| generator.frames_for_bin(b, &mut seqs)).collect()
+    }
+
+    #[test]
+    fn streaming_flush_matches_batch_wire_ingest() {
+        let scenario = Scenario::paper_window(7, NUM_BINS).unwrap();
+        let frames = scenario_frames(&scenario);
+
+        let mut tenant = tenant_over(&scenario, 0);
+        for f in &frames {
+            tenant.ingest_frame(f);
+        }
+        let counters = tenant.counters();
+        let flush = tenant.flush().unwrap();
+
+        let routes = scenario.plan.build_route_table(1.0).unwrap();
+        let ingress = IngressResolver::synthetic(&scenario.topology);
+        let engine = ShardedIngest::new(
+            PipelineConfig::abilene(0, NUM_BINS),
+            &scenario.topology,
+            ingress,
+            routes,
+        )
+        .unwrap();
+        let batch = engine.ingest_datagrams(&frames).unwrap();
+
+        assert_eq!(
+            flush.outcome.matrices.bytes.data.as_slice(),
+            batch.matrices.bytes.data.as_slice()
+        );
+        assert_eq!(
+            flush.outcome.matrices.flows.data.as_slice(),
+            batch.matrices.flows.data.as_slice()
+        );
+        assert_eq!(flush.outcome.quality.bin_records, batch.quality.bin_records);
+        assert_eq!(flush.outcome.quality.quarantine, batch.quality.quarantine);
+        assert!(flush.diagnosis.is_some());
+        // Decoded records include the unresolvable/transit share the
+        // binner excludes (the paper's ~7% resolution loss), so the
+        // counter bounds the binned total from above.
+        let decoded = TenantCounters::get(&counters.records_decoded);
+        let binned = batch.quality.bin_records.iter().sum::<u64>();
+        assert!(decoded >= binned && binned > 0, "decoded {decoded} >= binned {binned}");
+        // All but the final bin close off the watermark; flush closes it.
+        assert_eq!(TenantCounters::get(&counters.bins_closed), NUM_BINS as u64);
+    }
+
+    #[test]
+    fn online_detector_fits_and_scores_the_tail() {
+        let scenario = Scenario::paper_window(11, NUM_BINS).unwrap();
+        let frames = scenario_frames(&scenario);
+        let mut tenant = tenant_over(&scenario, 6);
+        for f in &frames {
+            tenant.ingest_frame(f);
+        }
+        let flush = tenant.flush().unwrap();
+        // Bins 6..12 are scored (training prefix is 0..6).
+        assert_eq!(flush.live_verdicts.len(), NUM_BINS - 6);
+        assert_eq!(flush.live_verdicts[0].bin, 0);
+        assert!(flush.live_verdicts.iter().all(|v| v.spe.is_finite() && v.t2.is_finite()));
+    }
+
+    #[test]
+    fn hostile_frames_are_quarantined_not_fatal() {
+        let scenario = Scenario::paper_window(13, NUM_BINS).unwrap();
+        let mut frames = scenario_frames(&scenario);
+        // Garble the exporter's *second* frame: the first frame set its
+        // sequence baseline, so the quarantined frame shows up as a
+        // sequence gap at the exporter's next accepted frame.
+        frames[1][1] = 9; // wrong version
+        frames.insert(2, vec![0u8; 3]); // truncated header
+        let mut tenant = tenant_over(&scenario, 0);
+        for f in &frames {
+            tenant.ingest_frame(f);
+        }
+        let counters = tenant.counters();
+        assert_eq!(TenantCounters::get(&counters.frames_quarantined), 2);
+        let flush = tenant.flush().unwrap();
+        assert_eq!(flush.outcome.quality.quarantine.wrong_version, 1);
+        assert_eq!(flush.outcome.quality.quarantine.truncated_header, 1);
+        assert!(flush.outcome.quality.quarantine.is_conserved());
+        // The garbled exporter's lost records show up as a sequence gap.
+        assert!(flush.outcome.quality.exporters.lost_flows_total() > 0);
+    }
+
+    #[test]
+    fn empty_window_flush_is_a_clean_error() {
+        let scenario = Scenario::paper_window(17, NUM_BINS).unwrap();
+        let tenant = tenant_over(&scenario, 0);
+        assert!(matches!(tenant.flush(), Err(ServeError::Flow(_))));
+    }
+}
