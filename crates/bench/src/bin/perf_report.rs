@@ -6,8 +6,9 @@
 //! solver plus pinned tridiagonal/Jacobi stages), blocked matmul,
 //! subspace model fit, batch detection, scenario materialization, the
 //! fused sharded ingest, the 90k-OD-pair large-mesh pipeline, the
-//! end-to-end pipeline, the fault-storm frame-ingest path, and the
-//! daemon's loopback-socket serve path) twice:
+//! end-to-end pipeline, the fault-storm frame-ingest path, the daemon's
+//! loopback-socket serve path, and the checkpoint
+//! write/load/restore cycle) twice:
 //! once with the pool pinned to a single
 //! thread (the serial baseline) and once with the full pool. Emits a
 //! machine-readable `BENCH_pipeline.json` — stamped with the pool size and
@@ -47,8 +48,8 @@ use odflow::net::IngressResolver;
 use odflow::subspace::{SubspaceConfig, SubspaceDetector, SubspaceModel};
 use odflow_bench::{traffic_matrix, PERF_STAGES};
 use odflow_serve::{
-    replay_scenario, Daemon, DaemonHandle, LoadGenConfig, ServeConfig, TenantConfig, TenantSpec,
-    Transport,
+    replay_scenario, CheckpointStore, Daemon, DaemonHandle, LoadGenConfig, ServeConfig,
+    TenantConfig, TenantPipeline, TenantSpec, Transport,
 };
 
 /// Seed for the fault-storm stage (the harness seed, kept local so the
@@ -479,6 +480,59 @@ fn main() {
             handle.enqueue_p99_nanos() / 1_000,
             get(&counters.frames_dropped_backpressure),
         );
+    }
+
+    // Crash-safety tax: snapshot a fully-ingested tenant pipeline through
+    // the whole checkpoint cycle — canonical encode, fsynced two-slot
+    // write, newest-generation load (checksum verify + decode), and a
+    // full pipeline restore from the snapshot. This is the per-bin-close
+    // overhead every checkpointed tenant pays plus the recovery cost a
+    // restart pays once, so a regression here is a direct hit on daemon
+    // steady-state throughput.
+    if filter.enabled("checkpoint") {
+        let num_bins = if quick { 24 } else { 96 };
+        let config = ScenarioConfig { num_bins, total_demand: 800.0, ..Default::default() };
+        let scenario = Scenario::new(config, vec![]).unwrap();
+        let routes = scenario.plan.build_route_table(1.0).unwrap();
+        let ingress = IngressResolver::synthetic(&scenario.topology);
+        let generator = scenario.generator();
+        let mut seqs = vec![0u32; scenario.topology.num_pops()];
+        let mut pipeline = TenantPipeline::new(
+            TenantConfig::abilene("bench", 0, num_bins),
+            &scenario.topology,
+            ingress.clone(),
+            routes.clone(),
+        )
+        .unwrap();
+        for bin in 0..num_bins {
+            for frame in generator.frames_for_bin(bin, &mut seqs) {
+                pipeline.ingest_frame(&frame);
+            }
+        }
+        let state = pipeline.export_state();
+        let dir = std::env::temp_dir().join("odflow_perf_checkpoint");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(&dir, "bench");
+        stages.push(run_stage(
+            "checkpoint",
+            format!("{num_bins} bins write+load+restore"),
+            reps,
+            || {
+                store.write(&state).unwrap();
+                let snap = store.load_newest().state.expect("fresh checkpoint must decode");
+                let restored = TenantPipeline::restore(
+                    TenantConfig::abilene("bench", 0, num_bins),
+                    &scenario.topology,
+                    ingress.clone(),
+                    routes.clone(),
+                    &snap,
+                    std::sync::Arc::new(odflow_serve::TenantCounters::default()),
+                )
+                .unwrap();
+                (snap.seq, restored.frames_ingested())
+            },
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     match write_json(&out_path, quick, &stages) {

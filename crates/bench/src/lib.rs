@@ -42,6 +42,7 @@ pub const PERF_STAGES: &[&str] = &[
     "pipeline",
     "fault_storm",
     "serve_ingest",
+    "checkpoint",
 ];
 
 use odflow::experiment::{run_scenario, ExperimentConfig, ScenarioRun};

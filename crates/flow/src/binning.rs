@@ -156,6 +156,68 @@ impl OdBinner {
         (self.bytes, self.packets, self.flows, self.bin_records)
     }
 
+    /// Snapshots the accumulation state into a [`BinnerState`]. Distinct
+    /// 5-tuple sets are emitted sorted, so the snapshot is canonical: two
+    /// binners that accepted the same records produce identical state
+    /// regardless of hash-set iteration order.
+    pub(crate) fn export_state(&self) -> BinnerState {
+        let distinct = self
+            .distinct
+            .iter()
+            .map(|set| {
+                let mut keys: Vec<FlowKey> = set.iter().copied().collect();
+                keys.sort_unstable();
+                keys
+            })
+            .collect();
+        BinnerState {
+            bytes: self.bytes.clone(),
+            packets: self.packets.clone(),
+            flows: self.flows.clone(),
+            distinct,
+            bin_records: self.bin_records.clone(),
+            records_accepted: self.records_accepted,
+        }
+    }
+
+    /// Replaces the accumulation state with a snapshot taken from a binner
+    /// of identical geometry. The distinct sets are rebuilt by insertion —
+    /// set membership is all [`Self::push`] ever consults, so restored
+    /// accumulation is bit-identical to the original.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Codec`] when the snapshot's shape does not match this
+    /// binner's `(num_bins, num_od)` geometry.
+    pub(crate) fn restore_state(&mut self, state: &BinnerState) -> Result<()> {
+        let cells = self.num_bins * self.num_od;
+        let shape_ok = state.bytes.len() == cells
+            && state.packets.len() == cells
+            && state.flows.len() == cells
+            && state.distinct.len() == cells
+            && state.bin_records.len() == self.num_bins;
+        if !shape_ok {
+            return Err(FlowError::Codec {
+                reason: format!(
+                    "binner snapshot shape mismatch: {} cells expected, got {}/{}/{}/{} and {} bins",
+                    cells,
+                    state.bytes.len(),
+                    state.packets.len(),
+                    state.flows.len(),
+                    state.distinct.len(),
+                    state.bin_records.len()
+                ),
+            });
+        }
+        self.bytes = state.bytes.clone();
+        self.packets = state.packets.clone();
+        self.flows = state.flows.clone();
+        self.distinct = state.distinct.iter().map(|keys| keys.iter().copied().collect()).collect();
+        self.bin_records = state.bin_records.clone();
+        self.records_accepted = state.records_accepted;
+        Ok(())
+    }
+
     /// Finalizes into the three aligned traffic matrices.
     ///
     /// # Errors
@@ -183,6 +245,19 @@ impl OdBinner {
             flows: build(TrafficType::Flows, self.flows)?,
         })
     }
+}
+
+/// Raw snapshot of an [`OdBinner`]'s accumulation state. Crate-internal:
+/// callers see it flattened into [`crate::ShardState`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct BinnerState {
+    pub(crate) bytes: Vec<f64>,
+    pub(crate) packets: Vec<f64>,
+    pub(crate) flows: Vec<f64>,
+    /// Distinct 5-tuples per cell, sorted ascending — the canonical order.
+    pub(crate) distinct: Vec<Vec<FlowKey>>,
+    pub(crate) bin_records: Vec<u64>,
+    pub(crate) records_accepted: u64,
 }
 
 #[cfg(test)]
@@ -270,6 +345,40 @@ mod tests {
         assert!(OdBinner::new(0, 0, 1, 1).is_err());
         assert!(OdBinner::new(0, 300, 0, 1).is_err());
         assert!(OdBinner::new(0, 300, 1, 0).is_err());
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_bit_identically() {
+        // Fill a binner halfway, snapshot, keep filling; restore the
+        // snapshot into a fresh binner, replay the tail — both must
+        // finalize to the same matrices (including distinct-flow dedup
+        // across the snapshot boundary).
+        let tail = [rec(60, 1000, 1, 10), rec(120, 1003, 2, 50), rec(301, 1000, 4, 70)];
+        let mut live = OdBinner::new(0, 300, 2, 3).unwrap();
+        live.push(1, &rec(0, 1000, 2, 100)).unwrap();
+        live.push(2, &rec(30, 1001, 3, 200)).unwrap();
+        let snap = live.export_state();
+        assert_eq!(snap.records_accepted, 2);
+        for r in &tail {
+            live.push(1, r).unwrap();
+        }
+
+        let mut restored = OdBinner::new(0, 300, 2, 3).unwrap();
+        restored.restore_state(&snap).unwrap();
+        for r in &tail {
+            restored.push(1, r).unwrap();
+        }
+        let (a, b) = (live.finalize().unwrap(), restored.finalize().unwrap());
+        assert_eq!(a.bytes.data.as_slice(), b.bytes.data.as_slice());
+        assert_eq!(a.packets.data.as_slice(), b.packets.data.as_slice());
+        assert_eq!(a.flows.data.as_slice(), b.flows.data.as_slice());
+    }
+
+    #[test]
+    fn state_restore_rejects_shape_mismatch() {
+        let small = OdBinner::new(0, 300, 1, 2).unwrap().export_state();
+        let mut big = OdBinner::new(0, 300, 2, 2).unwrap();
+        assert!(matches!(big.restore_state(&small), Err(FlowError::Codec { .. })));
     }
 
     #[test]

@@ -49,9 +49,9 @@ pub use od::{OdResolution, OdResolver, ResolutionStats};
 pub use packet::PacketObs;
 pub use pipeline::{MeasurementPipeline, PipelineConfig};
 pub use quality::{
-    BinStatus, DataQuality, ExporterSeq, ExporterSeqStats, QuarantineClass, QuarantineStats,
-    RepairPolicy,
+    BinStatus, DataQuality, ExporterSeq, ExporterSeqState, ExporterSeqStats, QuarantineClass,
+    QuarantineStats, RepairPolicy,
 };
 pub use record::FlowRecord;
 pub use sampler::{sample_packet_count, PacketSampler, ABILENE_SAMPLING_RATE};
-pub use shard::{BinShard, IngestOutcome, ShardedIngest, DEFAULT_SHARD_BINS};
+pub use shard::{BinShard, IngestOutcome, ShardState, ShardedIngest, DEFAULT_SHARD_BINS};

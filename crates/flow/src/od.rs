@@ -139,6 +139,12 @@ impl OdResolver {
         self.stats
     }
 
+    /// Replaces the running statistics with a snapshot — the
+    /// checkpoint-restore path rebuilding a resolver mid-window.
+    pub(crate) fn restore_stats(&mut self, stats: ResolutionStats) {
+        self.stats = stats;
+    }
+
     /// Number of OD pairs (`num_pops²`).
     pub fn num_od_pairs(&self) -> usize {
         self.num_pops * self.num_pops

@@ -125,6 +125,69 @@ pub struct ExporterSeq {
     last: Option<(u32, u16)>,
 }
 
+impl ExporterSeq {
+    /// Snapshots this exporter's tracking, including the private sequence
+    /// expectation — everything [`ExporterSeqStats::observe`] consults, so
+    /// a restored tracker continues bit-identically.
+    pub fn export_state(&self) -> ExporterSeqState {
+        ExporterSeqState {
+            frames: self.frames,
+            records: self.records,
+            lost_flows: self.lost_flows,
+            out_of_order: self.out_of_order,
+            duplicate_frames: self.duplicate_frames,
+            sampling_lo: self.sampling_lo,
+            sampling_hi: self.sampling_hi,
+            next_seq: self.next_seq,
+            last: self.last,
+        }
+    }
+
+    /// Rebuilds an exporter tracker from a snapshot.
+    pub fn from_state(s: ExporterSeqState) -> ExporterSeq {
+        ExporterSeq {
+            frames: s.frames,
+            records: s.records,
+            lost_flows: s.lost_flows,
+            out_of_order: s.out_of_order,
+            duplicate_frames: s.duplicate_frames,
+            sampling_lo: s.sampling_lo,
+            sampling_hi: s.sampling_hi,
+            next_seq: s.next_seq,
+            last: s.last,
+        }
+    }
+}
+
+/// Serializable snapshot of one exporter's [`ExporterSeq`] tracking. All
+/// fields are public — including the sequence expectation that
+/// [`ExporterSeq`] keeps private — so the serve layer's checkpoint codec
+/// can persist and restore live collectors without losing dedup or
+/// gap-detection context.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExporterSeqState {
+    /// Frames seen from this exporter.
+    pub frames: u64,
+    /// Records carried by those frames.
+    pub records: u64,
+    /// Flows lost to export-sequence gaps.
+    pub lost_flows: u64,
+    /// Frames that arrived out of sequence order.
+    pub out_of_order: u64,
+    /// Exact retransmits of the previous frame.
+    pub duplicate_frames: u64,
+    /// Lowest advertised sampling interval seen.
+    pub sampling_lo: u16,
+    /// Highest advertised sampling interval seen.
+    pub sampling_hi: u16,
+    /// The next expected cumulative flow sequence, `None` before the
+    /// first frame.
+    pub next_seq: Option<u32>,
+    /// The previous frame's `(flow_sequence, count)` — the retransmit
+    /// dedup key.
+    pub last: Option<(u32, u16)>,
+}
+
 /// Sequence tracking across all exporters, keyed by `engine_id`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExporterSeqStats {
@@ -191,6 +254,21 @@ impl ExporterSeqStats {
     /// Number of exporters whose advertised sampling interval drifted.
     pub fn drifted_exporters(&self) -> usize {
         self.exporters.values().filter(|e| e.frames > 0 && e.sampling_lo != e.sampling_hi).count()
+    }
+
+    /// Snapshots every exporter's tracking, in ascending exporter-id
+    /// order (the `BTreeMap` order — canonical by construction).
+    pub fn export_state(&self) -> Vec<(u8, ExporterSeqState)> {
+        self.exporters.iter().map(|(id, e)| (*id, e.export_state())).collect()
+    }
+
+    /// Rebuilds the full tracker set from a snapshot. Duplicate exporter
+    /// ids keep the last entry (snapshots produced by
+    /// [`Self::export_state`] never contain duplicates).
+    pub fn from_state(entries: &[(u8, ExporterSeqState)]) -> ExporterSeqStats {
+        ExporterSeqStats {
+            exporters: entries.iter().map(|(id, s)| (*id, ExporterSeq::from_state(*s))).collect(),
+        }
     }
 }
 
@@ -379,6 +457,29 @@ mod tests {
         assert_eq!(s.drifted_exporters(), 1);
         let (_, e) = s.per_exporter().next().expect("one exporter");
         assert_eq!((e.sampling_lo, e.sampling_hi), (100, 400));
+    }
+
+    #[test]
+    fn exporter_state_roundtrip_preserves_dedup_and_gap_context() {
+        let mut live = ExporterSeqStats::default();
+        live.observe(3, 0, 30, 100);
+        live.observe(7, 500, 10, 400);
+        let snap = live.export_state();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, 3, "snapshot is in ascending exporter order");
+
+        let mut restored = ExporterSeqStats::from_state(&snap);
+        assert_eq!(restored, live);
+        // Continue both with a retransmit and a gap: the restored tracker
+        // must dedup and estimate identically (private state survived).
+        for s in [&mut live, &mut restored] {
+            assert!(!s.observe(3, 0, 30, 100), "retransmit deduped");
+            assert!(s.observe(3, 60, 5, 100), "gap of 30 accepted");
+            assert!(s.observe(7, 510, 5, 100));
+        }
+        assert_eq!(restored, live);
+        assert_eq!(live.lost_flows_total(), 30);
+        assert_eq!(live.drifted_exporters(), 1);
     }
 
     #[test]

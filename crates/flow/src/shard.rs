@@ -27,8 +27,9 @@
 //! The shard *grain* (bins per shard) is fixed by the engine, never derived
 //! from the thread count; oversubscribed pools simply leave shards queued.
 
-use crate::binning::OdBinner;
+use crate::binning::{BinnerState, OdBinner};
 use crate::error::{FlowError, Result};
+use crate::key::FlowKey;
 use crate::matrix::{TrafficMatrix, TrafficMatrixSet, TrafficType};
 use crate::netflow::decode_datagram_lossy;
 use crate::od::{OdResolution, OdResolver, ResolutionStats};
@@ -143,6 +144,74 @@ impl BinShard {
         let stats = self.resolver.stats();
         Ok((self.binner.finalize()?, stats))
     }
+
+    /// Snapshots everything this shard has accumulated into a
+    /// [`ShardState`] — the crash-safe checkpoint path. Distinct 5-tuple
+    /// sets are emitted in sorted order, so two shards that accepted the
+    /// same records snapshot to identical state.
+    pub fn export_state(&self) -> ShardState {
+        let b = self.binner.export_state();
+        ShardState {
+            bytes: b.bytes,
+            packets: b.packets,
+            flows: b.flows,
+            distinct: b.distinct,
+            bin_records: b.bin_records,
+            records_accepted: b.records_accepted,
+            resolution: self.resolver.stats(),
+            dropped_out_of_window: self.dropped_out_of_window,
+        }
+    }
+
+    /// Replaces this shard's accumulation state with a snapshot taken
+    /// from a shard of identical geometry. Records pushed after the
+    /// restore accumulate bit-identically to the uninterrupted original —
+    /// the recovery contract of the serve-layer checkpointing.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Codec`] when the snapshot's cell shape does not match
+    /// this shard's window.
+    pub fn restore_state(&mut self, state: &ShardState) -> Result<()> {
+        self.binner.restore_state(&BinnerState {
+            bytes: state.bytes.clone(),
+            packets: state.packets.clone(),
+            flows: state.flows.clone(),
+            distinct: state.distinct.clone(),
+            bin_records: state.bin_records.clone(),
+            records_accepted: state.records_accepted,
+        })?;
+        self.resolver.restore_stats(state.resolution);
+        self.dropped_out_of_window = state.dropped_out_of_window;
+        Ok(())
+    }
+}
+
+/// Serializable snapshot of a [`BinShard`]'s full accumulation state:
+/// the three cell vectors, the distinct 5-tuples behind the flow counts,
+/// per-bin record counts, and every shard-side statistic. Produced by
+/// [`BinShard::export_state`] and consumed by [`BinShard::restore_state`];
+/// the serve layer's checkpoint codec persists it across process crashes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardState {
+    /// Row-major `bin x od` byte sums.
+    pub bytes: Vec<f64>,
+    /// Row-major `bin x od` packet sums.
+    pub packets: Vec<f64>,
+    /// Row-major `bin x od` distinct-flow counts.
+    pub flows: Vec<f64>,
+    /// Distinct 5-tuples per cell, sorted ascending (canonical order) —
+    /// required so a restored shard deduplicates flows across the
+    /// snapshot boundary exactly as the uninterrupted shard would.
+    pub distinct: Vec<Vec<FlowKey>>,
+    /// Records accepted per bin.
+    pub bin_records: Vec<u64>,
+    /// Total records accepted.
+    pub records_accepted: u64,
+    /// The shard's resolver statistics.
+    pub resolution: ResolutionStats,
+    /// Records dropped as outside the global window.
+    pub dropped_out_of_window: u64,
 }
 
 /// Everything merged out of a sharded ingest run.
@@ -816,6 +885,42 @@ mod tests {
         assert!(tail.bin_row(0, TrafficType::Bytes).is_none());
         assert!(tail.bin_record_count(3).is_none());
         assert!(tail.bin_row(4, TrafficType::Flows).is_some());
+    }
+
+    #[test]
+    fn shard_state_roundtrip_resumes_bit_identically() {
+        let num_bins = 6;
+        let (_, plan, engine, _) = setup(num_bins);
+        let stream = mixed_stream(&plan, num_bins);
+        let (head, tail) = stream.split_at(stream.len() / 2);
+
+        let mut live = engine.make_shard(0..num_bins).unwrap();
+        for r in head {
+            live.push_sampled_record(*r).unwrap();
+        }
+        let snap = live.export_state();
+        assert_eq!(snap, live.export_state(), "snapshot must be canonical");
+        for r in tail {
+            live.push_sampled_record(*r).unwrap();
+        }
+
+        let mut restored = engine.make_shard(0..num_bins).unwrap();
+        restored.restore_state(&snap).unwrap();
+        for r in tail {
+            restored.push_sampled_record(*r).unwrap();
+        }
+        assert_eq!(live.resolution_stats(), restored.resolution_stats());
+        assert_eq!(live.dropped_out_of_window(), restored.dropped_out_of_window());
+        let (a, sa) = live.finalize().unwrap();
+        let (b, sb) = restored.finalize().unwrap();
+        assert_eq!(sa, sb);
+        assert_eq!(a.bytes.data.as_slice(), b.bytes.data.as_slice());
+        assert_eq!(a.packets.data.as_slice(), b.packets.data.as_slice());
+        assert_eq!(a.flows.data.as_slice(), b.flows.data.as_slice());
+
+        // Wrong-geometry restore is rejected, not absorbed.
+        let mut narrow = engine.make_shard(0..2).unwrap();
+        assert!(matches!(narrow.restore_state(&snap), Err(FlowError::Codec { .. })));
     }
 
     #[test]

@@ -60,8 +60,9 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "no-panic-in-ingest",
         summary: "the crates/flow measurement path and the crates/serve daemon must \
-                  survive hostile wire input: `.unwrap()`/`.expect()`/`panic!` are \
-                  banned in their non-test sources; quarantine-and-account instead",
+                  survive hostile wire input: `.unwrap()`/`.expect()`/`panic!` and the \
+                  `panic_any`/`catch_unwind` unwind machinery are banned in their \
+                  non-test sources; quarantine-and-account instead",
     },
 ];
 
@@ -352,6 +353,21 @@ fn panic_in_ingest(toks: &[Token], out: &mut Vec<Finding>) {
                 message: format!(
                     "`{}!` makes the ingest path abortable; degrade gracefully (reject \
                      the frame, mask the bin) and account for it in `DataQuality`",
+                    t.text
+                ),
+            });
+        }
+        if (t.text == "panic_any" || t.text == "catch_unwind")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(Finding {
+                rule: RULE,
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` is unwind machinery on the ingest path; only the audited \
+                     chaos-injection point and the supervision boundary may throw or \
+                     catch panics, and each must carry a lint:allow audit comment",
                     t.text
                 ),
             });
@@ -915,6 +931,19 @@ mod tests {
                    2 => unimplemented!(), _ => unreachable!() } }";
         let f = scan(&flow_src(), src);
         assert_eq!(f.len(), 4, "{f:?}");
+    }
+
+    #[test]
+    fn unwind_machinery_flagged_in_ingest_sources() {
+        let src = "fn f() { std::panic::panic_any(Payload { p: 1 }); }\n\
+                   fn g() { let _ = std::panic::catch_unwind(|| 1); }";
+        let f = scan(&flow_src(), src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|d| d.rule == "no-panic-in-ingest"));
+        // Bare identifiers that are not call sites stay clean (e.g. a
+        // `use std::panic::catch_unwind;` import line).
+        let import_only = "use std::panic::catch_unwind;";
+        assert!(scan(&flow_src(), import_only).is_empty());
     }
 
     #[test]

@@ -10,9 +10,12 @@
 //!
 //! Flags: `--udp ADDR`, `--tcp ADDR`, `--metrics ADDR`, `--bins N`
 //! (window length, default 288), `--train N` (online-detector training
-//! prefix, default `bins/2`), `--name NAME` (tenant label). When neither
-//! `--udp` nor `--tcp` is given, the `ODFLOW_SERVE_BIND` environment
-//! variable supplies a default UDP bind address.
+//! prefix, default `bins/2`), `--name NAME` (tenant label),
+//! `--checkpoint-dir DIR` (crash-safety checkpoints on every bin close),
+//! `--recover` (resume from the newest valid checkpoint generation in
+//! `--checkpoint-dir` instead of starting fresh). When neither `--udp`
+//! nor `--tcp` is given, the `ODFLOW_SERVE_BIND` environment variable
+//! supplies a default UDP bind address.
 
 #![forbid(unsafe_code)]
 
@@ -33,6 +36,8 @@ fn real_main() -> Result<(), Box<dyn std::error::Error>> {
     let mut bins: usize = 288;
     let mut train: Option<usize> = None;
     let mut name = "abilene".to_owned();
+    let mut checkpoint_dir: Option<std::path::PathBuf> = None;
+    let mut recover = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -44,6 +49,8 @@ fn real_main() -> Result<(), Box<dyn std::error::Error>> {
             "--bins" => bins = value("--bins")?.parse()?,
             "--train" => train = Some(value("--train")?.parse()?),
             "--name" => name = value("--name")?,
+            "--checkpoint-dir" => checkpoint_dir = Some(value("--checkpoint-dir")?.into()),
+            "--recover" => recover = true,
             other => return Err(format!("unknown flag: {other}").into()),
         }
     }
@@ -66,13 +73,31 @@ fn real_main() -> Result<(), Box<dyn std::error::Error>> {
         tenant.train_bins = t;
     }
 
-    let daemon = Daemon::bind(ServeConfig {
+    let config = ServeConfig {
         udp_bind,
         tcp_bind,
         metrics_bind,
         tenants: vec![TenantSpec { config: tenant, topology, ingress, routes }],
+        checkpoint_dir: checkpoint_dir.clone(),
         ..ServeConfig::default()
-    })?;
+    };
+    let daemon = if recover {
+        let dir = checkpoint_dir
+            .ok_or("--recover requires --checkpoint-dir to locate the generations")?;
+        let (daemon, recoveries) = Daemon::recover(config, &dir)?;
+        for r in &recoveries {
+            match r.resumed_seq {
+                Some(seq) => println!(
+                    "tenant {}: resumed checkpoint generation {seq} ({} frames covered, {} slots rejected)",
+                    r.tenant, r.frames_ingested, r.slots_rejected
+                ),
+                None => println!("tenant {}: no usable checkpoint, starting fresh", r.tenant),
+            }
+        }
+        daemon
+    } else {
+        Daemon::bind(config)?
+    };
     if let Some(addr) = daemon.udp_addr() {
         println!("listening udp {addr}");
     }
@@ -103,6 +128,9 @@ fn real_main() -> Result<(), Box<dyn std::error::Error>> {
             }
             TenantEnd::Failed { name, reason } => {
                 println!("tenant {name}: flush failed: {reason}");
+            }
+            TenantEnd::Killed { name, point } => {
+                println!("tenant {name}: killed at {point:?} (recover with --recover)");
             }
         }
     }

@@ -58,7 +58,7 @@ fn real_main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let scenario = Scenario::paper_window(seed, bins)?;
-    let config = LoadGenConfig { tenant, transport, faults: None, send_drain };
+    let config = LoadGenConfig { tenant, send_drain, ..LoadGenConfig::new(transport) };
     let report = replay_scenario(&scenario, target, &config)?;
     println!(
         "sent {} frames ({} bytes) over {:?}; drain={}",

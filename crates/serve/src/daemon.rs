@@ -27,6 +27,7 @@
 //! frames arriving after it are refused by the closed queues and
 //! counted. [`Daemon::run`] returns only when every tenant has flushed.
 
+use crate::checkpoint::{CheckpointStore, CrashKind, CrashPayload, CrashPoint};
 use crate::metrics::{monotonic_now, ServeMetrics, TenantCounters};
 use crate::queue::{BoundedQueue, Pop};
 use crate::tenant::{TenantConfig, TenantFlush, TenantPipeline};
@@ -34,6 +35,8 @@ use crate::wire::{self, MessageReader, CONTROL_TENANT};
 use crate::ServeError;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
@@ -69,6 +72,18 @@ pub struct ServeConfig {
     /// by the backpressure tests to fill queues deterministically. A
     /// drain overrides the pause so shutdown always completes.
     pub start_paused: bool,
+    /// Directory for per-tenant crash-safety checkpoints; `None` disables
+    /// checkpointing. A fresh [`Daemon::bind`] clears any stale
+    /// generations in it; [`Daemon::recover`] resumes from them instead.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Consecutive worker panics (without bin progress in between) before
+    /// a tenant is quarantined instead of restarted.
+    pub max_restarts: u32,
+    /// Base delay between worker restarts; doubles per consecutive
+    /// attempt, plus deterministic jitter.
+    pub restart_backoff: Duration,
+    /// Seed of the deterministic restart jitter.
+    pub restart_jitter_seed: u64,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +95,10 @@ impl Default for ServeConfig {
             tenants: Vec::new(),
             tick: Duration::from_millis(5),
             start_paused: false,
+            checkpoint_dir: None,
+            max_restarts: 3,
+            restart_backoff: Duration::from_millis(2),
+            restart_jitter_seed: 0x0df1_0c4e_c4e5_eed5,
         }
     }
 }
@@ -146,13 +165,41 @@ impl DaemonHandle {
 pub enum TenantEnd {
     /// The pipeline drained and flushed normally.
     Flushed(Box<TenantFlush>),
-    /// The flush failed (e.g. a window that never accepted a record).
+    /// The flush failed (e.g. a window that never accepted a record), or
+    /// the tenant was quarantined after panicking persistently.
     Failed {
         /// The tenant's name.
         name: String,
         /// Why the flush failed.
         reason: String,
     },
+    /// A chaos-injected simulated process death ([`CrashKind::Kill`]):
+    /// the worker stopped on the spot — no flush, no restart. Only
+    /// [`Daemon::recover`] continues from here, exactly as a real
+    /// `kill -9` would leave things.
+    Killed {
+        /// The tenant's name.
+        name: String,
+        /// The crash point that fired.
+        point: CrashPoint,
+    },
+}
+
+/// What [`Daemon::recover`] found for one tenant.
+#[derive(Debug)]
+pub struct TenantRecovery {
+    /// The tenant's name.
+    pub tenant: String,
+    /// Sequence number of the generation resumed from; `None` when no
+    /// valid checkpoint existed (the tenant restarts from scratch).
+    pub resumed_seq: Option<u64>,
+    /// The replay cursor: frames of the original stream already covered
+    /// by the resumed state.
+    pub frames_ingested: u64,
+    /// Checkpoint slots rejected as torn/corrupt during the scan. Greater
+    /// than zero alongside `resumed_seq: Some(..)` means recovery fell
+    /// back past a corrupt newest generation.
+    pub slots_rejected: usize,
 }
 
 /// Everything a drained daemon returns, tenants in index order.
@@ -176,6 +223,12 @@ struct QueuedFrame {
 pub struct Daemon {
     control: Arc<Control>,
     pipelines: Vec<TenantPipeline>,
+    /// Retained provisioning, one per pipeline — the supervisor rebuilds
+    /// a panicked tenant's pipeline from its spec.
+    specs: Vec<TenantSpec>,
+    /// Checkpoint stores, one per pipeline (`None` when disabled).
+    stores: Vec<Option<CheckpointStore>>,
+    policy: RestartPolicy,
     queue_caps: Vec<usize>,
     udp: Option<UdpSocket>,
     tcp: Option<TcpListener>,
@@ -183,8 +236,19 @@ pub struct Daemon {
     tick: Duration,
 }
 
+/// The supervisor's restart parameters, lifted off [`ServeConfig`].
+#[derive(Debug, Clone, Copy)]
+struct RestartPolicy {
+    max_restarts: u32,
+    backoff: Duration,
+    jitter_seed: u64,
+}
+
 impl Daemon {
     /// Builds every tenant pipeline and binds the configured sockets.
+    /// With a `checkpoint_dir`, stale checkpoint generations are cleared
+    /// (a fresh bind must never resume someone else's state) and every
+    /// bin close writes a new one.
     ///
     /// # Errors
     ///
@@ -193,6 +257,34 @@ impl Daemon {
     /// * [`ServeError::Io`] on bind failure.
     /// * [`ServeError::Flow`] on invalid tenant pipeline configuration.
     pub fn bind(config: ServeConfig) -> Result<Daemon, ServeError> {
+        Ok(Self::bind_inner(config, false)?.0)
+    }
+
+    /// Binds like [`Self::bind`], but resumes every tenant from its
+    /// newest **valid** checkpoint generation in `dir` — the crash-safe
+    /// restart path. A tenant with no usable generation starts fresh.
+    /// Replaying each tenant's original frame stream from its
+    /// [`TenantRecovery::frames_ingested`] cursor onward reproduces the
+    /// uninterrupted run bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::bind`]; additionally [`ServeError::Config`] when a
+    /// structurally valid checkpoint disagrees with the tenant's window
+    /// configuration. Corrupt/torn checkpoint files are *not* errors —
+    /// they are skipped and reported in [`TenantRecovery::slots_rejected`].
+    pub fn recover(
+        mut config: ServeConfig,
+        dir: &Path,
+    ) -> Result<(Daemon, Vec<TenantRecovery>), ServeError> {
+        config.checkpoint_dir = Some(dir.to_path_buf());
+        Self::bind_inner(config, true)
+    }
+
+    fn bind_inner(
+        config: ServeConfig,
+        recovering: bool,
+    ) -> Result<(Daemon, Vec<TenantRecovery>), ServeError> {
         if config.tenants.is_empty() {
             return Err(ServeError::Config("at least one tenant is required".to_owned()));
         }
@@ -203,14 +295,57 @@ impl Daemon {
             )));
         }
         let queue_caps: Vec<usize> = config.tenants.iter().map(|s| s.config.queue_frames).collect();
+        let stores: Vec<Option<CheckpointStore>> = config
+            .tenants
+            .iter()
+            .map(|s| {
+                config.checkpoint_dir.as_ref().map(|d| CheckpointStore::new(d, &s.config.name))
+            })
+            .collect();
         let mut pipelines = Vec::with_capacity(config.tenants.len());
-        for spec in config.tenants {
-            pipelines.push(TenantPipeline::new(
-                spec.config,
-                &spec.topology,
-                spec.ingress,
-                spec.routes,
-            )?);
+        let mut recoveries = Vec::with_capacity(config.tenants.len());
+        for (spec, store) in config.tenants.iter().zip(&stores) {
+            let mut pipeline = if recovering {
+                let outcome = store.as_ref().map(CheckpointStore::load_newest).unwrap_or_default();
+                recoveries.push(TenantRecovery {
+                    tenant: spec.config.name.clone(),
+                    resumed_seq: outcome.state.as_ref().map(|s| s.seq),
+                    frames_ingested: outcome.state.as_ref().map_or(0, |s| s.frames_ingested),
+                    slots_rejected: outcome.rejected.len(),
+                });
+                match outcome.state {
+                    Some(state) => TenantPipeline::restore(
+                        spec.config.clone(),
+                        &spec.topology,
+                        spec.ingress.clone(),
+                        spec.routes.clone(),
+                        &state,
+                        Arc::new(TenantCounters::default()),
+                    )?,
+                    None => TenantPipeline::new(
+                        spec.config.clone(),
+                        &spec.topology,
+                        spec.ingress.clone(),
+                        spec.routes.clone(),
+                    )?,
+                }
+            } else {
+                if let Some(s) = store {
+                    s.reset().map_err(|e| {
+                        ServeError::Config(format!("clearing stale checkpoints: {e}"))
+                    })?;
+                }
+                TenantPipeline::new(
+                    spec.config.clone(),
+                    &spec.topology,
+                    spec.ingress.clone(),
+                    spec.routes.clone(),
+                )?
+            };
+            if let Some(s) = store {
+                pipeline.set_checkpoint_store(s.clone());
+            }
+            pipelines.push(pipeline);
         }
         let metrics = ServeMetrics {
             tenants: pipelines.iter().map(|p| (p.name().to_owned(), p.counters())).collect(),
@@ -236,19 +371,29 @@ impl Daemon {
             }
             None => None,
         };
-        Ok(Daemon {
-            control: Arc::new(Control {
-                draining: AtomicBool::new(false),
-                paused: AtomicBool::new(config.start_paused),
-                metrics,
-            }),
-            pipelines,
-            queue_caps,
-            udp,
-            tcp,
-            metrics_listener,
-            tick: config.tick,
-        })
+        Ok((
+            Daemon {
+                control: Arc::new(Control {
+                    draining: AtomicBool::new(false),
+                    paused: AtomicBool::new(config.start_paused),
+                    metrics,
+                }),
+                pipelines,
+                specs: config.tenants,
+                stores,
+                policy: RestartPolicy {
+                    max_restarts: config.max_restarts,
+                    backoff: config.restart_backoff,
+                    jitter_seed: config.restart_jitter_seed,
+                },
+                queue_caps,
+                udp,
+                tcp,
+                metrics_listener,
+                tick: config.tick,
+            },
+            recoveries,
+        ))
     }
 
     /// The bound UDP address, when UDP is enabled.
@@ -281,7 +426,18 @@ impl Daemon {
     /// control the daemon from elsewhere.
     #[must_use]
     pub fn run(self) -> DaemonReport {
-        let Daemon { control, pipelines, queue_caps, udp, tcp, metrics_listener, tick } = self;
+        let Daemon {
+            control,
+            pipelines,
+            specs,
+            stores,
+            policy,
+            queue_caps,
+            udp,
+            tcp,
+            metrics_listener,
+            tick,
+        } = self;
         let n = pipelines.len();
         let queues: Vec<Arc<BoundedQueue<QueuedFrame>>> =
             queue_caps.iter().map(|&c| Arc::new(BoundedQueue::new(c))).collect();
@@ -319,12 +475,22 @@ impl Daemon {
                 let control_ref = &control;
                 scope.execute(move || run_metrics_endpoint(&listener, control_ref, tick));
             }
-            for (idx, pipeline) in pipelines.into_iter().enumerate() {
+            let tenants = pipelines.into_iter().zip(specs).zip(stores);
+            for (idx, ((pipeline, spec), store)) in tenants.enumerate() {
                 let queue = Arc::clone(&queues[idx]);
                 let control_ref = &control;
                 let results_ref = &results;
                 scope.execute(move || {
-                    let end = run_tenant_worker(pipeline, &queue, control_ref, sources_ref, tick);
+                    let supervisor = Supervisor {
+                        spec,
+                        store,
+                        policy,
+                        queue,
+                        control: control_ref,
+                        sources: sources_ref,
+                        tick,
+                    };
+                    let end = supervisor.run(pipeline);
                     let mut slots = results_ref.lock().unwrap_or_else(PoisonError::into_inner);
                     if let Some(slot) = slots.get_mut(idx) {
                         *slot = Some(end);
@@ -507,24 +673,7 @@ fn run_tcp_listener(listener: &TcpListener, adm: &Admission<'_>, tick: Duration)
 fn run_metrics_endpoint(listener: &TcpListener, control: &Control, tick: Duration) {
     while !control.draining.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((mut stream, _peer)) => {
-                let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-                let mut req = [0u8; 1024];
-                let n = stream.read(&mut req).unwrap_or(0);
-                let (status, body) = if req[..n].starts_with(b"GET /metrics") {
-                    ("200 OK", control.metrics.render())
-                } else {
-                    ("404 Not Found", "not found\n".to_owned())
-                };
-                let response = format!(
-                    "HTTP/1.0 {status}\r\nContent-Type: text/plain; charset=utf-8\r\n\
-                     Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-                    body.len()
-                );
-                if stream.write_all(response.as_bytes()).is_err() {
-                    TenantCounters::add(&control.metrics.io_errors, 1);
-                }
-            }
+            Ok((stream, _peer)) => serve_metrics_client(stream, control),
             Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(tick),
             Err(_) => {
                 TenantCounters::add(&control.metrics.io_errors, 1);
@@ -532,6 +681,186 @@ fn run_metrics_endpoint(listener: &TcpListener, control: &Control, tick: Duratio
             }
         }
     }
+}
+
+/// Serves one metrics client with bounded patience. The request must fit
+/// [`METRICS_REQUEST_CAP`] bytes and complete its header block
+/// (`\r\n\r\n`) within [`METRICS_READ_DEADLINE`]; a client that idles,
+/// trickles bytes, or never terminates is reaped (connection dropped,
+/// counted) instead of parking the endpoint thread — one slow scraper
+/// must never block every other scraper behind it.
+fn serve_metrics_client(mut stream: TcpStream, control: &Control) {
+    /// Largest request the endpoint accepts; `GET /metrics HTTP/1.0` plus
+    /// ordinary scraper headers is a few hundred bytes.
+    const METRICS_REQUEST_CAP: usize = 1024;
+    /// Total time a client gets to deliver a complete request.
+    const METRICS_READ_DEADLINE: Duration = Duration::from_millis(250);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_write_timeout(Some(METRICS_READ_DEADLINE));
+    let deadline = monotonic_now() + METRICS_READ_DEADLINE;
+    let mut req = [0u8; METRICS_REQUEST_CAP];
+    let mut have = 0usize;
+    let complete = loop {
+        if have >= req.len() || monotonic_now() >= deadline {
+            break false;
+        }
+        match stream.read(&mut req[have..]) {
+            Ok(0) => break false,
+            Ok(n) => {
+                have += n;
+                if req[..have].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break true;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => {
+                TenantCounters::add(&control.metrics.io_errors, 1);
+                break false;
+            }
+        }
+    };
+    if !complete {
+        TenantCounters::add(&control.metrics.metrics_clients_reaped, 1);
+        return;
+    }
+    let (status, body) = if req[..have].starts_with(b"GET /metrics") {
+        ("200 OK", control.metrics.render())
+    } else {
+        ("404 Not Found", "not found\n".to_owned())
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    if stream.write_all(response.as_bytes()).is_err() {
+        TenantCounters::add(&control.metrics.io_errors, 1);
+    }
+}
+
+/// One tenant's supervision boundary: runs the worker under panic
+/// containment and applies the restart/quarantine policy.
+///
+/// The worker owns its pipeline outright, so a panic can corrupt nothing
+/// beyond that pipeline — it is dropped mid-unwind and a successor is
+/// rebuilt from the tenant's newest checkpoint (or fresh), against the
+/// *surviving* queue, sharing the predecessor's counter block. Other
+/// tenants never notice. Policy:
+///
+/// * an injected [`CrashKind::Kill`] is simulated process death — report
+///   [`TenantEnd::Killed`] with no flush and no restart;
+/// * any other panic restarts the worker after a bounded, seeded-jitter
+///   backoff;
+/// * a panic that follows bin progress resets the consecutive count — a
+///   tenant making headway is worth restarting indefinitely;
+/// * more than `max_restarts` consecutive panics without progress
+///   quarantines the tenant (`quarantined` gauge set, frames shed as
+///   backpressure) so a poison-pill frame cannot melt the daemon.
+struct Supervisor<'a> {
+    spec: TenantSpec,
+    store: Option<CheckpointStore>,
+    policy: RestartPolicy,
+    queue: Arc<BoundedQueue<QueuedFrame>>,
+    control: &'a Control,
+    sources: &'a AtomicUsize,
+    tick: Duration,
+}
+
+impl Supervisor<'_> {
+    fn run(self, mut pipeline: TenantPipeline) -> TenantEnd {
+        let counters = pipeline.counters();
+        let name = self.spec.config.name.clone();
+        let mut consecutive: u32 = 0;
+        let mut attempt: u64 = 0;
+        loop {
+            let bins_before = TenantCounters::get(&counters.bins_closed);
+            // lint:allow(no-panic-in-ingest) -- the audited supervision boundary: this is the one place worker unwinds are caught, classified, and turned into restart/quarantine policy
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                run_tenant_worker(pipeline, &self.queue, self.control, self.sources, self.tick)
+            }));
+            let payload = match result {
+                Ok(end) => return end,
+                Err(payload) => payload,
+            };
+            if let Some(crash) = payload.downcast_ref::<CrashPayload>() {
+                if crash.kind == CrashKind::Kill {
+                    return TenantEnd::Killed { name, point: crash.point };
+                }
+            }
+            attempt += 1;
+            TenantCounters::add(&counters.restarts, 1);
+            let progressed = TenantCounters::get(&counters.bins_closed) > bins_before;
+            consecutive = if progressed { 1 } else { consecutive + 1 };
+            if consecutive > self.policy.max_restarts {
+                TenantCounters::set(&counters.quarantined, 1);
+                return TenantEnd::Failed {
+                    name,
+                    reason: format!("quarantined after {consecutive} consecutive worker panics"),
+                };
+            }
+            std::thread::sleep(restart_backoff(self.policy, attempt));
+            match rebuild_pipeline(&self.spec, self.store.as_ref(), &counters) {
+                Ok(successor) => pipeline = successor,
+                Err(e) => {
+                    return TenantEnd::Failed { name, reason: format!("restart failed: {e}") }
+                }
+            }
+        }
+    }
+}
+
+/// Rebuilds a tenant pipeline for a restarted worker: from the newest
+/// valid checkpoint when one exists, fresh otherwise — threading the
+/// predecessor's counter block and checkpoint store through.
+fn rebuild_pipeline(
+    spec: &TenantSpec,
+    store: Option<&CheckpointStore>,
+    counters: &Arc<TenantCounters>,
+) -> Result<TenantPipeline, ServeError> {
+    let restored = store.map(CheckpointStore::load_newest).and_then(|o| o.state);
+    let mut pipeline = match restored {
+        Some(state) => TenantPipeline::restore(
+            spec.config.clone(),
+            &spec.topology,
+            spec.ingress.clone(),
+            spec.routes.clone(),
+            &state,
+            Arc::clone(counters),
+        )?,
+        None => {
+            let mut fresh = TenantPipeline::new(
+                spec.config.clone(),
+                &spec.topology,
+                spec.ingress.clone(),
+                spec.routes.clone(),
+            )?;
+            fresh.set_counters(Arc::clone(counters));
+            fresh
+        }
+    };
+    if let Some(s) = store {
+        pipeline.set_checkpoint_store(s.clone());
+    }
+    Ok(pipeline)
+}
+
+/// Exponential backoff with deterministic splitmix64 jitter: attempt `k`
+/// sleeps `backoff * 2^min(k-1, 6)` plus up to one extra `backoff` of
+/// seeded jitter, so restarting tenants don't stampede in lockstep yet
+/// every run of the test suite sleeps identically.
+fn restart_backoff(policy: RestartPolicy, attempt: u64) -> Duration {
+    let exp = u32::try_from(attempt.saturating_sub(1).min(6)).unwrap_or(6);
+    let base = policy.backoff.saturating_mul(1 << exp);
+    let span = u64::try_from(policy.backoff.as_nanos()).unwrap_or(u64::MAX).max(1);
+    base + Duration::from_nanos(splitmix64(policy.jitter_seed ^ attempt) % span)
+}
+
+/// SplitMix64 — the workspace's stateless jitter/hash primitive.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Tenant worker loop: dequeue, stamp latency, ingest; on queue closure

@@ -28,10 +28,18 @@
 //! 4. **Observable.** A hand-rolled HTTP/1.0 `GET /metrics` endpoint
 //!    exposes ingest rates, quarantine counters, queue depths/drops, bin
 //!    lag, per-stage timings, and SPE/T² alarm counts as plain text.
+//! 5. **Crash-safe.** With a checkpoint directory configured, every bin
+//!    close persists the full per-tenant pipeline state as a versioned,
+//!    checksummed, two-generation snapshot ([`checkpoint`]);
+//!    [`Daemon::recover`] resumes from the newest valid generation
+//!    bit-identically, workers panic-restart under supervision, and
+//!    persistently panicking tenants are quarantined without touching
+//!    their neighbours.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod daemon;
 pub mod loadgen;
 pub mod metrics;
@@ -39,8 +47,14 @@ pub mod queue;
 pub mod tenant;
 pub mod wire;
 
-pub use daemon::{Daemon, DaemonHandle, DaemonReport, ServeConfig, TenantEnd, TenantSpec};
-pub use loadgen::{replay_scenario, LoadGenConfig, LoadReport, Transport};
+pub use checkpoint::{
+    decode_state, encode_state, CheckpointError, CheckpointStore, CrashKind, CrashPayload,
+    CrashPoint, CrashSchedule, LoadOutcome, PipelineState, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
+pub use daemon::{
+    Daemon, DaemonHandle, DaemonReport, ServeConfig, TenantEnd, TenantRecovery, TenantSpec,
+};
+pub use loadgen::{replay_frames, replay_scenario, LoadGenConfig, LoadReport, Transport};
 pub use metrics::{LatencyHistogram, ServeMetrics, TenantCounters};
 pub use queue::{BoundedQueue, Pop};
 pub use tenant::{TenantConfig, TenantFlush, TenantPipeline};

@@ -15,11 +15,13 @@
 //! best-effort — drops are the *documented* lossy-collector behavior the
 //! quality accounting exists to measure.
 
+use crate::daemon::splitmix64;
 use crate::wire::{self, CONTROL_TENANT};
 use crate::ServeError;
 use odflow_gen::{FaultSchedule, FaultStormStats, Scenario, TraceGenerator};
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream, UdpSocket};
+use std::time::Duration;
 
 /// Which transport to replay over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +44,15 @@ pub struct LoadGenConfig {
     pub faults: Option<FaultSchedule>,
     /// Send the drain control after the last frame (graceful shutdown).
     pub send_drain: bool,
+    /// TCP connect attempts before giving up. A daemon that is still
+    /// binding — or restarting after a crash — refuses the first few
+    /// connects; the generator retries instead of failing the replay.
+    pub connect_attempts: u32,
+    /// Base delay between connect attempts; doubles per attempt, plus
+    /// deterministic seeded jitter of up to one base delay.
+    pub connect_backoff: Duration,
+    /// Seed of the deterministic connect-retry jitter.
+    pub connect_jitter_seed: u64,
 }
 
 impl LoadGenConfig {
@@ -49,8 +60,40 @@ impl LoadGenConfig {
     /// trailing drain.
     #[must_use]
     pub fn new(transport: Transport) -> Self {
-        LoadGenConfig { tenant: 0, transport, faults: None, send_drain: true }
+        LoadGenConfig {
+            tenant: 0,
+            transport,
+            faults: None,
+            send_drain: true,
+            connect_attempts: 10,
+            connect_backoff: Duration::from_millis(10),
+            connect_jitter_seed: 0x10ad_6e4e_7d4e_7e57,
+        }
     }
+}
+
+/// Connects to `target` with bounded seeded-jitter retry-with-backoff:
+/// attempt `k` (from 0) sleeps `backoff * 2^min(k, 5)` plus jitter before
+/// retrying, tolerating a daemon still binding or mid-restart.
+fn connect_with_retry(target: SocketAddr, config: &LoadGenConfig) -> Result<TcpStream, ServeError> {
+    let attempts = config.connect_attempts.max(1);
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        match TcpStream::connect(target) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_err = Some(e),
+        }
+        if attempt + 1 < attempts {
+            let exp = attempt.min(5);
+            let base = config.connect_backoff.saturating_mul(1 << exp);
+            let span = u64::try_from(config.connect_backoff.as_nanos()).unwrap_or(u64::MAX).max(1);
+            let jitter = splitmix64(config.connect_jitter_seed ^ u64::from(attempt)) % span;
+            std::thread::sleep(base + Duration::from_nanos(jitter));
+        }
+    }
+    Err(ServeError::Io(last_err.unwrap_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "no connect attempt made")
+    })))
 }
 
 /// What a replay actually put on the wire.
@@ -94,7 +137,7 @@ pub fn replay_scenario(
             socket.connect(target)?;
             Sink::Udp(socket)
         }
-        Transport::Tcp => Sink::Tcp(TcpStream::connect(target)?),
+        Transport::Tcp => Sink::Tcp(connect_with_retry(target, config)?),
     };
 
     for bin in 0..scenario.config.num_bins {
@@ -107,6 +150,41 @@ pub fn replay_scenario(
             report.bytes_sent += sink.send(config.tenant, frame)?;
             report.frames_sent += 1;
         }
+    }
+    if config.send_drain {
+        sink.send(CONTROL_TENANT, wire::CONTROL_DRAIN)?;
+        report.drain_sent = true;
+    }
+    sink.finish()?;
+    Ok(report)
+}
+
+/// Replays pre-rendered frames (no generator, no faults) against a
+/// daemon at `target` — the recovery path's tool for resending the
+/// unconsumed suffix `frames[cursor..]` of an interrupted run.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on socket setup or send failure, as
+/// [`replay_scenario`].
+pub fn replay_frames(
+    frames: &[Vec<u8>],
+    target: SocketAddr,
+    config: &LoadGenConfig,
+) -> Result<LoadReport, ServeError> {
+    let mut report = LoadReport::default();
+    let mut sink = match config.transport {
+        Transport::Udp => {
+            let socket = UdpSocket::bind("127.0.0.1:0")?;
+            socket.connect(target)?;
+            Sink::Udp(socket)
+        }
+        Transport::Tcp => Sink::Tcp(connect_with_retry(target, config)?),
+    };
+    for frame in frames {
+        report.frames_rendered += 1;
+        report.bytes_sent += sink.send(config.tenant, frame)?;
+        report.frames_sent += 1;
     }
     if config.send_drain {
         sink.send(CONTROL_TENANT, wire::CONTROL_DRAIN)?;

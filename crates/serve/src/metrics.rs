@@ -124,6 +124,13 @@ pub struct TenantCounters {
     pub ingest_nanos: AtomicU64,
     /// Nanoseconds spent closing bins through the detector.
     pub detect_nanos: AtomicU64,
+    /// Checkpoint generations durably written.
+    pub checkpoints: AtomicU64,
+    /// Worker restarts after a contained panic.
+    pub restarts: AtomicU64,
+    /// 1 once the tenant was quarantined for panicking persistently
+    /// (gauge; other tenants keep running).
+    pub quarantined: AtomicU64,
 }
 
 impl TenantCounters {
@@ -174,6 +181,9 @@ pub struct ServeMetrics {
     pub io_errors: AtomicU64,
     /// Control messages honoured (drain requests).
     pub control_messages: AtomicU64,
+    /// Metrics clients reaped for idling or trickling past the read
+    /// deadline without completing a request.
+    pub metrics_clients_reaped: AtomicU64,
     /// Latency from socket admission to worker dequeue.
     pub enqueue_latency: LatencyHistogram,
     /// One counter block per hosted tenant, in tenant-index order.
@@ -214,6 +224,11 @@ impl ServeMetrics {
         let _ = writeln!(out, "odflow_serve_control_messages_total {}", g(&self.control_messages));
         let _ = writeln!(
             out,
+            "odflow_serve_metrics_clients_reaped_total {}",
+            g(&self.metrics_clients_reaped)
+        );
+        let _ = writeln!(
+            out,
             "odflow_serve_enqueue_latency_p99_nanos {}",
             self.enqueue_latency.quantile(0.99)
         );
@@ -244,6 +259,9 @@ impl ServeMetrics {
             line("decode_nanos_total", g(&c.decode_nanos));
             line("ingest_nanos_total", g(&c.ingest_nanos));
             line("detect_nanos_total", g(&c.detect_nanos));
+            line("checkpoints_total", g(&c.checkpoints));
+            line("restarts_total", g(&c.restarts));
+            line("quarantined", g(&c.quarantined));
         }
         out
     }

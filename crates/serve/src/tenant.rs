@@ -16,12 +16,13 @@
 //! endgame as batch `run_scenario`, so daemon and batch verdicts are
 //! directly comparable.
 
+use crate::checkpoint::{self, CheckpointStore, CrashPoint, CrashSchedule, PipelineState};
 use crate::metrics::{monotonic_now, TenantCounters};
 use crate::ServeError;
 use odflow_flow::netflow::decode_datagram_lossy;
 use odflow_flow::{
-    BinShard, BinStatus, DataQuality, IngestOutcome, PipelineConfig, RepairPolicy, ShardedIngest,
-    TrafficType,
+    BinShard, BinStatus, DataQuality, ExporterSeqStats, IngestOutcome, PipelineConfig,
+    RepairPolicy, ShardedIngest, TrafficType,
 };
 use odflow_linalg::Matrix;
 use odflow_subspace::{
@@ -49,6 +50,11 @@ pub struct TenantConfig {
     pub queue_frames: usize,
     /// Outage-repair policy applied at flush.
     pub repair: RepairPolicy,
+    /// Deterministic chaos-injection schedule ([`CrashSchedule`]) — the
+    /// kill-point test harness. `None` (production) injects nothing. Held
+    /// as an `Arc` so a restarted worker shares the consumed one-shot
+    /// rules of its predecessor.
+    pub crash: Option<Arc<CrashSchedule>>,
 }
 
 impl TenantConfig {
@@ -64,6 +70,7 @@ impl TenantConfig {
             refit_every: 0,
             queue_frames: 1024,
             repair: RepairPolicy::default(),
+            crash: None,
         }
     }
 }
@@ -105,6 +112,15 @@ pub struct TenantPipeline {
     watermark_secs: u64,
     live_verdicts: Vec<StreamVerdict>,
     counters: Arc<TenantCounters>,
+    /// Frames consumed off the queue so far — the checkpoint replay
+    /// cursor. Counts *every* offered frame, quarantined and duplicate
+    /// ones included, so `frames[frames_ingested..]` is always the exact
+    /// unconsumed suffix.
+    frames_ingested: u64,
+    /// Sequence number the next checkpoint generation will carry.
+    ckpt_seq: u64,
+    /// Checkpoint destination; `None` disables checkpointing.
+    store: Option<CheckpointStore>,
 }
 
 impl TenantPipeline {
@@ -132,7 +148,106 @@ impl TenantPipeline {
             watermark_secs: 0,
             live_verdicts: Vec::new(),
             counters: Arc::new(TenantCounters::default()),
+            frames_ingested: 0,
+            ckpt_seq: 0,
+            store: None,
         })
+    }
+
+    /// Rebuilds a pipeline from a checkpoint snapshot, resuming exactly
+    /// where the snapshot was cut: same accumulated cells, same exporter
+    /// sequence context, same fitted detector floats, same watermark.
+    /// Replaying the original frame stream from
+    /// [`PipelineState::frames_ingested`] onward then reproduces the
+    /// uninterrupted run bit for bit.
+    ///
+    /// `counters` lets a supervisor hand the successor worker its
+    /// predecessor's shared counter block; pass a fresh block for a
+    /// process-level recovery.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Flow`] on invalid window configuration or a snapshot
+    /// whose shard shape disagrees with it; [`ServeError::Config`] on an
+    /// internally inconsistent detector snapshot.
+    pub fn restore(
+        config: TenantConfig,
+        topology: &odflow_net::Topology,
+        ingress: odflow_net::IngressResolver,
+        routes: odflow_net::RouteTable,
+        state: &PipelineState,
+        counters: Arc<TenantCounters>,
+    ) -> Result<TenantPipeline, ServeError> {
+        let engine = ShardedIngest::new(config.pipeline, topology, ingress, routes)?;
+        let num_bins = engine.num_bins();
+        let mut shard = engine.make_shard(0..num_bins)?;
+        shard.restore_state(&state.shard)?;
+        let mut quality = DataQuality::clean(num_bins);
+        quality.quarantine = state.quarantine;
+        quality.exporters = ExporterSeqStats::from_state(&state.exporters);
+        let detector = match &state.detector {
+            Some(ds) => Some(
+                OnlineDetector::from_state(ds.clone())
+                    .map_err(|e| ServeError::Config(format!("detector snapshot: {e}")))?,
+            ),
+            None => None,
+        };
+        let next_close = usize::try_from(state.next_close)
+            .map_err(|_| ServeError::Config("next_close overflows usize".to_owned()))?;
+        if next_close > num_bins {
+            return Err(ServeError::Config(format!(
+                "snapshot closed {next_close} bins but the window has {num_bins}"
+            )));
+        }
+        Ok(TenantPipeline {
+            config,
+            engine,
+            shard,
+            quality,
+            detector,
+            next_close,
+            watermark_secs: state.watermark_secs,
+            live_verdicts: state.live_verdicts.clone(),
+            counters,
+            frames_ingested: state.frames_ingested,
+            ckpt_seq: state.seq + 1,
+            store: None,
+        })
+    }
+
+    /// Enables checkpointing: every bin close now snapshots the full
+    /// pipeline state into `store`.
+    pub fn set_checkpoint_store(&mut self, store: CheckpointStore) {
+        self.store = Some(store);
+    }
+
+    /// Replaces the shared counter block — the supervisor threading one
+    /// block through a tenant's successive worker incarnations.
+    pub(crate) fn set_counters(&mut self, counters: Arc<TenantCounters>) {
+        self.counters = counters;
+    }
+
+    /// Frames consumed so far (the checkpoint replay cursor).
+    #[must_use]
+    pub fn frames_ingested(&self) -> u64 {
+        self.frames_ingested
+    }
+
+    /// Snapshots the complete pipeline state at the current consistent
+    /// cut — everything [`Self::restore`] needs to resume bit-identically.
+    #[must_use]
+    pub fn export_state(&self) -> PipelineState {
+        PipelineState {
+            seq: self.ckpt_seq,
+            frames_ingested: self.frames_ingested,
+            next_close: self.next_close as u64,
+            watermark_secs: self.watermark_secs,
+            shard: self.shard.export_state(),
+            quarantine: self.quality.quarantine,
+            exporters: self.quality.exporters.export_state(),
+            detector: self.detector.as_ref().map(OnlineDetector::export_state),
+            live_verdicts: self.live_verdicts.clone(),
+        }
     }
 
     /// The shared counter block; the daemon registers this with its
@@ -155,6 +270,9 @@ impl TenantPipeline {
     /// counted — all into the shared counters and the flush-time quality
     /// report.
     pub fn ingest_frame(&mut self, frame: &[u8]) {
+        // Counted before any early return, so the cursor in a checkpoint
+        // always covers the frame whose bin close produced it.
+        self.frames_ingested += 1;
         let t0 = monotonic_now();
         let Some((hdr, records)) = decode_datagram_lossy(frame, &mut self.quality.quarantine)
         else {
@@ -185,7 +303,51 @@ impl TenantPipeline {
         }
         TenantCounters::add(&self.counters.ingest_nanos, elapsed_nanos(t1));
 
+        let closed_before = self.next_close;
         self.advance_watermark(u64::from(hdr.unix_secs));
+        if self.next_close > closed_before {
+            self.write_checkpoint();
+        }
+    }
+
+    /// Fires the chaos schedule at a pipeline boundary, if one is armed.
+    fn maybe_crash(&self, point: CrashPoint) {
+        if let Some(kind) = self.config.crash.as_ref().and_then(|c| c.fire(point)) {
+            checkpoint::trigger_crash(point, kind);
+        }
+    }
+
+    /// Persists one checkpoint generation covering everything up to and
+    /// including the frame that just closed ≥1 bin. Write failures are
+    /// counted, never fatal — the previous generation stays intact and
+    /// the pipeline keeps serving.
+    fn write_checkpoint(&mut self) {
+        if self.store.is_none() && self.config.crash.is_none() {
+            return;
+        }
+        let bin = self.next_close.saturating_sub(1);
+        self.maybe_crash(CrashPoint::BeforeCheckpoint(bin));
+        if self.store.is_some() {
+            // A torn-write injection surfaces a truncated committed slot
+            // and then dies — the shape recovery must reject by checksum.
+            let torn =
+                self.config.crash.as_ref().and_then(|c| c.fire(CrashPoint::TornCheckpoint(bin)));
+            if let Some(kind) = torn {
+                let state = self.export_state();
+                let _ = self.store.as_ref().map(|s| s.write_torn(&state));
+                checkpoint::trigger_crash(CrashPoint::TornCheckpoint(bin), kind);
+            }
+            let state = self.export_state();
+            match self.store.as_ref().map(|s| s.write(&state)) {
+                Some(Ok(())) => {
+                    self.ckpt_seq += 1;
+                    TenantCounters::add(&self.counters.checkpoints, 1);
+                }
+                Some(Err(_)) => TenantCounters::add(&self.counters.ingest_errors, 1),
+                None => {}
+            }
+        }
+        self.maybe_crash(CrashPoint::AfterCheckpoint(bin));
     }
 
     /// Raises the watermark and closes every bin whose end it has passed.
@@ -211,6 +373,7 @@ impl TenantPipeline {
     fn close_bin(&mut self) {
         let t0 = monotonic_now();
         let bin = self.next_close;
+        self.maybe_crash(CrashPoint::BeforeBinClose(bin));
         self.next_close += 1;
         let row: Vec<f64> = self.shard.bin_row(bin, TrafficType::Bytes).unwrap_or(&[]).to_vec();
         let status = match self.shard.bin_record_count(bin) {
@@ -280,6 +443,7 @@ impl TenantPipeline {
     /// [`ServeError::Flow`] when the window never accepted a record
     /// (`FlowError::NoData`) — there is nothing to report.
     pub fn flush(mut self) -> Result<TenantFlush, ServeError> {
+        self.maybe_crash(CrashPoint::BeforeFlush);
         while self.next_close < self.engine.num_bins() {
             self.close_bin();
         }
@@ -419,5 +583,75 @@ mod tests {
         let scenario = Scenario::paper_window(17, NUM_BINS).unwrap();
         let tenant = tenant_over(&scenario, 0);
         assert!(matches!(tenant.flush(), Err(ServeError::Flow(_))));
+    }
+
+    #[test]
+    fn checkpoint_resume_replays_to_a_bit_identical_flush() {
+        let scenario = Scenario::paper_window(19, NUM_BINS).unwrap();
+        let frames = scenario_frames(&scenario);
+        let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/tmp/tenant_ckpt_resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(&dir, "t0");
+
+        // Uninterrupted baseline, online detector active over the tail.
+        let mut baseline = tenant_over(&scenario, 6);
+        for f in &frames {
+            baseline.ingest_frame(f);
+        }
+        let base_flush = baseline.flush().unwrap();
+
+        // Checkpointed run, stopped dead after ~3/4 of the stream.
+        let stop_at = frames.len() * 3 / 4;
+        let mut victim = tenant_over(&scenario, 6);
+        victim.set_checkpoint_store(store.clone());
+        for f in &frames[..stop_at] {
+            victim.ingest_frame(f);
+        }
+        drop(victim); // the "crash": no flush, no further checkpoints
+
+        // Recover from the newest generation; replay the uncovered
+        // suffix (the cursor can trail stop_at — frames consumed since
+        // the last bin close are redelivered, and the exporter-sequence
+        // dedup plus distinct-set semantics make that replay harmless
+        // only when the cursor is exact, so resume precisely there).
+        let state = store.load_newest().state.expect("a checkpoint was written");
+        let cursor = usize::try_from(state.frames_ingested).unwrap();
+        assert!(cursor <= stop_at && cursor > 0);
+        let routes = scenario.plan.build_route_table(1.0).unwrap();
+        let ingress = IngressResolver::synthetic(&scenario.topology);
+        let mut config = TenantConfig::abilene("t0", 0, NUM_BINS);
+        config.train_bins = 6;
+        let mut resumed = TenantPipeline::restore(
+            config,
+            &scenario.topology,
+            ingress,
+            routes,
+            &state,
+            Arc::new(TenantCounters::default()),
+        )
+        .unwrap();
+        for f in &frames[cursor..] {
+            resumed.ingest_frame(f);
+        }
+        let resumed_flush = resumed.flush().unwrap();
+
+        // Byte-identical endgame: matrices, quality, verdict float bits.
+        assert_eq!(
+            resumed_flush.outcome.matrices.bytes.data.as_slice(),
+            base_flush.outcome.matrices.bytes.data.as_slice()
+        );
+        assert_eq!(
+            resumed_flush.outcome.matrices.flows.data.as_slice(),
+            base_flush.outcome.matrices.flows.data.as_slice()
+        );
+        assert_eq!(resumed_flush.outcome.quality.quarantine, base_flush.outcome.quality.quarantine);
+        assert_eq!(resumed_flush.live_verdicts.len(), base_flush.live_verdicts.len());
+        for (r, b) in resumed_flush.live_verdicts.iter().zip(&base_flush.live_verdicts) {
+            assert_eq!(r.bin, b.bin);
+            assert_eq!(r.spe.to_bits(), b.spe.to_bits());
+            assert_eq!(r.t2.to_bits(), b.t2.to_bits());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

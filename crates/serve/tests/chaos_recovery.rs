@@ -1,0 +1,456 @@
+//! Kill-point chaos tests: a daemon killed at *any* crash boundary and
+//! recovered from its checkpoints must end byte-identical to an
+//! uninterrupted run — matrices cell for cell, verdict floats bit for
+//! bit — and to the batch `run_scenario` path at `ODFLOW_THREADS` 1
+//! and 4. Corruption of the newest checkpoint generation must fall back
+//! to the previous one, and a persistently panicking tenant must be
+//! quarantined without disturbing its neighbors.
+//!
+//! The harness is fully deterministic: crash points are injected by
+//! [`CrashSchedule`], frames are pre-rendered once and replayed over
+//! real TCP, and the recovery replays the exact unconsumed suffix
+//! `frames[cursor..]` reported by [`TenantRecovery::frames_ingested`].
+
+use odflow::experiment::{run_scenario, ExperimentConfig};
+use odflow_gen::Scenario;
+use odflow_serve::wire;
+use odflow_serve::{
+    replay_frames, CheckpointStore, CrashPoint, CrashSchedule, Daemon, DaemonReport, LoadGenConfig,
+    ServeConfig, TenantConfig, TenantEnd, TenantFlush, TenantRecovery, TenantSpec, Transport,
+    CONTROL_TENANT,
+};
+use odflow_subspace::{Diagnosis, StatisticKind};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+const NUM_BINS: usize = 36;
+const SEED: u64 = 20040519;
+/// The global bin index every crash fires at. Late enough that a stack
+/// of prior checkpoint generations exists (one per closed bin), early
+/// enough that a meaningful tail remains to replay after recovery.
+const CRASH_BIN: usize = 27;
+
+/// The scenario, its pre-rendered frame stream, and one uninterrupted
+/// baseline daemon run — shared across every test in the suite. The
+/// baseline is the single most expensive artifact here (a full 36-bin
+/// ingest-and-detect run), and every test compares against the *same*
+/// bytes, so computing it once is free determinism-wise and pays for
+/// itself several times over in wall clock.
+fn shared() -> &'static (Scenario, Vec<Vec<u8>>, DaemonReport) {
+    static SHARED: OnceLock<(Scenario, Vec<Vec<u8>>, DaemonReport)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let scenario = Scenario::paper_window(SEED, NUM_BINS).unwrap();
+        let frames = render_frames(&scenario);
+        let base = baseline_report(&frames, &scenario);
+        (scenario, frames, base)
+    })
+}
+
+fn abilene_spec(scenario: &Scenario, crash: Option<Arc<CrashSchedule>>) -> TenantSpec {
+    let routes = scenario.plan.build_route_table(1.0).unwrap();
+    let ingress = odflow_net::IngressResolver::synthetic(&scenario.topology);
+    let mut config = TenantConfig::abilene("abilene", 0, NUM_BINS);
+    config.crash = crash;
+    // The unpaced loopback replay outruns the worker (fsync'd checkpoint
+    // per bin close), so the queue must hold the whole rendered stream
+    // (~5.6k frames at 36 bins): shed frames would make the runs
+    // timing-dependent, and byte identity is exactly what this suite
+    // asserts.
+    config.queue_frames = 8192;
+    TenantSpec { config, topology: scenario.topology.clone(), ingress, routes }
+}
+
+/// A fresh checkpoint directory under the cargo tmp root, unique per
+/// test so parallel tests never share generations.
+fn ckpt_dir(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("chaos_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Every export frame of the scenario, pre-rendered in the exact order
+/// the load generator would send them (bins ascending, PoP order within
+/// a bin, sequence continuity across bins).
+fn render_frames(scenario: &Scenario) -> Vec<Vec<u8>> {
+    let generator = scenario.generator();
+    let mut seqs = vec![0u32; scenario.topology.num_pops()];
+    (0..scenario.config.num_bins).flat_map(|b| generator.frames_for_bin(b, &mut seqs)).collect()
+}
+
+/// Binds `config`, runs the daemon on a worker thread, and replays
+/// `frames` into it over TCP with a trailing drain.
+fn run_daemon(config: ServeConfig, frames: &[Vec<u8>]) -> DaemonReport {
+    let daemon = Daemon::bind(config).unwrap();
+    drive_daemon(daemon, frames)
+}
+
+fn drive_daemon(daemon: Daemon, frames: &[Vec<u8>]) -> DaemonReport {
+    let addr = daemon.tcp_addr().unwrap();
+    let mut slot: Option<DaemonReport> = None;
+    let pool = scoped_pool::Pool::new(1);
+    pool.scoped(|scope| {
+        let slot_ref = &mut slot;
+        scope.execute(move || {
+            *slot_ref = Some(daemon.run());
+        });
+        let report = replay_frames(frames, addr, &LoadGenConfig::new(Transport::Tcp)).unwrap();
+        assert_eq!(report.frames_sent, frames.len() as u64);
+        assert!(report.drain_sent);
+    });
+    pool.shutdown();
+    slot.unwrap()
+}
+
+/// Canonical byte encoding of a diagnosis (same scheme as the loopback
+/// suite): floats as exact bits, discrete fields in fixed order.
+fn canonical_verdict_bytes(d: &Diagnosis) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (t, a) in &d.analyses {
+        out.extend_from_slice(format!("{t:?};").as_bytes());
+        for series in [&a.state_norm_sq, &a.spe, &a.t2] {
+            for &v in series {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        for det in &a.detections {
+            out.extend_from_slice(&det.bin.to_le_bytes());
+            out.push(match det.kind {
+                StatisticKind::Spe => 0,
+                StatisticKind::T2 => 1,
+            });
+            out.extend_from_slice(&det.value.to_bits().to_le_bytes());
+            out.extend_from_slice(&det.threshold.to_bits().to_le_bytes());
+        }
+    }
+    out.extend_from_slice(format!("{:?}{:?}", d.triples, d.events).as_bytes());
+    out
+}
+
+fn expect_flushed(end: &TenantEnd) -> &TenantFlush {
+    let TenantEnd::Flushed(flush) = end else {
+        panic!("tenant must flush, got {end:?}");
+    };
+    flush
+}
+
+/// The whole acceptance criterion in one place: matrices byte-identical,
+/// quality accounting identical, diagnosis byte-identical, and the live
+/// verdict stream float-bit identical.
+fn assert_flush_equal(label: &str, a: &TenantFlush, b: &TenantFlush) {
+    assert_eq!(
+        a.outcome.matrices.bytes.data.as_slice(),
+        b.outcome.matrices.bytes.data.as_slice(),
+        "{label}: bytes matrices"
+    );
+    assert_eq!(
+        a.outcome.matrices.packets.data.as_slice(),
+        b.outcome.matrices.packets.data.as_slice(),
+        "{label}: packets matrices"
+    );
+    assert_eq!(
+        a.outcome.matrices.flows.data.as_slice(),
+        b.outcome.matrices.flows.data.as_slice(),
+        "{label}: flows matrices"
+    );
+    assert_eq!(a.outcome.quality.bin_records, b.outcome.quality.bin_records, "{label}: records");
+    assert_eq!(a.outcome.quality.quarantine, b.outcome.quality.quarantine, "{label}: quarantine");
+    let (da, db) = (a.diagnosis.as_ref().unwrap(), b.diagnosis.as_ref().unwrap());
+    assert_eq!(
+        canonical_verdict_bytes(da),
+        canonical_verdict_bytes(db),
+        "{label}: batch diagnosis"
+    );
+    assert_eq!(a.live_verdicts.len(), b.live_verdicts.len(), "{label}: live verdict count");
+    for (va, vb) in a.live_verdicts.iter().zip(&b.live_verdicts) {
+        assert_eq!(va.bin, vb.bin, "{label}: verdict bin");
+        assert_eq!(va.spe.to_bits(), vb.spe.to_bits(), "{label}: SPE bits, bin {}", va.bin);
+        assert_eq!(va.t2.to_bits(), vb.t2.to_bits(), "{label}: T2 bits, bin {}", va.bin);
+        assert_eq!(va.detections.len(), vb.detections.len(), "{label}: detections");
+    }
+}
+
+/// The recovered flush must also match the *batch* `run_scenario` path
+/// bit for bit, at explicit thread limits 1 and 4.
+fn assert_matches_batch(label: &str, scenario: &Scenario, flush: &TenantFlush) {
+    let flush_bytes = canonical_verdict_bytes(flush.diagnosis.as_ref().unwrap());
+    for threads in [1usize, 4] {
+        let batch = odflow_par::with_thread_limit(threads, || {
+            run_scenario(scenario, &ExperimentConfig::default()).unwrap()
+        });
+        assert_eq!(
+            flush.outcome.matrices.bytes.data.as_slice(),
+            batch.matrices.bytes.data.as_slice(),
+            "{label}: bytes matrices vs batch, threads={threads}"
+        );
+        assert_eq!(
+            flush.outcome.matrices.packets.data.as_slice(),
+            batch.matrices.packets.data.as_slice(),
+            "{label}: packets matrices vs batch, threads={threads}"
+        );
+        assert_eq!(
+            flush.outcome.matrices.flows.data.as_slice(),
+            batch.matrices.flows.data.as_slice(),
+            "{label}: flows matrices vs batch, threads={threads}"
+        );
+        assert_eq!(
+            flush_bytes,
+            canonical_verdict_bytes(&batch.diagnosis),
+            "{label}: diagnosis vs batch, threads={threads}"
+        );
+    }
+}
+
+/// Kills a daemon at `point`, recovers from the checkpoint directory,
+/// replays the unconsumed suffix, and returns the recovery report plus
+/// the recovered flush-end state.
+fn kill_and_recover(
+    tag: &str,
+    point: CrashPoint,
+    frames: &[Vec<u8>],
+    scenario: &Scenario,
+) -> (TenantRecovery, DaemonReport) {
+    let dir = ckpt_dir(tag);
+    let kill_report = run_daemon(
+        ServeConfig {
+            tcp_bind: Some("127.0.0.1:0".to_owned()),
+            tenants: vec![abilene_spec(scenario, Some(CrashSchedule::kill_at(point)))],
+            checkpoint_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        },
+        frames,
+    );
+    let TenantEnd::Killed { name, point: died_at } = &kill_report.tenants[0] else {
+        panic!("worker must die at the injected point, got {:?}", kill_report.tenants[0]);
+    };
+    assert_eq!(name, "abilene");
+    assert_eq!(*died_at, point);
+
+    // Recovery: a fresh daemon resumes from the newest valid generation
+    // (no crash schedule this time) and replays the uncovered tail.
+    let (daemon, mut recoveries) = Daemon::recover(
+        ServeConfig {
+            tcp_bind: Some("127.0.0.1:0".to_owned()),
+            tenants: vec![abilene_spec(scenario, None)],
+            ..ServeConfig::default()
+        },
+        &dir,
+    )
+    .unwrap();
+    let recovery = recoveries.remove(0);
+    let cursor = usize::try_from(recovery.frames_ingested).unwrap();
+    assert!(cursor <= frames.len(), "cursor {cursor} beyond the stream");
+    let report = drive_daemon(daemon, &frames[cursor..]);
+    (recovery, report)
+}
+
+/// One uninterrupted daemon run to compare every recovery against.
+fn baseline_report(frames: &[Vec<u8>], scenario: &Scenario) -> DaemonReport {
+    let report = run_daemon(
+        ServeConfig {
+            tcp_bind: Some("127.0.0.1:0".to_owned()),
+            tenants: vec![abilene_spec(scenario, None)],
+            ..ServeConfig::default()
+        },
+        frames,
+    );
+    assert!(expect_flushed(&report.tenants[0]).outcome.quality.quarantine.is_conserved());
+    report
+}
+
+/// Kill/recover at every crash boundary in the pipeline; each recovery
+/// must be byte-identical to the uninterrupted daemon *and* to batch
+/// `run_scenario` at threads 1 and 4.
+#[test]
+fn kill_at_every_crash_point_recovers_byte_identical() {
+    let (scenario, frames, base) = shared();
+    let baseline = expect_flushed(&base.tenants[0]);
+    // Pin the baseline itself to the batch path at threads 1 and 4 once;
+    // each recovery below is asserted byte-equal to the baseline, and
+    // byte equality is transitive, so every recovered run is thereby
+    // byte-equal to batch at both thread counts without re-running the
+    // batch pipeline per crash point.
+    assert_matches_batch("baseline", scenario, baseline);
+    let points = [
+        ("bin_close", CrashPoint::BeforeBinClose(CRASH_BIN)),
+        ("before_ckpt", CrashPoint::BeforeCheckpoint(CRASH_BIN)),
+        ("torn_ckpt", CrashPoint::TornCheckpoint(CRASH_BIN)),
+        ("after_ckpt", CrashPoint::AfterCheckpoint(CRASH_BIN)),
+        ("flush", CrashPoint::BeforeFlush),
+    ];
+    for (tag, point) in points {
+        let (recovery, report) = kill_and_recover(tag, point, frames, scenario);
+        let seq = recovery.resumed_seq.unwrap_or_else(|| panic!("{tag}: must resume a generation"));
+        assert!(recovery.frames_ingested > 0, "{tag}: cursor must advance");
+        if point == CrashPoint::TornCheckpoint(CRASH_BIN) {
+            // The torn write landed on disk; recovery must have rejected
+            // it and fallen back to the previous generation.
+            assert!(recovery.slots_rejected >= 1, "{tag}: torn slot must be rejected");
+            assert_eq!(seq, CRASH_BIN as u64 - 1, "{tag}: previous generation");
+        } else {
+            assert_eq!(recovery.slots_rejected, 0, "{tag}: no slot may be rejected");
+        }
+        let flush = expect_flushed(&report.tenants[0]);
+        assert_flush_equal(tag, baseline, flush);
+    }
+}
+
+/// Bit-flip the newest generation after a kill: recovery must classify
+/// it as corrupt, fall back to the previous generation, and *still* end
+/// byte-identical.
+#[test]
+fn corrupted_newest_generation_recovers_from_previous_one() {
+    let (scenario, frames, base) = shared();
+    let baseline = expect_flushed(&base.tenants[0]);
+    let dir = ckpt_dir("bitflip");
+    let kill_report = run_daemon(
+        ServeConfig {
+            tcp_bind: Some("127.0.0.1:0".to_owned()),
+            tenants: vec![abilene_spec(
+                scenario,
+                Some(CrashSchedule::kill_at(CrashPoint::AfterCheckpoint(CRASH_BIN))),
+            )],
+            checkpoint_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        },
+        frames,
+    );
+    assert!(
+        matches!(kill_report.tenants[0], TenantEnd::Killed { .. }),
+        "expected Killed, got {:?}",
+        kill_report.tenants[0]
+    );
+
+    // Find the newest generation on disk and flip one payload byte.
+    let store = CheckpointStore::new(&dir, "abilene");
+    let newest = store.load_newest().state.expect("a valid newest generation exists");
+    assert_eq!(newest.seq, CRASH_BIN as u64);
+    let victim = &store.slot_paths()[(newest.seq % 2) as usize];
+    let mut bytes = std::fs::read(victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(victim, &bytes).unwrap();
+
+    let (daemon, mut recoveries) = Daemon::recover(
+        ServeConfig {
+            tcp_bind: Some("127.0.0.1:0".to_owned()),
+            tenants: vec![abilene_spec(scenario, None)],
+            ..ServeConfig::default()
+        },
+        &dir,
+    )
+    .unwrap();
+    let recovery = recoveries.remove(0);
+    assert_eq!(recovery.slots_rejected, 1, "the flipped slot must be rejected");
+    assert_eq!(
+        recovery.resumed_seq,
+        Some(CRASH_BIN as u64 - 1),
+        "recovery must fall back one generation"
+    );
+    let cursor = usize::try_from(recovery.frames_ingested).unwrap();
+    let report = drive_daemon(daemon, &frames[cursor..]);
+    let flush = expect_flushed(&report.tenants[0]);
+    assert_flush_equal("bitflip", baseline, flush);
+}
+
+/// A *panic* (not a kill) at the post-checkpoint boundary: the
+/// supervisor restarts the worker in place from the just-written
+/// generation against the surviving queue — no frame lost, no frame
+/// double-counted — and the run still ends byte-identical.
+#[test]
+fn panicking_worker_restarts_from_checkpoint_and_stays_byte_identical() {
+    let (scenario, frames, base) = shared();
+    let baseline = expect_flushed(&base.tenants[0]);
+    let dir = ckpt_dir("panic_restart");
+    let daemon = Daemon::bind(ServeConfig {
+        tcp_bind: Some("127.0.0.1:0".to_owned()),
+        tenants: vec![abilene_spec(
+            scenario,
+            Some(CrashSchedule::panic_at(CrashPoint::AfterCheckpoint(CRASH_BIN))),
+        )],
+        checkpoint_dir: Some(dir),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let handle = daemon.handle();
+    let report = drive_daemon(daemon, frames);
+    let flush = expect_flushed(&report.tenants[0]);
+    assert_flush_equal("panic_restart", baseline, flush);
+
+    let counters = handle.tenant_counters(0).unwrap();
+    let get = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::SeqCst);
+    assert_eq!(get(&counters.restarts), 1, "exactly one supervised restart");
+    assert_eq!(get(&counters.quarantined), 0, "a restarted tenant is not quarantined");
+    assert!(get(&counters.checkpoints) > 0, "checkpoints were written");
+}
+
+/// A tenant that panics every time it reaches the same bin close makes
+/// no progress across restarts and must be quarantined — while a second
+/// tenant sharing the daemon flushes byte-identical, completely
+/// undisturbed.
+#[test]
+fn persistently_panicking_tenant_quarantines_without_disturbing_neighbors() {
+    let (scenario, frames, base) = shared();
+    let baseline = expect_flushed(&base.tenants[0]);
+    let dir = ckpt_dir("quarantine");
+    let mut poison = abilene_spec(
+        scenario,
+        Some(CrashSchedule::panic_always_at(CrashPoint::BeforeBinClose(CRASH_BIN))),
+    );
+    poison.config.name = "poison".to_owned();
+    let healthy = {
+        let mut s = abilene_spec(scenario, None);
+        s.config.name = "healthy".to_owned();
+        s
+    };
+    let daemon = Daemon::bind(ServeConfig {
+        tcp_bind: Some("127.0.0.1:0".to_owned()),
+        tenants: vec![poison, healthy],
+        checkpoint_dir: Some(dir),
+        max_restarts: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = daemon.tcp_addr().unwrap();
+    let handle = daemon.handle();
+    let mut slot: Option<DaemonReport> = None;
+    let pool = scoped_pool::Pool::new(1);
+    pool.scoped(|scope| {
+        let slot_ref = &mut slot;
+        scope.execute(move || {
+            *slot_ref = Some(daemon.run());
+        });
+        // Interleave the same frame stream to both tenants on one TCP
+        // connection, then drain.
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        for frame in frames {
+            stream.write_all(&wire::encode_message(0, frame)).unwrap();
+            stream.write_all(&wire::encode_message(1, frame)).unwrap();
+        }
+        stream.write_all(&wire::encode_message(CONTROL_TENANT, wire::CONTROL_DRAIN)).unwrap();
+        stream.flush().unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+    });
+    pool.shutdown();
+    let report = slot.unwrap();
+
+    // Tenant 0 was quarantined after max_restarts+1 consecutive panics.
+    let TenantEnd::Failed { name, reason } = &report.tenants[0] else {
+        panic!("poison tenant must fail, got {:?}", report.tenants[0]);
+    };
+    assert_eq!(name, "poison");
+    assert!(reason.contains("quarantined"), "reason must name the quarantine: {reason}");
+    let counters = handle.tenant_counters(0).unwrap();
+    let get = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::SeqCst);
+    assert_eq!(get(&counters.restarts), 3, "max_restarts=2 allows exactly 3 panics");
+    assert_eq!(get(&counters.quarantined), 1, "the quarantine gauge is raised");
+    assert!(
+        handle.metrics_text().contains("odflow_serve_tenant_quarantined{tenant=\"poison\"} 1"),
+        "quarantine must be visible on /metrics"
+    );
+
+    // Tenant 1 never noticed: byte-identical to the uninterrupted run.
+    let flush = expect_flushed(&report.tenants[1]);
+    assert_eq!(flush.name, "healthy");
+    assert_flush_equal("healthy neighbor", baseline, flush);
+}

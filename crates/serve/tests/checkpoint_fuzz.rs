@@ -1,0 +1,277 @@
+//! Property tests for the checkpoint codec: decoding is total (arbitrary
+//! byte soup and bit-flipped valid checkpoints never panic — they are
+//! rejected with the right error class) and encoding is a bijection on
+//! valid states (byte-level round-trip identity for every component).
+
+use odflow_flow::{
+    ExporterSeqState, FlowKey, Protocol, QuarantineStats, ResolutionStats, ShardState,
+};
+use odflow_linalg::{Centering, Matrix};
+use odflow_net::IpAddr;
+use odflow_serve::{decode_state, encode_state, CheckpointError, PipelineState};
+use odflow_subspace::{
+    DegradedReason, Detection, DetectorState, EigenflowDecomposition, ModelState, StatisticKind,
+    StreamVerdict, SubspaceConfig,
+};
+use proptest::prelude::*;
+
+fn arb_key() -> impl Strategy<Value = FlowKey> {
+    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), any::<u8>()).prop_map(
+        |(s, d, sp, dp, pr)| FlowKey::new(IpAddr(s), IpAddr(d), sp, dp, Protocol::from_number(pr)),
+    )
+}
+
+/// Cell values as raw bit patterns, so the round-trip property covers
+/// NaNs, infinities, subnormals, and negative zero — the codec carries
+/// `f64::to_bits` images, never arithmetic.
+fn arb_f64_bits() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+fn arb_exporter() -> impl Strategy<Value = (u8, ExporterSeqState)> {
+    (
+        any::<u8>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u16>(),
+        proptest::option::of(any::<u32>()),
+        proptest::option::of((any::<u32>(), any::<u16>())),
+    )
+        .prop_map(|(id, frames, records, lost_flows, sampling, next_seq, last)| {
+            (
+                id,
+                ExporterSeqState {
+                    frames,
+                    records,
+                    lost_flows,
+                    sampling_lo: sampling,
+                    sampling_hi: sampling,
+                    next_seq,
+                    last,
+                    ..ExporterSeqState::default()
+                },
+            )
+        })
+}
+
+fn arb_verdict() -> impl Strategy<Value = StreamVerdict> {
+    (
+        0usize..1000,
+        arb_f64_bits(),
+        arb_f64_bits(),
+        proptest::collection::vec((0usize..1000, any::<bool>(), arb_f64_bits()), 0..3),
+        0u8..4,
+        arb_f64_bits(),
+    )
+        .prop_map(|(bin, spe, t2, dets, deg, frac)| StreamVerdict {
+            bin,
+            spe,
+            t2,
+            detections: dets
+                .into_iter()
+                .map(|(dbin, is_t2, value)| Detection {
+                    bin: dbin,
+                    kind: if is_t2 { StatisticKind::T2 } else { StatisticKind::Spe },
+                    value,
+                    threshold: value,
+                })
+                .collect(),
+            degraded: match deg {
+                0 => None,
+                1 => Some(DegradedReason::MaskedBin),
+                2 => Some(DegradedReason::ImputedBin),
+                _ => Some(DegradedReason::WidenedThreshold { imputed_fraction: frac }),
+            },
+        })
+}
+
+/// A full pipeline snapshot with a consistent shard shape (`bins x od`
+/// cells), arbitrary float bit patterns, and an optional small detector.
+fn arb_state() -> impl Strategy<Value = PipelineState> {
+    (1usize..5, 1usize..5).prop_flat_map(|(bins, od)| {
+        let cells = bins * od;
+        (
+            (
+                any::<u64>(),
+                any::<u64>(),
+                0u64..1000,
+                any::<u64>(),
+                proptest::collection::vec(arb_f64_bits(), cells),
+                proptest::collection::vec(arb_f64_bits(), cells),
+                proptest::collection::vec(arb_f64_bits(), cells),
+                proptest::collection::vec(proptest::collection::vec(arb_key(), 0..3), cells),
+                proptest::collection::vec(any::<u64>(), bins),
+            ),
+            (
+                any::<u64>(),
+                proptest::collection::vec(any::<u64>(), 9),
+                proptest::collection::vec(arb_exporter(), 0..4),
+                proptest::collection::vec(arb_verdict(), 0..4),
+                any::<bool>(),
+                proptest::collection::vec(arb_f64_bits(), 16),
+            ),
+        )
+            .prop_map(
+                move |(
+                    (
+                        seq,
+                        frames_ingested,
+                        next_close,
+                        watermark,
+                        bytes,
+                        packets,
+                        flows,
+                        distinct,
+                        bin_records,
+                    ),
+                    (records_accepted, counts, exporters, live_verdicts, with_detector, det_floats),
+                )| {
+                    PipelineState {
+                        seq,
+                        frames_ingested,
+                        next_close,
+                        watermark_secs: watermark,
+                        shard: ShardState {
+                            bytes,
+                            packets,
+                            flows,
+                            distinct,
+                            bin_records,
+                            records_accepted,
+                            resolution: ResolutionStats {
+                                flows_total: counts[0],
+                                flows_resolved: counts[1],
+                                bytes_total: counts[2],
+                                bytes_resolved: counts[3],
+                                transit_skipped: counts[4],
+                            },
+                            dropped_out_of_window: counts[5],
+                        },
+                        quarantine: QuarantineStats {
+                            frames_offered: counts[6],
+                            frames_accepted: counts[7],
+                            records_offered: counts[8],
+                            ..QuarantineStats::default()
+                        },
+                        exporters,
+                        detector: with_detector.then(|| small_detector(&det_floats)),
+                        live_verdicts,
+                    }
+                },
+            )
+    })
+}
+
+/// A structurally valid 2-flow/2-component detector built from 16
+/// arbitrary float bit patterns — exercises the model/window codec
+/// without needing a real fit.
+fn small_detector(f: &[f64]) -> DetectorState {
+    DetectorState {
+        config: SubspaceConfig::default(),
+        model: ModelState {
+            decomp: EigenflowDecomposition {
+                eigenflows: Matrix::from_vec(2, 2, f[0..4].to_vec()).unwrap(),
+                loadings: Matrix::from_vec(2, 2, f[4..8].to_vec()).unwrap(),
+                singular_values: f[8..10].to_vec(),
+                centering: Centering { means: f[10..12].to_vec(), scales: f[12..14].to_vec() },
+                n: 2,
+                total_energy: f[14],
+                truncated: false,
+            },
+            config: SubspaceConfig::default(),
+            p: 2,
+            spe_threshold: f[15],
+            t2_threshold: f[0],
+            degenerate_residual: false,
+        },
+        window: vec![f[1..3].to_vec(), f[3..5].to_vec()],
+        window_len: 2,
+        refit_every: 0,
+        since_refit: 1,
+        next_bin: 7,
+    }
+}
+
+/// Structural (not semantic) equality of two snapshots, via the
+/// canonical encoding — the codec is deterministic, so byte equality of
+/// re-encodings is component-wise identity.
+fn assert_same_bytes(a: &PipelineState, b: &PipelineState) {
+    assert_eq!(encode_state(a), encode_state(b));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary byte soup never panics the decoder and never decodes:
+    /// a random prefix can't fake an FNV-checksummed payload.
+    #[test]
+    fn byte_soup_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        prop_assert!(decode_state(&bytes).is_err());
+    }
+
+    /// Byte soup behind a valid header prefix exercises the payload
+    /// decoder paths and still must reject (checksum first).
+    #[test]
+    fn byte_soup_with_magic_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut framed = b"ODFCKPT\0\x01\x00\x00\x00".to_vec();
+        framed.extend_from_slice(&bytes);
+        prop_assert!(decode_state(&framed).is_err());
+    }
+
+    /// Every single-bit flip of a valid checkpoint is rejected with a
+    /// typed error — never a panic, never a silently-wrong decode.
+    #[test]
+    fn bit_flips_are_always_detected(
+        state in arb_state(),
+        flip in any::<proptest::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode_state(&state);
+        let at = flip.index(bytes.len());
+        bytes[at] ^= 1 << bit;
+        let err = decode_state(&bytes).expect_err("flipped checkpoint must be rejected");
+        prop_assert!(
+            matches!(
+                err,
+                CheckpointError::Truncated { .. }
+                    | CheckpointError::BadMagic
+                    | CheckpointError::BadVersion(_)
+                    | CheckpointError::BadChecksum { .. }
+                    | CheckpointError::Corrupt(_)
+            ),
+            "unexpected error class: {err}"
+        );
+    }
+
+    /// Truncation at any point is rejected (torn-write simulation).
+    #[test]
+    fn truncations_are_always_detected(
+        state in arb_state(),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let bytes = encode_state(&state);
+        let keep = cut.index(bytes.len());
+        prop_assert!(decode_state(&bytes[..keep]).is_err());
+    }
+
+    /// encode → decode → encode is the identity on bytes, for every
+    /// state component including non-finite float bit patterns.
+    #[test]
+    fn roundtrip_is_identity(state in arb_state()) {
+        let bytes = encode_state(&state);
+        let decoded = decode_state(&bytes).expect("canonical encoding must decode");
+        assert_same_bytes(&state, &decoded);
+        // And spot-check the integer components directly, not just via
+        // bytes (float-bearing components can't use `==`: the strategies
+        // generate NaN bit patterns on purpose).
+        prop_assert_eq!(decoded.seq, state.seq);
+        prop_assert_eq!(decoded.frames_ingested, state.frames_ingested);
+        prop_assert_eq!(decoded.shard.bin_records, state.shard.bin_records);
+        prop_assert_eq!(decoded.shard.distinct, state.shard.distinct);
+        prop_assert_eq!(decoded.quarantine, state.quarantine);
+        prop_assert_eq!(decoded.exporters, state.exporters);
+        prop_assert_eq!(decoded.live_verdicts.len(), state.live_verdicts.len());
+        prop_assert_eq!(decoded.detector.is_some(), state.detector.is_some());
+    }
+}

@@ -223,3 +223,48 @@ fn metrics_endpoint_serves_plain_text_counters() {
     });
     pool.shutdown();
 }
+
+/// A scraper that never finishes its request header is reaped — the
+/// connection is dropped unanswered after the read deadline, the reap is
+/// counted, and the endpoint then services a well-formed scrape
+/// normally. Without the deadline this client would park the metrics
+/// thread forever.
+#[test]
+fn stalled_metrics_client_is_reaped_not_serviced() {
+    let scenario = Scenario::paper_window(5, 6).unwrap();
+    let daemon = Daemon::bind(ServeConfig {
+        metrics_bind: Some("127.0.0.1:0".to_owned()),
+        tenants: vec![abilene_spec(6, &scenario)],
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = daemon.metrics_addr().unwrap();
+    let handle = daemon.handle();
+    let pool = scoped_pool::Pool::new(1);
+    pool.scoped(|scope| {
+        scope.execute(move || {
+            let _ = daemon.run();
+        });
+        // Partial request: no terminating blank line, and the socket is
+        // held open. The server must hang up on us, not wait forever.
+        let mut stalled = std::net::TcpStream::connect(addr).unwrap();
+        stalled.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+        stalled.write_all(b"GET /metrics HTTP/1.0\r\n").unwrap();
+        let mut leftovers = String::new();
+        let _ = stalled.read_to_string(&mut leftovers);
+        assert!(leftovers.is_empty(), "a reaped client gets no response, got: {leftovers:?}");
+        drop(stalled);
+
+        // The endpoint is free again: a complete request is serviced and
+        // the reap shows up in the counters it reports.
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(5))).unwrap();
+        stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut page = String::new();
+        let _ = stream.read_to_string(&mut page);
+        assert!(page.starts_with("HTTP/1.0 200 OK"), "scrape after reap must succeed");
+        assert!(page.contains("odflow_serve_metrics_clients_reaped_total 1"));
+        handle.drain();
+    });
+    pool.shutdown();
+}

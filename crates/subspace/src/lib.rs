@@ -66,8 +66,8 @@ pub use eigenflow::EigenflowDecomposition;
 pub use error::{Result, SubspaceError};
 pub use events::{count_by_combination, merge_detections, AnomalyEvent, DetectionTriple, TypeSet};
 pub use identify::{identify_spe, identify_t2, Identification};
-pub use model::{StateSplit, SubspaceConfig, SubspaceModel};
+pub use model::{ModelState, StateSplit, SubspaceConfig, SubspaceModel};
 // The eigen-backend selector is part of the fitting configuration; re-export
 // it so detector users configure backends without importing odflow_linalg.
 pub use odflow_linalg::EigenMethod;
-pub use streaming::{OnlineDetector, SharedOnlineDetector, StreamVerdict};
+pub use streaming::{DetectorState, OnlineDetector, SharedOnlineDetector, StreamVerdict};

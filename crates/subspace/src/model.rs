@@ -315,6 +315,52 @@ impl SubspaceModel {
         Ok(centered)
     }
 
+    /// Snapshots every number behind this fitted model. Restoring the
+    /// snapshot with [`Self::from_state`] rebuilds the model bit-exactly —
+    /// no refit, so thresholds and axis floats carry over unchanged. This
+    /// is the crash-safe checkpoint path for a long-running detector.
+    pub fn export_state(&self) -> ModelState {
+        ModelState {
+            decomp: self.decomp.clone(),
+            config: self.config,
+            p: self.p,
+            spe_threshold: self.spe_threshold,
+            t2_threshold: self.t2_threshold,
+            degenerate_residual: self.degenerate_residual,
+        }
+    }
+
+    /// Rebuilds a fitted model from a snapshot without refitting.
+    ///
+    /// # Errors
+    ///
+    /// [`SubspaceError::DimensionMismatch`] when the snapshot's claimed OD
+    /// dimension does not match its decomposition (a corrupt or hand-built
+    /// snapshot must never produce a model that panics at scoring time).
+    pub fn from_state(s: ModelState) -> Result<Self> {
+        let r = s.decomp.loadings.ncols();
+        let consistent = s.p > 0
+            && s.decomp.loadings.nrows() == s.p
+            && s.decomp.eigenflows.ncols() == r
+            && s.decomp.singular_values.len() == r
+            && s.decomp.centering.means.len() == s.p
+            && s.decomp.centering.scales.len() == s.p;
+        if !consistent {
+            return Err(SubspaceError::DimensionMismatch {
+                expected: s.p,
+                got: s.decomp.loadings.nrows(),
+            });
+        }
+        Ok(SubspaceModel {
+            decomp: s.decomp,
+            config: s.config,
+            p: s.p,
+            spe_threshold: s.spe_threshold,
+            t2_threshold: s.t2_threshold,
+            degenerate_residual: s.degenerate_residual,
+        })
+    }
+
     /// The SPE timeseries over a full matrix (one value per row).
     pub fn spe_series(&self, x: &Matrix) -> Result<Vec<f64>> {
         x.rows_iter().map(|row| self.spe(row)).collect()
@@ -324,6 +370,28 @@ impl SubspaceModel {
     pub fn t2_series(&self, x: &Matrix) -> Result<Vec<f64>> {
         x.rows_iter().map(|row| self.t2(row)).collect()
     }
+}
+
+/// Serializable snapshot of a fitted [`SubspaceModel`]: the decomposition
+/// plus the frozen thresholds and flags. Produced by
+/// [`SubspaceModel::export_state`], consumed by
+/// [`SubspaceModel::from_state`]; the serve layer's checkpoint codec
+/// persists it so a restarted collector scores with the *same* model —
+/// same floats, same thresholds — as the process that crashed.
+#[derive(Debug, Clone)]
+pub struct ModelState {
+    /// The eigenflow decomposition (axes, spectrum, centering).
+    pub decomp: EigenflowDecomposition,
+    /// The fit-time configuration.
+    pub config: SubspaceConfig,
+    /// Number of OD pairs the model expects.
+    pub p: usize,
+    /// The frozen SPE threshold `δ²_α`.
+    pub spe_threshold: f64,
+    /// The frozen T² threshold.
+    pub t2_threshold: f64,
+    /// Whether training data was exactly low-rank.
+    pub degenerate_residual: bool,
 }
 
 /// Dot of the stride-`r` axis column `i` of the row-major loadings slice
@@ -512,6 +580,27 @@ mod tests {
         let mut row = x.row(30).unwrap().to_vec();
         row[5] += 10.0;
         assert!(model.spe(&row).unwrap() > model.spe_threshold());
+    }
+
+    #[test]
+    fn model_state_roundtrip_scores_bit_identically() {
+        let x = traffic(300, 9, None);
+        let model = SubspaceModel::fit_default(&x).unwrap();
+        let restored = SubspaceModel::from_state(model.export_state()).unwrap();
+        assert_eq!(restored.spe_threshold().to_bits(), model.spe_threshold().to_bits());
+        assert_eq!(restored.t2_threshold().to_bits(), model.t2_threshold().to_bits());
+        assert_eq!(restored.num_od_pairs(), 9);
+        let row = x.row(123).unwrap();
+        assert_eq!(restored.spe(row).unwrap().to_bits(), model.spe(row).unwrap().to_bits());
+        assert_eq!(restored.t2(row).unwrap().to_bits(), model.t2(row).unwrap().to_bits());
+
+        // An inconsistent snapshot is rejected, never absorbed.
+        let mut bad = model.export_state();
+        bad.p += 1;
+        assert!(matches!(
+            SubspaceModel::from_state(bad),
+            Err(SubspaceError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::detector::{DegradedReason, Detection, StatisticKind};
 use crate::error::{Result, SubspaceError};
-use crate::model::{StateSplit, SubspaceConfig, SubspaceModel};
+use crate::model::{ModelState, StateSplit, SubspaceConfig, SubspaceModel};
 use odflow_flow::BinStatus;
 use odflow_linalg::{vecops, Matrix};
 use parking_lot::RwLock;
@@ -227,6 +227,46 @@ impl OnlineDetector {
         }
     }
 
+    /// Snapshots the detector's full state — the fitted model's exact
+    /// floats, the sliding refit window, and the stream position. Restored
+    /// with [`Self::from_state`], scoring continues bit-identically to an
+    /// uninterrupted detector (the model is *not* refit on restore).
+    pub fn export_state(&self) -> DetectorState {
+        DetectorState {
+            config: self.config,
+            model: self.model.export_state(),
+            window: self.window.clone(),
+            window_len: self.window_len,
+            refit_every: self.refit_every,
+            since_refit: self.since_refit,
+            next_bin: self.next_bin,
+        }
+    }
+
+    /// Rebuilds a streaming detector from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`SubspaceError::DimensionMismatch`] when the snapshot's model is
+    /// internally inconsistent or a window row has the wrong dimension.
+    pub fn from_state(s: DetectorState) -> Result<Self> {
+        let model = SubspaceModel::from_state(s.model)?;
+        let p = model.num_od_pairs();
+        if let Some(row) = s.window.iter().find(|row| row.len() != p) {
+            return Err(SubspaceError::DimensionMismatch { expected: p, got: row.len() });
+        }
+        Ok(OnlineDetector {
+            config: s.config,
+            model,
+            window: s.window,
+            window_len: s.window_len,
+            refit_every: s.refit_every,
+            since_refit: s.since_refit,
+            next_bin: s.next_bin,
+            scratch: StateSplit::with_dimension(p),
+        })
+    }
+
     /// Refits the model on the current window.
     fn refit(&mut self) -> Result<()> {
         let n = self.window.len();
@@ -240,6 +280,28 @@ impl OnlineDetector {
         self.since_refit = 0;
         Ok(())
     }
+}
+
+/// Serializable snapshot of an [`OnlineDetector`]: the frozen model
+/// state, the sliding refit window, and the stream position. All fields
+/// are public so the serve layer's checkpoint codec can persist a live
+/// detector across process crashes and restore it bit-exactly.
+#[derive(Debug, Clone)]
+pub struct DetectorState {
+    /// The fit configuration (reused by future refits).
+    pub config: SubspaceConfig,
+    /// The currently fitted model, frozen at its exact floats.
+    pub model: ModelState,
+    /// Recent clean observations retained for refitting, oldest first.
+    pub window: Vec<Vec<f64>>,
+    /// Maximum retained window length.
+    pub window_len: usize,
+    /// Refit cadence (0 = never refit).
+    pub refit_every: usize,
+    /// Clean observations accepted since the last refit.
+    pub since_refit: usize,
+    /// Stream position: bins consumed so far.
+    pub next_bin: usize,
 }
 
 /// Thread-safe handle around [`OnlineDetector`] for concurrent pipelines.
@@ -394,6 +456,38 @@ mod tests {
         let train = traffic(100, 8, 0);
         let mut det = OnlineDetector::new(&train, SubspaceConfig::default(), 0).unwrap();
         assert!(det.push_with_status(&[1.0], BinStatus::Imputed).is_err());
+    }
+
+    #[test]
+    fn detector_state_roundtrip_streams_bit_identically() {
+        // Mid-stream snapshot with refits enabled: the restored detector
+        // must score AND refit identically on the tail, including the
+        // shared refit schedule (since_refit survives the snapshot).
+        let train = traffic(60, 8, 0);
+        let mut live = OnlineDetector::new(&train, SubspaceConfig::default(), 25).unwrap();
+        let stream = traffic(80, 8, 60);
+        for row in stream.rows_iter().take(40) {
+            live.push(row).unwrap();
+        }
+        let snap = live.export_state();
+        assert_eq!(snap.next_bin, 40);
+        let mut restored = OnlineDetector::from_state(snap).unwrap();
+        for (a, b) in stream.rows_iter().skip(40).zip(stream.rows_iter().skip(40)) {
+            let va = live.push(a).unwrap();
+            let vb = restored.push(b).unwrap();
+            assert_eq!(va.bin, vb.bin);
+            assert_eq!(va.spe.to_bits(), vb.spe.to_bits());
+            assert_eq!(va.t2.to_bits(), vb.t2.to_bits());
+        }
+        assert_eq!(live.bins_seen(), restored.bins_seen());
+
+        // A window row of the wrong dimension is rejected.
+        let mut bad = live.export_state();
+        bad.window.push(vec![1.0; 3]);
+        assert!(matches!(
+            OnlineDetector::from_state(bad),
+            Err(SubspaceError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

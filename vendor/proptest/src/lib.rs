@@ -7,8 +7,9 @@
 //! failing case panics with the case index so it can be replayed exactly.
 //!
 //! Supported surface: [`strategy::Strategy`] with `prop_map` /
-//! `prop_flat_map`, range and tuple strategies, [`arbitrary::any`],
-//! [`collection::vec`], [`strategy::Just`], `ProptestConfig::with_cases`,
+//! `prop_flat_map`, range and tuple strategies (arities 1-12),
+//! [`arbitrary::any`], [`collection::vec`], [`option::of`],
+//! [`sample::Index`], [`strategy::Just`], `ProptestConfig::with_cases`,
 //! and the `proptest!` / `prop_assert!` / `prop_assert_eq!` /
 //! `prop_assert_ne!` macros.
 
@@ -209,6 +210,73 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C, D, E, F);
     impl_tuple_strategy!(A, B, C, D, E, F, G);
     impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+}
+
+/// `option::of` — optional values of a strategy's type.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>` (3:1 odds of `Some`, as upstream).
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S> {
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Draw the inner value unconditionally so a case's RNG stream
+            // stays aligned whether or not this draw lands on `Some`.
+            let value = self.element.generate(rng);
+            if rng.gen_range(0u8..4) == 0 {
+                None
+            } else {
+                Some(value)
+            }
+        }
+    }
+
+    /// An optional value drawn from `element` when present.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy { element }
+    }
+}
+
+/// `sample::Index` — a collection index that scales to any length.
+pub mod sample {
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A position drawn uniformly, resolved against a concrete length
+    /// with [`Index::index`] — mirrors upstream's `proptest::sample::Index`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// This position within a collection of `len` elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `len` is zero (as upstream does): there is no
+        /// valid index into an empty collection.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "sample::Index::index called with len 0");
+            usize::try_from(self.0 % len as u64).unwrap_or(len - 1)
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            Index(rng.gen::<u64>())
+        }
+    }
 }
 
 /// `any::<T>()` — full-range strategies for primitive types.
@@ -461,6 +529,22 @@ mod tests {
         #[test]
         fn tuples_and_maps(pair in (0u8..4, 0u8..4).prop_map(|(a, b)| (a as u16) + (b as u16))) {
             prop_assert!(pair <= 6);
+        }
+
+        #[test]
+        fn options_cover_both_variants(v in crate::collection::vec(crate::option::of(0u32..5), 64)) {
+            prop_assert!(v.iter().flatten().all(|x| *x < 5));
+            prop_assert!(v.iter().any(Option::is_some));
+        }
+
+        #[test]
+        fn index_resolves_in_bounds(ix in any::<crate::sample::Index>(), len in 1usize..100) {
+            prop_assert!(ix.index(len) < len);
+        }
+
+        #[test]
+        fn wide_tuples_generate(t in (0u8..2, 0u8..2, 0u8..2, 0u8..2, 0u8..2, 0u8..2, 0u8..2, 0u8..2, 0u8..2, 0u8..2, 0u8..2, 0u8..2)) {
+            prop_assert!(t.0 < 2 && t.11 < 2);
         }
 
         #[test]
